@@ -1,0 +1,296 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus micro-benchmarks for the substrate hot paths. Figure/Table benches
+// run at scale factor 1 so `go test -bench=.` completes quickly; the
+// full-scale sweeps (SF 1/5/25 standing in for 10/100/1000 GB) are produced
+// by `go run ./cmd/joinbench -all`.
+package dynopt
+
+import (
+	"strconv"
+	"testing"
+
+	"dynopt/internal/bench"
+	"dynopt/internal/catalog"
+	"dynopt/internal/cluster"
+	"dynopt/internal/core"
+	"dynopt/internal/engine"
+	"dynopt/internal/expr"
+	"dynopt/internal/sketch"
+	"dynopt/internal/sqlpp"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+const (
+	benchSF    = 1
+	benchNodes = 4
+)
+
+// BenchmarkFigure6Overhead regenerates Figure 6 (left): the overhead of
+// re-optimization points and online statistics collection.
+func BenchmarkFigure6Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure6Overhead([]int{benchSF}, benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure6Pushdown regenerates Figure 6 (right): the predicate
+// push-down overhead vs the exact-statistics baseline.
+func BenchmarkFigure6Pushdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure6Pushdown([]int{benchSF}, benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// benchFigure7Query benchmarks one query column of Figure 7 (all six
+// strategies).
+func benchFigure7Query(b *testing.B, name string, indexes bool) {
+	env, err := bench.NewEnv(benchSF, benchNodes, indexes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var q bench.Query
+	for _, cand := range bench.Queries() {
+		if cand.Name == name {
+			q = cand
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range env.Strategies() {
+			if _, err := env.RunOne(s, q.SQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7Q17 regenerates the Q17 group of Figure 7.
+func BenchmarkFigure7Q17(b *testing.B) { benchFigure7Query(b, "Q17", false) }
+
+// BenchmarkFigure7Q50 regenerates the Q50 group of Figure 7.
+func BenchmarkFigure7Q50(b *testing.B) { benchFigure7Query(b, "Q50", false) }
+
+// BenchmarkFigure7Q8 regenerates the Q8 group of Figure 7.
+func BenchmarkFigure7Q8(b *testing.B) { benchFigure7Query(b, "Q8", false) }
+
+// BenchmarkFigure7Q9 regenerates the Q9 group of Figure 7.
+func BenchmarkFigure7Q9(b *testing.B) { benchFigure7Query(b, "Q9", false) }
+
+// BenchmarkFigure8Q17 regenerates the Q17 group of Figure 8 (INLJ enabled).
+func BenchmarkFigure8Q17(b *testing.B) { benchFigure7Query(b, "Q17", true) }
+
+// BenchmarkFigure8Q50 regenerates the Q50 group of Figure 8.
+func BenchmarkFigure8Q50(b *testing.B) { benchFigure7Query(b, "Q50", true) }
+
+// BenchmarkFigure8Q8 regenerates the Q8 group of Figure 8.
+func BenchmarkFigure8Q8(b *testing.B) { benchFigure7Query(b, "Q8", true) }
+
+// BenchmarkFigure8Q9 regenerates the Q9 group of Figure 8.
+func BenchmarkFigure8Q9(b *testing.B) { benchFigure7Query(b, "Q9", true) }
+
+// BenchmarkTable1 regenerates Table 1 (average improvement ratios) from a
+// Figure 7 sweep.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Figure7([]int{benchSF}, benchNodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := bench.Table1(rows)
+		if len(t1) != 1 {
+			b.Fatalf("table rows = %d", len(t1))
+		}
+	}
+}
+
+// BenchmarkAblationBroadcastThreshold sweeps the broadcast budget — the
+// ablation for the paper's claim that post-predicate broadcast decisions
+// drive much of the improvement.
+func BenchmarkAblationBroadcastThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationBroadcastThreshold(benchSF, benchNodes,
+			[]int64{0, 128 << 10, 8 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 12 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkGKInsert measures quantile-sketch insertion (the ingestion-time
+// statistics path).
+func BenchmarkGKInsert(b *testing.B) {
+	g := sketch.NewGK(0.005)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Insert(float64(i % 100000))
+	}
+}
+
+// BenchmarkHLLAdd measures distinct-sketch insertion.
+func BenchmarkHLLAdd(b *testing.B) {
+	h := sketch.NewHLL(sketch.DefaultHLLPrecision)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+// BenchmarkValueHash measures the tuple-key hash used by every exchange and
+// hash table.
+func BenchmarkValueHash(b *testing.B) {
+	t := types.Tuple{types.Int(42), types.Str("composite"), types.Int(7)}
+	keys := []int{0, 1, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = t.HashKeys(keys)
+	}
+}
+
+func benchEngineCtx(b *testing.B, rows int) *engine.Context {
+	b.Helper()
+	ctx := &engine.Context{
+		Cluster: cluster.New(benchNodes),
+		Catalog: catalog.New(),
+		UDFs:    expr.NewRegistry(),
+		Params:  map[string]types.Value{},
+	}
+	sch := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt},
+		types.Field{Name: "fk", Kind: types.KindInt},
+		types.Field{Name: "pay", Kind: types.KindInt},
+	)
+	fact := make([]types.Tuple, rows)
+	for i := range fact {
+		fact[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i % 512)), types.Int(int64(i))}
+	}
+	ds, st, err := storage.Build("fact", sch, []string{"id"}, fact, benchNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctx.Catalog.Register(ds, st); err != nil {
+		b.Fatal(err)
+	}
+	dimSch := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt},
+		types.Field{Name: "attr", Kind: types.KindInt},
+	)
+	dim := make([]types.Tuple, 512)
+	for i := range dim {
+		dim[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i * 3))}
+	}
+	dds, dst, err := storage.Build("dim", dimSch, []string{"id"}, dim, benchNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ctx.Catalog.Register(dds, dst); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := storage.BuildIndex(ds, "fk"); err != nil {
+		b.Fatal(err)
+	}
+	return ctx
+}
+
+// BenchmarkHashJoin measures the repartitioning hash join end to end.
+func BenchmarkHashJoin(b *testing.B) {
+	for _, rows := range []int{10000, 50000} {
+		b.Run(strconv.Itoa(rows), func(b *testing.B) {
+			ctx := benchEngineCtx(b, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fact, _ := engine.ScanByName(ctx, "fact", "f", nil, nil)
+				dim, _ := engine.ScanByName(ctx, "dim", "d", nil, nil)
+				out, err := engine.HashJoin(ctx, fact, dim, []string{"f.fk"}, []string{"d.id"}, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.RowCount() != int64(rows) {
+					b.Fatalf("rows = %d", out.RowCount())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBroadcastJoin measures the broadcast join end to end.
+func BenchmarkBroadcastJoin(b *testing.B) {
+	ctx := benchEngineCtx(b, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fact, _ := engine.ScanByName(ctx, "fact", "f", nil, nil)
+		dim, _ := engine.ScanByName(ctx, "dim", "d", nil, nil)
+		out, err := engine.BroadcastJoin(ctx, fact, dim, []string{"f.fk"}, []string{"d.id"}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.RowCount() != 50000 {
+			b.Fatalf("rows = %d", out.RowCount())
+		}
+	}
+}
+
+// BenchmarkIndexNLJoin measures the indexed nested-loop join end to end.
+func BenchmarkIndexNLJoin(b *testing.B) {
+	ctx := benchEngineCtx(b, 50000)
+	ds, _ := ctx.Catalog.Get("fact")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dim, _ := engine.ScanByName(ctx, "dim", "d", nil, nil)
+		out, err := engine.IndexNLJoin(ctx, dim, ds, "f", []string{"d.id"}, []string{"fk"}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.RowCount() != 50000 {
+			b.Fatalf("rows = %d", out.RowCount())
+		}
+	}
+}
+
+// BenchmarkDynamicEndToEnd measures a full Algorithm 1 run on TPC-H Q9.
+func BenchmarkDynamicEndToEnd(b *testing.B) {
+	env, err := bench.NewEnv(benchSF, benchNodes, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var q9 bench.Query
+	for _, q := range bench.Queries() {
+		if q.Name == "Q9" {
+			q9 = q
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.RunOne(core.NewDynamic(), q9.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse measures the SQL++ front end on the biggest workload query.
+func BenchmarkParse(b *testing.B) {
+	sql := TPCDSQ17()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlpp.Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

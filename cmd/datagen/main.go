@@ -1,0 +1,83 @@
+// Command datagen dumps a generated workload table as CSV for inspection:
+//
+//	datagen -workload tpch -table orders -sf 1
+//	datagen -workload tpcds -table store_returns -sf 1 -limit 20
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynopt/internal/catalog"
+	"dynopt/internal/cluster"
+	"dynopt/internal/engine"
+	"dynopt/internal/expr"
+	"dynopt/internal/tpcds"
+	"dynopt/internal/tpch"
+	"dynopt/internal/types"
+)
+
+func main() {
+	workload := flag.String("workload", "tpch", "tpch or tpcds")
+	table := flag.String("table", "", "table to dump (empty lists tables)")
+	sf := flag.Int("sf", 1, "scale factor")
+	limit := flag.Int("limit", 0, "max rows (0 = all)")
+	flag.Parse()
+
+	ctx := &engine.Context{
+		Cluster: cluster.New(1),
+		Catalog: catalog.New(),
+		UDFs:    expr.NewRegistry(),
+		Params:  map[string]types.Value{},
+	}
+	var err error
+	switch *workload {
+	case "tpch":
+		_, err = tpch.Load(ctx, *sf)
+	case "tpcds":
+		_, err = tpcds.Load(ctx, *sf)
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *table == "" {
+		fmt.Println("tables:", strings.Join(ctx.Catalog.Names(), ", "))
+		return
+	}
+	ds, ok := ctx.Catalog.Get(*table)
+	if !ok {
+		fatal(fmt.Errorf("unknown table %q; have %s", *table, strings.Join(ctx.Catalog.Names(), ", ")))
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	var header []string
+	for _, f := range ds.Schema.Fields {
+		header = append(header, f.Name)
+	}
+	fmt.Fprintln(w, strings.Join(header, ","))
+	n := 0
+	for _, part := range ds.Parts {
+		for _, row := range part {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				s := v.String()
+				cells[i] = strings.Trim(s, "'")
+			}
+			fmt.Fprintln(w, strings.Join(cells, ","))
+			n++
+			if *limit > 0 && n >= *limit {
+				return
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

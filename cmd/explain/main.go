@@ -1,0 +1,66 @@
+// Command explain prints the plan every optimizer strategy chooses for one
+// of the paper's evaluation queries — the appendix Figures 11–23 equivalent:
+//
+//	explain -query q17 -sf 5
+//	explain -query q9 -sf 5 -indexes     (Figure 8 setting: INLJ enabled)
+//	explain -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynopt/internal/bench"
+)
+
+func main() {
+	query := flag.String("query", "", "query to explain: q17, q50, q8, q9")
+	sf := flag.Int("sf", 5, "scale factor")
+	nodes := flag.Int("nodes", 10, "simulated cluster nodes")
+	indexes := flag.Bool("indexes", false, "build secondary indexes and enable INLJ (Figure 8 setting)")
+	all := flag.Bool("all", false, "explain every query")
+	flag.Parse()
+
+	env, err := bench.NewEnv(*sf, *nodes, *indexes)
+	if err != nil {
+		fatal(err)
+	}
+	var targets []bench.Query
+	for _, q := range bench.Queries() {
+		if *all || strings.EqualFold(q.Name, *query) {
+			targets = append(targets, q)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "explain: pick -query q17|q50|q8|q9 or -all")
+		os.Exit(2)
+	}
+	for _, q := range targets {
+		fmt.Printf("=== %s (sf %d, %d nodes, indexes=%v) ===\n", q.Name, *sf, *nodes, *indexes)
+		for _, s := range env.Strategies() {
+			rep, err := env.RunOne(s, q.SQL)
+			if err != nil {
+				fatal(fmt.Errorf("%s/%s: %w", q.Name, s.Name(), err))
+			}
+			fmt.Printf("\n-- %s  (sim %.2fs, %d rows, %d reopts, %d pushdowns)\n",
+				s.Name(), rep.SimSeconds, rep.Rows, rep.Reopts, rep.PushDowns)
+			fmt.Printf("   %s\n", rep.Compact())
+			if rep.Tree != nil {
+				for _, line := range strings.Split(strings.TrimRight(rep.Tree.Tree(), "\n"), "\n") {
+					fmt.Printf("   %s\n", line)
+				}
+			}
+			for _, stage := range rep.StagePlans {
+				fmt.Printf("   · %s\n", stage)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "explain:", err)
+	os.Exit(1)
+}

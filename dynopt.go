@@ -1,0 +1,328 @@
+// Package dynopt is a reproduction of "Revisiting Runtime Dynamic
+// Optimization for Join Queries in Big Data Management Systems"
+// (Pavlopoulou, Carey, Tsotras — EDBT 2022) as a self-contained Go library:
+// a simulated shared-nothing BDMS with partitioned storage, a statistics
+// framework (Greenwald-Khanna quantiles + HyperLogLog), three physical join
+// algorithms, and six optimizer strategies — the paper's runtime dynamic
+// optimization plus the five baselines its evaluation compares against.
+//
+// Quick start:
+//
+//	db := dynopt.Open(dynopt.Config{Nodes: 4})
+//	db.CreateDataset("users", dynopt.NewSchema(
+//	    dynopt.F("id", dynopt.KindInt), dynopt.F("city", dynopt.KindString),
+//	), []string{"id"}, rows)
+//	res, err := db.Query(sqlText, nil)
+//
+// Every query execution reports the physical plan it ran (in the paper's
+// ⋈/⋈b/⋈i notation), the blocking re-optimization points crossed, and the
+// work metered against the simulated cluster's cost model.
+package dynopt
+
+import (
+	"fmt"
+
+	"dynopt/internal/catalog"
+	"dynopt/internal/cluster"
+	"dynopt/internal/core"
+	"dynopt/internal/engine"
+	"dynopt/internal/expr"
+	"dynopt/internal/optimizer"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// Re-exported value primitives so callers build rows and UDFs without
+// touching internal packages.
+type (
+	// Value is one SQL value (tagged union).
+	Value = types.Value
+	// Kind enumerates value kinds.
+	Kind = types.Kind
+	// Tuple is one row of values.
+	Tuple = types.Tuple
+	// Schema describes a dataset's columns.
+	Schema = types.Schema
+	// Field is one schema column.
+	Field = types.Field
+	// Snapshot holds the metered cost counters of one query run.
+	Snapshot = cluster.Snapshot
+)
+
+// Value kind constants.
+const (
+	KindNull   = types.KindNull
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindBool   = types.KindBool
+)
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = types.Int
+	// Float builds a floating-point value.
+	Float = types.Float
+	// Str builds a string value.
+	Str = types.Str
+	// Bool builds a boolean value.
+	Bool = types.Bool
+	// Null builds the NULL value.
+	Null = types.Null
+)
+
+// F is shorthand for a schema field.
+func F(name string, kind Kind) Field { return Field{Name: name, Kind: kind} }
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema { return types.NewSchema(fields...) }
+
+// Strategy selects the optimizer a query runs under.
+type Strategy string
+
+// The six strategies of the paper's evaluation (§7.2).
+const (
+	// StrategyDynamic is the paper's runtime dynamic optimization
+	// (Algorithm 1): predicate push-down, per-stage re-optimization with
+	// online statistics, greedy cheapest-next-join planning.
+	StrategyDynamic Strategy = "dynamic"
+	// StrategyCostBased is traditional static cost-based optimization from
+	// ingestion-time statistics.
+	StrategyCostBased Strategy = "cost-based"
+	// StrategyBestOrder executes the optimal plan in one pipelined job (the
+	// user-knows-best baseline).
+	StrategyBestOrder Strategy = "best-order"
+	// StrategyWorstOrder executes a right-deep decreasing-result-size plan
+	// with hash joins only.
+	StrategyWorstOrder Strategy = "worst-order"
+	// StrategyPilotRun estimates initial statistics from LIMIT-k sample
+	// queries, then adapts.
+	StrategyPilotRun Strategy = "pilot-run"
+	// StrategyIngres is the original INGRES decomposition: cardinalities
+	// only.
+	StrategyIngres Strategy = "ingres-like"
+)
+
+// Config configures a DB instance.
+type Config struct {
+	// Nodes is the simulated shared-nothing cluster size (default 4).
+	Nodes int
+	// BroadcastThresholdBytes caps the size of a join input that may be
+	// replicated to every node (default 128 KiB).
+	BroadcastThresholdBytes int64
+	// EnableINLJ allows indexed nested-loop joins where secondary indexes
+	// exist (default off, as in the paper's Figure 7 runs).
+	EnableINLJ bool
+	// ReoptBudget bounds the number of blocking re-optimization points per
+	// query for the dynamic strategy; when exhausted the remainder is
+	// planned statically from the statistics gathered so far (the §8
+	// trade-off). 0 means unlimited.
+	ReoptBudget int
+}
+
+// DB is one simulated BDMS instance: a cluster, a catalog, and a UDF
+// registry. DB methods are not safe for concurrent use with each other.
+type DB struct {
+	ctx         *engine.Context
+	algo        core.AlgoConfig
+	reoptBudget int
+}
+
+// Open creates a DB.
+func Open(cfg Config) *DB {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	algo := core.DefaultAlgoConfig()
+	if cfg.BroadcastThresholdBytes > 0 {
+		algo.BroadcastThresholdBytes = cfg.BroadcastThresholdBytes
+	}
+	algo.EnableINLJ = cfg.EnableINLJ
+	return &DB{
+		ctx: &engine.Context{
+			Cluster: cluster.New(cfg.Nodes),
+			Catalog: catalog.New(),
+			UDFs:    expr.NewRegistry(),
+			Params:  map[string]Value{},
+		},
+		algo:        algo,
+		reoptBudget: cfg.ReoptBudget,
+	}
+}
+
+// Nodes returns the simulated cluster size.
+func (db *DB) Nodes() int { return db.ctx.Cluster.Nodes() }
+
+// CreateDataset loads rows as a named dataset, hash-partitioned on pk across
+// the cluster (round-robin when pk is nil), collecting ingestion-time
+// statistics — the upfront statistics that seed every optimizer's first
+// plan.
+func (db *DB) CreateDataset(name string, schema *Schema, pk []string, rows []Tuple) error {
+	ds, st, err := storage.Build(name, schema, pk, rows, db.ctx.Cluster.Nodes())
+	if err != nil {
+		return err
+	}
+	return db.ctx.Catalog.Register(ds, st)
+}
+
+// CreateIndex adds a secondary index on a dataset field, enabling indexed
+// nested-loop joins against it.
+func (db *DB) CreateIndex(dataset, field string) error {
+	ds, ok := db.ctx.Catalog.Get(dataset)
+	if !ok {
+		return fmt.Errorf("dynopt: unknown dataset %q", dataset)
+	}
+	_, err := storage.BuildIndex(ds, field)
+	return err
+}
+
+// RegisterUDF installs a scalar user-defined function, callable from query
+// predicates. UDFs are opaque to static selectivity estimation — exactly the
+// predicates the dynamic strategy executes before planning.
+func (db *DB) RegisterUDF(name string, fn func(args []Value) (Value, error)) error {
+	return db.ctx.UDFs.Register(expr.UDF{Name: name, Fn: fn})
+}
+
+// SetParam binds a query parameter referenced as $name.
+func (db *DB) SetParam(name string, v Value) {
+	db.ctx.Params[name] = v
+}
+
+// Datasets lists the registered dataset names.
+func (db *DB) Datasets() []string { return db.ctx.Catalog.Names() }
+
+// Metrics reports what one query execution did and cost.
+type Metrics struct {
+	// Strategy that ran.
+	Strategy string
+	// Plan in the paper's compact notation, e.g. ((d1' ⋈b ss) ⋈ sr).
+	Plan string
+	// PlanTree is the indented multi-line plan.
+	PlanTree string
+	// Stages lists executed push-downs and join stages.
+	Stages []string
+	// Reopts counts blocking re-optimization points in the join loop.
+	Reopts int
+	// PushDowns counts executed predicate push-down jobs.
+	PushDowns int
+	// WallSeconds is the host-machine execution time.
+	WallSeconds float64
+	// SimSeconds prices the metered work on the simulated cluster.
+	SimSeconds float64
+	// Counters are the raw metered cost counters.
+	Counters Snapshot
+}
+
+// Result is a finished query.
+type Result struct {
+	Columns []string
+	Rows    []Tuple
+	Metrics Metrics
+}
+
+// QueryOptions selects the strategy and per-query overrides.
+type QueryOptions struct {
+	// Strategy defaults to StrategyDynamic.
+	Strategy Strategy
+	// Params bound for this query (overrides DB-level params).
+	Params map[string]Value
+}
+
+func (db *DB) strategyFor(s Strategy) (core.Strategy, error) {
+	algo := db.algo
+	switch s {
+	case "", StrategyDynamic:
+		cfg := core.DefaultConfig()
+		cfg.Algo = algo
+		cfg.MaxReopts = db.reoptBudget
+		return &core.Dynamic{Cfg: cfg}, nil
+	case StrategyCostBased:
+		return &optimizer.CostBased{Cfg: algo}, nil
+	case StrategyBestOrder:
+		cfg := core.DefaultConfig()
+		cfg.Algo = algo
+		return &optimizer.BestOrder{Cfg: cfg}, nil
+	case StrategyWorstOrder:
+		return optimizer.NewWorstOrder(), nil
+	case StrategyPilotRun:
+		cfg := core.DefaultConfig()
+		cfg.Algo = algo
+		cfg.PushDown = false
+		return &optimizer.PilotRun{Cfg: cfg, SampleK: optimizer.DefaultPilotSampleK}, nil
+	case StrategyIngres:
+		return &optimizer.IngresLike{Cfg: algo}, nil
+	default:
+		return nil, fmt.Errorf("dynopt: unknown strategy %q", s)
+	}
+}
+
+// Query parses, optimizes, and executes sql under the selected strategy.
+func (db *DB) Query(sql string, opts *QueryOptions) (*Result, error) {
+	var strategy Strategy
+	if opts != nil {
+		strategy = opts.Strategy
+	}
+	s, err := db.strategyFor(strategy)
+	if err != nil {
+		return nil, err
+	}
+	ctx := db.ctx
+	if opts != nil && opts.Params != nil {
+		merged := map[string]Value{}
+		for k, v := range db.ctx.Params {
+			merged[k] = v
+		}
+		for k, v := range opts.Params {
+			merged[k] = v
+		}
+		ctx = &engine.Context{
+			Cluster: db.ctx.Cluster,
+			Catalog: db.ctx.Catalog,
+			UDFs:    db.ctx.UDFs,
+			Params:  merged,
+		}
+	}
+	res, rep, err := s.Run(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: res.Columns, Rows: res.Rows}
+	out.Metrics = Metrics{
+		Strategy:    rep.Strategy,
+		Plan:        rep.Compact(),
+		Stages:      rep.StagePlans,
+		Reopts:      rep.Reopts,
+		PushDowns:   rep.PushDowns,
+		WallSeconds: rep.Wall.Seconds(),
+		SimSeconds:  rep.SimSeconds,
+		Counters:    rep.Counters,
+	}
+	if rep.Tree != nil {
+		out.Metrics.PlanTree = rep.Tree.Tree()
+	}
+	return out, nil
+}
+
+// Explain runs the query under the selected strategy against a snapshot of
+// the catalog (base datasets only, fresh cost accounting) and returns the
+// plan it chose, without touching this DB's metering. Note that for the
+// adaptive strategies, explaining requires executing — the plan is only
+// fully known at the end; that is the nature of runtime dynamic
+// optimization.
+func (db *DB) Explain(sql string, opts *QueryOptions) (string, error) {
+	shadow := &DB{
+		ctx: &engine.Context{
+			Cluster: cluster.New(db.ctx.Cluster.Nodes()),
+			Catalog: db.ctx.Catalog.CloneBases(),
+			UDFs:    db.ctx.UDFs,
+			Params:  db.ctx.Params,
+		},
+		algo: db.algo,
+	}
+	res, err := shadow.Query(sql, opts)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s\n%s", res.Metrics.Plan, res.Metrics.PlanTree), nil
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"dynopt/internal/core"
+)
+
+// AblationRow is one point of the broadcast-threshold sweep: the dynamic
+// strategy re-run with a different per-node broadcast budget.
+type AblationRow struct {
+	Query          string
+	ThresholdBytes int64
+	Sim            float64
+	Broadcasts     bool // whether any ⋈b survived in the chosen plan
+	Plan           string
+}
+
+// AblationBroadcastThreshold sweeps the JoinAlgorithmRule's broadcast
+// budget for the dynamic strategy — the ablation for the paper's claim that
+// broadcast-join opportunities (unlocked by accurate post-predicate sizes)
+// drive much of the improvement. Threshold 0 disables broadcasting
+// entirely; large thresholds broadcast everything that fits.
+func AblationBroadcastThreshold(sf, nodes int, thresholds []int64) ([]AblationRow, error) {
+	env, err := NewEnv(sf, nodes, false)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, q := range Queries() {
+		for _, th := range thresholds {
+			cfg := core.DefaultConfig()
+			cfg.Algo.BroadcastThresholdBytes = th
+			rep, err := env.RunOne(&core.Dynamic{Cfg: cfg}, q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("%s threshold %d: %w", q.Name, th, err)
+			}
+			rows = append(rows, AblationRow{
+				Query:          q.Name,
+				ThresholdBytes: th,
+				Sim:            rep.SimSeconds,
+				Broadcasts:     strings.Contains(rep.Compact(), "⋈b"),
+				Plan:           rep.Compact(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationOnlineStats compares the dynamic strategy with and without online
+// statistics collection at each materialization point — the ablation behind
+// §5.3's design choice of sketching intermediates.
+func AblationOnlineStats(sf, nodes int) (map[string][2]float64, error) {
+	env, err := NewEnv(sf, nodes, false)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][2]float64{}
+	for _, q := range Queries() {
+		on := core.DefaultConfig()
+		off := core.DefaultConfig()
+		off.OnlineStats = false
+		repOn, err := env.RunOne(&core.Dynamic{Cfg: on}, q.SQL)
+		if err != nil {
+			return nil, err
+		}
+		repOff, err := env.RunOne(&core.Dynamic{Cfg: off}, q.SQL)
+		if err != nil {
+			return nil, err
+		}
+		out[q.Name] = [2]float64{repOn.SimSeconds, repOff.SimSeconds}
+	}
+	return out, nil
+}
+
+// FormatAblation renders the threshold sweep.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %12s %10s %6s  %s\n", "query", "threshold", "sim(s)", "⋈b?", "plan")
+	for _, r := range rows {
+		bc := "no"
+		if r.Broadcasts {
+			bc = "yes"
+		}
+		fmt.Fprintf(&b, "%-5s %12d %10.3f %6s  %s\n", r.Query, r.ThresholdBytes, r.Sim, bc, r.Plan)
+	}
+	return b.String()
+}

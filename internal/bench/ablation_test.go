@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationBroadcastThreshold(t *testing.T) {
+	rows, err := AblationBroadcastThreshold(1, 4, []int64{0, 128 << 10, 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byQuery := map[string]map[int64]AblationRow{}
+	for _, r := range rows {
+		if byQuery[r.Query] == nil {
+			byQuery[r.Query] = map[int64]AblationRow{}
+		}
+		byQuery[r.Query][r.ThresholdBytes] = r
+	}
+	for q, m := range byQuery {
+		// Threshold 0 must produce hash-only plans.
+		if m[0].Broadcasts {
+			t.Errorf("%s: threshold 0 still broadcast: %s", q, m[0].Plan)
+		}
+		// The default threshold must broadcast something on every query
+		// (filtered dimensions fit) and beat the no-broadcast run.
+		if !m[128<<10].Broadcasts {
+			t.Errorf("%s: default threshold never broadcast: %s", q, m[128<<10].Plan)
+		}
+		if m[128<<10].Sim >= m[0].Sim {
+			t.Errorf("%s: broadcasts (%.3fs) did not beat hash-only (%.3fs)",
+				q, m[128<<10].Sim, m[0].Sim)
+		}
+	}
+	if out := FormatAblation(rows); !strings.Contains(out, "threshold") {
+		t.Errorf("FormatAblation:\n%s", out)
+	}
+}
+
+func TestAblationOnlineStats(t *testing.T) {
+	out, err := AblationOnlineStats(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("queries = %d", len(out))
+	}
+	for q, pair := range out {
+		if pair[0] <= 0 || pair[1] <= 0 {
+			t.Errorf("%s: non-positive sims %v", q, pair)
+		}
+	}
+}

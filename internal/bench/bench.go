@@ -1,0 +1,130 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7): the overhead decomposition of Figure 6, the six-strategy
+// execution-time comparisons of Figure 7, the indexed-nested-loop variant of
+// Figure 8, and the average-improvement ratios of Table 1.
+//
+// Scale factors are row multipliers; SF 1/5/25 stand in for the paper's
+// 10/100/1000 GB datasets. Reported "sim" seconds price the metered work
+// (shuffles, broadcasts, materialization I/O, probes, index lookups,
+// re-optimization latency) on the simulated shared-nothing cluster; wall
+// seconds are host time. Shape — who wins, by what factor, where broadcasts
+// stop — is the reproduction target, not absolute numbers.
+package bench
+
+import (
+	"fmt"
+
+	"dynopt/internal/catalog"
+	"dynopt/internal/cluster"
+	"dynopt/internal/core"
+	"dynopt/internal/engine"
+	"dynopt/internal/expr"
+	"dynopt/internal/optimizer"
+	"dynopt/internal/tpcds"
+	"dynopt/internal/tpch"
+	"dynopt/internal/types"
+)
+
+// Query names the four evaluation queries.
+type Query struct {
+	Name     string // "Q17", "Q50", "Q8", "Q9"
+	Workload string // "tpcds" or "tpch"
+	SQL      string
+}
+
+// Queries returns the paper's four evaluation queries in its reporting
+// order.
+func Queries() []Query {
+	return []Query{
+		{Name: "Q17", Workload: "tpcds", SQL: tpcds.Q17()},
+		{Name: "Q50", Workload: "tpcds", SQL: tpcds.Q50()},
+		{Name: "Q8", Workload: "tpch", SQL: tpch.Q8()},
+		{Name: "Q9", Workload: "tpch", SQL: tpch.Q9()},
+	}
+}
+
+// DefaultScaleFactors maps to the paper's 10/100/1000 GB series.
+func DefaultScaleFactors() []int { return []int{1, 5, 25} }
+
+// Env is one loaded workload instance reused across strategy runs: each run
+// clones the base catalog onto a fresh cluster so metering is isolated and
+// temps never leak.
+type Env struct {
+	nodes   int
+	base    *catalog.Catalog
+	udfs    *expr.Registry
+	indexed bool
+}
+
+// NewEnv loads both workloads at sf on an n-node layout. withIndexes adds
+// the Figure 8 secondary indexes.
+func NewEnv(sf, nodes int, withIndexes bool) (*Env, error) {
+	e := &Env{nodes: nodes, udfs: expr.NewRegistry(), indexed: withIndexes}
+	ctx := &engine.Context{
+		Cluster: cluster.New(nodes),
+		Catalog: catalog.New(),
+		UDFs:    e.udfs,
+		Params:  map[string]types.Value{},
+	}
+	if _, err := tpch.Load(ctx, sf); err != nil {
+		return nil, err
+	}
+	if _, err := tpcds.Load(ctx, sf); err != nil {
+		return nil, err
+	}
+	if withIndexes {
+		if err := tpch.BuildIndexes(ctx); err != nil {
+			return nil, err
+		}
+		if err := tpcds.BuildIndexes(ctx); err != nil {
+			return nil, err
+		}
+	}
+	e.base = ctx.Catalog
+	return e, nil
+}
+
+// Fresh returns an isolated execution context over the loaded data.
+func (e *Env) Fresh() *engine.Context {
+	return &engine.Context{
+		Cluster: cluster.New(e.nodes),
+		Catalog: e.base.CloneBases(),
+		UDFs:    e.udfs,
+		Params:  map[string]types.Value{},
+	}
+}
+
+// algoConfig returns the experiment's algorithm rule configuration.
+func (e *Env) algoConfig() core.AlgoConfig {
+	cfg := core.DefaultAlgoConfig()
+	cfg.EnableINLJ = e.indexed
+	return cfg
+}
+
+// Strategies builds the six §7.2 strategies under the experiment's
+// algorithm configuration.
+func (e *Env) Strategies() []core.Strategy {
+	algo := e.algoConfig()
+	dynCfg := core.DefaultConfig()
+	dynCfg.Algo = algo
+	pilotCfg := dynCfg
+	pilotCfg.PushDown = false
+	return []core.Strategy{
+		&core.Dynamic{Cfg: dynCfg},
+		&optimizer.CostBased{Cfg: algo},
+		&optimizer.BestOrder{Cfg: dynCfg},
+		optimizer.NewWorstOrder(),
+		&optimizer.PilotRun{Cfg: pilotCfg, SampleK: optimizer.DefaultPilotSampleK},
+		&optimizer.IngresLike{Cfg: algo},
+	}
+}
+
+// RunOne executes one strategy over a fresh context.
+func (e *Env) RunOne(s core.Strategy, sql string) (*core.Report, error) {
+	ctx := e.Fresh()
+	_, rep, err := s.Run(ctx, sql)
+	if err != nil {
+		return rep, fmt.Errorf("bench: %s: %w", s.Name(), err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,133 @@
+// Package catalog is the metadata hub: named datasets (base and temp), their
+// statistics, and schema resolution for the parser/analyzer. It is the
+// single place the dynamic optimization loop registers materialized
+// intermediates so reconstructed queries re-analyze cleanly.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynopt/internal/sqlpp"
+	"dynopt/internal/stats"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// Catalog holds datasets and their statistics.
+type Catalog struct {
+	mu       sync.RWMutex
+	datasets map[string]*storage.Dataset
+	registry *stats.Registry
+	tempSeq  int
+}
+
+// New returns an empty catalog with a fresh statistics registry.
+func New() *Catalog {
+	return &Catalog{
+		datasets: map[string]*storage.Dataset{},
+		registry: stats.NewRegistry(),
+	}
+}
+
+// Register installs a dataset and its statistics. Re-registering a name
+// replaces both.
+func (c *Catalog) Register(ds *storage.Dataset, st *stats.DatasetStats) error {
+	if ds == nil || ds.Name == "" {
+		return fmt.Errorf("catalog: dataset must be named")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.datasets[ds.Name] = ds
+	if st != nil {
+		c.registry.Put(st)
+	}
+	return nil
+}
+
+// Get returns a dataset by name.
+func (c *Catalog) Get(name string) (*storage.Dataset, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ds, ok := c.datasets[name]
+	return ds, ok
+}
+
+// Stats returns the statistics registry.
+func (c *Catalog) Stats() *stats.Registry { return c.registry }
+
+// Drop removes a dataset and its statistics (temp cleanup after a query).
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.datasets, name)
+	c.registry.Drop(name)
+}
+
+// Names returns all dataset names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.datasets))
+	for n := range c.datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NextTempName mints a unique name for a materialized intermediate.
+func (c *Catalog) NextTempName(prefix string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tempSeq++
+	return fmt.Sprintf("%s_%d", prefix, c.tempSeq)
+}
+
+// Resolver adapts the catalog for sqlpp.Analyze.
+func (c *Catalog) Resolver() sqlpp.SchemaResolver {
+	return func(name string) (*types.Schema, bool) {
+		ds, ok := c.Get(name)
+		if !ok {
+			return nil, false
+		}
+		return ds.Schema, true
+	}
+}
+
+// CloneBases returns a new catalog holding only the base (non-temp)
+// datasets and their statistics, sharing the underlying storage. Shadow
+// optimizer runs use it so their temps and stats never leak into the live
+// catalog.
+func (c *Catalog) CloneBases() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := New()
+	for name, ds := range c.datasets {
+		if ds.Temp {
+			continue
+		}
+		out.datasets[name] = ds
+		if st := c.registry.Get(name); st != nil {
+			out.registry.Put(st)
+		}
+	}
+	return out
+}
+
+// DropTemps removes every temp dataset (end-of-query cleanup) and returns
+// how many were dropped.
+func (c *Catalog) DropTemps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for name, ds := range c.datasets {
+		if ds.Temp {
+			delete(c.datasets, name)
+			c.registry.Drop(name)
+			n++
+		}
+	}
+	return n
+}

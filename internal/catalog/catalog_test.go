@@ -1,0 +1,123 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"dynopt/internal/stats"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+func buildDS(t *testing.T, name string, temp bool) (*storage.Dataset, *stats.DatasetStats) {
+	t.Helper()
+	sch := types.NewSchema(types.Field{Name: "x", Kind: types.KindInt})
+	rows := []types.Tuple{{types.Int(1)}, {types.Int(2)}}
+	ds, st, err := storage.Build(name, sch, []string{"x"}, rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Temp = temp
+	return ds, st
+}
+
+func TestRegisterGetDrop(t *testing.T) {
+	c := New()
+	ds, st := buildDS(t, "orders", false)
+	if err := c.Register(ds, st); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("orders")
+	if !ok || got.Name != "orders" {
+		t.Error("Get failed")
+	}
+	if c.Stats().Get("orders") == nil {
+		t.Error("stats not registered")
+	}
+	c.Drop("orders")
+	if _, ok := c.Get("orders"); ok {
+		t.Error("Drop did not remove dataset")
+	}
+	if c.Stats().Get("orders") != nil {
+		t.Error("Drop did not remove stats")
+	}
+}
+
+func TestRegisterNilErrors(t *testing.T) {
+	c := New()
+	if err := c.Register(nil, nil); err == nil {
+		t.Error("nil dataset registered")
+	}
+	if err := c.Register(&storage.Dataset{}, nil); err == nil {
+		t.Error("unnamed dataset registered")
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "alpha"} {
+		ds, st := buildDS(t, n, false)
+		if err := c.Register(ds, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestNextTempNameUnique(t *testing.T) {
+	c := New()
+	a := c.NextTempName("tmp")
+	b := c.NextTempName("tmp")
+	if a == b {
+		t.Errorf("temp names collide: %s", a)
+	}
+	if !strings.HasPrefix(a, "tmp_") {
+		t.Errorf("temp name %q lacks prefix", a)
+	}
+}
+
+func TestResolver(t *testing.T) {
+	c := New()
+	ds, st := buildDS(t, "t1", false)
+	if err := c.Register(ds, st); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Resolver()
+	sch, ok := r("t1")
+	if !ok || sch.Len() != 1 {
+		t.Error("Resolver failed for known dataset")
+	}
+	if _, ok := r("nope"); ok {
+		t.Error("Resolver found unknown dataset")
+	}
+}
+
+func TestDropTemps(t *testing.T) {
+	c := New()
+	base, st1 := buildDS(t, "base", false)
+	tmp1, st2 := buildDS(t, "tmp_1", true)
+	tmp2, st3 := buildDS(t, "tmp_2", true)
+	for _, pair := range []struct {
+		ds *storage.Dataset
+		st *stats.DatasetStats
+	}{{base, st1}, {tmp1, st2}, {tmp2, st3}} {
+		if err := c.Register(pair.ds, pair.st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.DropTemps(); n != 2 {
+		t.Errorf("DropTemps = %d", n)
+	}
+	if _, ok := c.Get("base"); !ok {
+		t.Error("DropTemps removed base dataset")
+	}
+	if _, ok := c.Get("tmp_1"); ok {
+		t.Error("DropTemps left temp dataset")
+	}
+	if c.Stats().Get("tmp_2") != nil {
+		t.Error("DropTemps left temp stats")
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewClampsNodes(t *testing.T) {
+	if New(0).Nodes() != 1 {
+		t.Error("New(0) nodes != 1")
+	}
+	if New(10).Nodes() != 10 {
+		t.Error("New(10) nodes != 10")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	c := New(4)
+	a := c.Acct()
+	before := a.Snapshot()
+	a.ScanRows.Add(100)
+	a.ScanBytes.Add(1000)
+	a.ShuffleBytes.Add(500)
+	a.ReoptPoints.Add(2)
+	diff := a.Snapshot().Sub(before)
+	if diff.ScanRows != 100 || diff.ScanBytes != 1000 || diff.ShuffleBytes != 500 || diff.ReoptPoints != 2 {
+		t.Errorf("diff = %+v", diff)
+	}
+	if diff.BroadcastBytes != 0 {
+		t.Errorf("untouched counter diff = %d", diff.BroadcastBytes)
+	}
+}
+
+func TestAccountingConcurrent(t *testing.T) {
+	c := New(4)
+	a := c.Acct()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.ProbeRows.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.ProbeRows.Load(); got != 8000 {
+		t.Errorf("ProbeRows = %d", got)
+	}
+}
+
+func TestSimSecondsScalesWithNodes(t *testing.T) {
+	m := DefaultCostModel()
+	s := Snapshot{ScanBytes: 2_000_000_000, ShuffleBytes: 1_000_000_000, ProbeRows: 100_000_000}
+	t1 := m.SimSeconds(s, 1)
+	t10 := m.SimSeconds(s, 10)
+	if t10 >= t1 {
+		t.Errorf("10-node time %v not less than 1-node %v", t10, t1)
+	}
+	ratio := t1 / t10
+	if ratio < 9 || ratio > 11 {
+		t.Errorf("parallel speedup = %v, want ~10", ratio)
+	}
+}
+
+func TestSimSecondsReoptIsFixedLatency(t *testing.T) {
+	m := DefaultCostModel()
+	s := Snapshot{ReoptPoints: 3}
+	t1 := m.SimSeconds(s, 1)
+	t10 := m.SimSeconds(s, 10)
+	if t1 != t10 {
+		t.Errorf("reopt latency scaled with nodes: %v vs %v", t1, t10)
+	}
+	if t1 != 3*m.ReoptLatencySec {
+		t.Errorf("reopt latency = %v", t1)
+	}
+}
+
+func TestSimSecondsMonotoneInWork(t *testing.T) {
+	m := DefaultCostModel()
+	small := Snapshot{ShuffleBytes: 1000}
+	big := Snapshot{ShuffleBytes: 1_000_000}
+	if m.SimSeconds(big, 4) <= m.SimSeconds(small, 4) {
+		t.Error("more shuffle not more expensive")
+	}
+}
+
+func TestSimSecondsBroadcastVsShuffleTradeoff(t *testing.T) {
+	// The planner's broadcast decision: broadcasting a small build side
+	// (bytes × (n-1)) must beat shuffling both sides of a big join.
+	m := DefaultCostModel()
+	n := 10
+	smallBytes := int64(1_000_000)
+	bigBytes := int64(1_000_000_000)
+	broadcast := Snapshot{BroadcastBytes: smallBytes * int64(n-1)}
+	shuffle := Snapshot{ShuffleBytes: smallBytes + bigBytes}
+	if m.SimSeconds(broadcast, n) >= m.SimSeconds(shuffle, n) {
+		t.Error("broadcasting a small table should beat shuffling a big one")
+	}
+}
+
+func TestSimSecondsZeroNodes(t *testing.T) {
+	m := DefaultCostModel()
+	if m.SimSeconds(Snapshot{ScanBytes: 100}, 0) <= 0 {
+		t.Error("zero-node guard failed")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{ScanRows: 5, ShuffleBytes: 10}
+	str := s.String()
+	if !strings.Contains(str, "scanRows=5") || !strings.Contains(str, "shuffleBytes=10") {
+		t.Errorf("String() = %q", str)
+	}
+	if (Snapshot{}).String() != "{}" {
+		t.Errorf("empty String() = %q", (Snapshot{}).String())
+	}
+}
+
+func TestSetModel(t *testing.T) {
+	c := New(2)
+	m := c.Model()
+	m.ReoptLatencySec = 99
+	c.SetModel(m)
+	if c.Model().ReoptLatencySec != 99 {
+		t.Error("SetModel did not stick")
+	}
+}

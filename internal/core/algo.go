@@ -1,0 +1,94 @@
+package core
+
+import (
+	"dynopt/internal/plan"
+	"dynopt/internal/sqlpp"
+	"dynopt/internal/storage"
+)
+
+// AlgoConfig parameterizes the JoinAlgorithmRule of §6.1.2.
+type AlgoConfig struct {
+	// BroadcastThresholdBytes is the maximum estimated size of a join input
+	// that may be replicated to every node (per-node memory budget). The
+	// paper's broadcasts appear at small scale factors and disappear at
+	// SF 1000; a fixed threshold against growing data reproduces that.
+	BroadcastThresholdBytes int64
+	// EnableINLJ allows the indexed nested-loop join to be considered
+	// (Figure 8's experiments); off for the Figure 7 runs.
+	EnableINLJ bool
+}
+
+// DefaultAlgoConfig mirrors the evaluation setup: broadcasts allowed up to a
+// per-node budget (128 KiB at this repo's scaled-down data sizes — chosen so
+// small and filtered dimensions broadcast at low scale factors and stop at
+// the largest, the SF-1000 behaviour of §7.3), INLJ off unless the
+// experiment enables it.
+func DefaultAlgoConfig() AlgoConfig {
+	return AlgoConfig{BroadcastThresholdBytes: 128 << 10, EnableINLJ: false}
+}
+
+// algoInput summarizes one join input for the algorithm rule.
+type algoInput struct {
+	estRows  int64
+	estBytes int64
+	filtered bool
+	// base dataset carrying a secondary index on its first join key, and
+	// usable as the INLJ inner (a leaf; intermediates lose their indexes).
+	indexedBase bool
+}
+
+func sideFromTable(info *TableInfo, ds *storage.Dataset, firstKey string) algoInput {
+	return algoInput{
+		estRows:     info.EstRows,
+		estBytes:    info.EstBytes,
+		filtered:    info.Filtered,
+		indexedBase: info.IsBase && ds.HasIndex(firstKey),
+	}
+}
+
+// ChooseAlgo is the JoinAlgorithmRule: pick the physical algorithm and build
+// side for one join given both inputs' estimates.
+//
+// Rules, in order (§6.1.2):
+//  1. Indexed nested-loop: one side is small enough to broadcast AND is
+//     filtered (otherwise scanning the inner once beats per-row index
+//     lookups — the Q8 nation case), AND the other side is a base dataset
+//     with a secondary index on its join key.
+//  2. Broadcast: one side's estimated bytes fit the threshold; replicate it
+//     and keep the big side in place.
+//  3. Hash: repartition both; build on the smaller side.
+//
+// The returned buildLeft designates the broadcast/build side.
+func ChooseAlgo(cfg AlgoConfig, left, right algoInput) (plan.Algo, bool) {
+	if cfg.EnableINLJ {
+		if left.estBytes <= cfg.BroadcastThresholdBytes && left.filtered && right.indexedBase {
+			return plan.AlgoIndexNL, true
+		}
+		if right.estBytes <= cfg.BroadcastThresholdBytes && right.filtered && left.indexedBase {
+			return plan.AlgoIndexNL, false
+		}
+	}
+	if left.estBytes <= cfg.BroadcastThresholdBytes || right.estBytes <= cfg.BroadcastThresholdBytes {
+		return plan.AlgoBroadcast, left.estBytes <= right.estBytes
+	}
+	return plan.AlgoHash, left.estRows <= right.estRows
+}
+
+// chooseAlgoForEdge resolves the datasets behind an edge's aliases and runs
+// the rule.
+func (e *Estimator) chooseAlgoForEdge(cfg AlgoConfig, edge *sqlpp.JoinEdge, tables Tables) (plan.Algo, bool, error) {
+	lt := tables[edge.LeftAlias]
+	rt := tables[edge.RightAlias]
+	lds, err := datasetOf(e.Cat, lt)
+	if err != nil {
+		return 0, false, err
+	}
+	rds, err := datasetOf(e.Cat, rt)
+	if err != nil {
+		return 0, false, err
+	}
+	algo, buildLeft := ChooseAlgo(cfg,
+		sideFromTable(lt, lds, edge.LeftFields[0]),
+		sideFromTable(rt, rds, edge.RightFields[0]))
+	return algo, buildLeft, nil
+}

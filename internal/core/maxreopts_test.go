@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dynopt/internal/catalog"
+	"dynopt/internal/cluster"
+	"dynopt/internal/engine"
+	"dynopt/internal/expr"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// wideWorkload: a fact table with five dimensions (5 joins), so the
+// unbounded loop crosses three stage re-optimization points before the
+// final two-join job.
+func wideWorkload(t *testing.T) (*engine.Context, string, int) {
+	t.Helper()
+	const nodes = 4
+	ctx := &engine.Context{
+		Cluster: cluster.New(nodes),
+		Catalog: catalog.New(),
+		UDFs:    expr.NewRegistry(),
+		Params:  map[string]types.Value{},
+	}
+	reg := func(name string, sch *types.Schema, pk []string, rows []types.Tuple) {
+		ds, st, err := storage.Build(name, sch, pk, rows, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.Catalog.Register(ds, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const nDims = 5
+	dimSize := []int{40, 80, 120, 200, 300}
+	for d := 0; d < nDims; d++ {
+		sch := types.NewSchema(
+			types.Field{Name: "id", Kind: types.KindInt},
+			types.Field{Name: "v", Kind: types.KindInt},
+		)
+		rows := make([]types.Tuple, dimSize[d])
+		for i := range rows {
+			rows[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i % 5))}
+		}
+		reg(fmt.Sprintf("dim%d", d), sch, []string{"id"}, rows)
+	}
+	fields := []types.Field{{Name: "id", Kind: types.KindInt}}
+	for d := 0; d < nDims; d++ {
+		fields = append(fields, types.Field{Name: fmt.Sprintf("fk%d", d), Kind: types.KindInt})
+	}
+	const factN = 4000
+	factRows := make([]types.Tuple, factN)
+	for i := range factRows {
+		row := types.Tuple{types.Int(int64(i))}
+		for d := 0; d < nDims; d++ {
+			row = append(row, types.Int(int64(i%dimSize[d])))
+		}
+		factRows[i] = row
+	}
+	reg("fact", &types.Schema{Fields: fields}, []string{"id"}, factRows)
+
+	sql := "SELECT fact.id FROM fact"
+	for d := 0; d < nDims; d++ {
+		sql += fmt.Sprintf(", dim%d", d)
+	}
+	sql += " WHERE "
+	for d := 0; d < nDims; d++ {
+		if d > 0 {
+			sql += " AND "
+		}
+		sql += fmt.Sprintf("fact.fk%d = dim%d.id", d, d)
+	}
+	// dim0 filtered: v = 2 keeps 8 of 40 ids ⇒ 1/5 of fact rows.
+	sql += " AND dim0.v = 2"
+	return ctx, sql, factN / 5
+}
+
+func TestMaxReoptsBudget(t *testing.T) {
+	for _, budget := range []int{0, 1, 2, 10} {
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			ctx, sql, wantRows := wideWorkload(t)
+			cfg := DefaultConfig()
+			cfg.MaxReopts = budget
+			d := &Dynamic{Cfg: cfg}
+			res, rep, err := d.Run(ctx, sql)
+			if err != nil {
+				t.Fatalf("%v\n%v", err, rep)
+			}
+			if len(res.Rows) != wantRows {
+				t.Errorf("rows = %d, want %d", len(res.Rows), wantRows)
+			}
+			if budget > 0 && rep.Reopts > budget {
+				t.Errorf("reopts = %d exceeds budget %d", rep.Reopts, budget)
+			}
+			if budget == 0 && rep.Reopts != 3 {
+				// 5 joins: stages shrink 5→4→3 edges, then the final
+				// two-join job.
+				t.Errorf("unbounded reopts = %d, want 3", rep.Reopts)
+			}
+		})
+	}
+}
+
+func TestMaxReoptsReducesOverheadMonotonically(t *testing.T) {
+	var prevMat int64 = -1
+	for _, budget := range []int{1, 2, 3} {
+		ctx, sql, _ := wideWorkload(t)
+		cfg := DefaultConfig()
+		cfg.MaxReopts = budget
+		_, rep, err := (&Dynamic{Cfg: cfg}).Run(ctx, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevMat >= 0 && rep.Counters.MatWriteBytes < prevMat {
+			t.Errorf("budget %d materialized %d bytes, less than smaller budget's %d",
+				budget, rep.Counters.MatWriteBytes, prevMat)
+		}
+		prevMat = rep.Counters.MatWriteBytes
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dynopt/internal/cluster"
+	"dynopt/internal/engine"
+	"dynopt/internal/plan"
+)
+
+// Strategy is one query-optimization approach under evaluation (§7.2): the
+// dynamic approach of this package, or one of the baselines in
+// internal/optimizer.
+type Strategy interface {
+	// Name identifies the strategy in benchmark tables.
+	Name() string
+	// Run executes the query end to end and reports what was done.
+	Run(ctx *engine.Context, sql string) (*engine.Result, *Report, error)
+}
+
+// Report describes one strategy execution: the plan that was effectively
+// executed (assembled over base datasets, printable in the paper's appendix
+// notation), the blocking points crossed, and the work metered.
+type Report struct {
+	Strategy   string
+	SQL        string
+	StagePlans []string   // one line per executed stage / push-down
+	Tree       *plan.Node // assembled full join tree over base datasets
+	Reopts     int        // blocking re-optimization points in the join loop
+	PushDowns  int        // predicate push-down jobs executed
+	Rows       int        // result rows returned
+	Wall       time.Duration
+	Counters   cluster.Snapshot // work metered for this run
+	SimSeconds float64          // Counters priced by the cluster cost model
+}
+
+// Compact renders the assembled plan in the appendix notation, or a dash if
+// the run had no joins.
+func (r *Report) Compact() string {
+	if r.Tree == nil {
+		return "-"
+	}
+	return r.Tree.Compact()
+}
+
+// String renders a multi-line summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", r.Strategy, r.Compact())
+	fmt.Fprintf(&b, "  rows=%d reopts=%d pushdowns=%d wall=%s sim=%.3fs\n",
+		r.Rows, r.Reopts, r.PushDowns, r.Wall, r.SimSeconds)
+	fmt.Fprintf(&b, "  counters=%s", r.Counters.String())
+	for _, s := range r.StagePlans {
+		b.WriteString("\n  ")
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// Metered wraps a strategy body with wall-clock timing, counter diffing, and
+// simulated-time pricing; every strategy runs inside one Metered window.
+func Metered(ctx *engine.Context, name, sql string, body func(r *Report) (*engine.Result, error)) (*engine.Result, *Report, error) {
+	r := &Report{Strategy: name, SQL: sql}
+	before := ctx.Cluster.Acct().Snapshot()
+	start := time.Now()
+	res, err := body(r)
+	r.Wall = time.Since(start)
+	r.Counters = ctx.Cluster.Acct().Snapshot().Sub(before)
+	r.SimSeconds = ctx.Cluster.Model().SimSeconds(r.Counters, ctx.Cluster.Nodes())
+	if err != nil {
+		return nil, r, err
+	}
+	r.Rows = len(res.Rows)
+	return res, r, nil
+}

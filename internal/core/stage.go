@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dynopt/internal/engine"
+	"dynopt/internal/expr"
+	"dynopt/internal/plan"
+	"dynopt/internal/sqlpp"
+)
+
+// runState carries everything Algorithm 1 threads through its iterations:
+// the current query (as text, re-parsed each loop to follow Figure 2's
+// reformulated-query edge), the report-plan fragments per alias, and the
+// mapping from intermediate columns back to original qualified names so the
+// assembled report tree speaks the original query's vocabulary.
+type runState struct {
+	ctx    *engine.Context
+	est    *Estimator
+	cfg    AlgoConfig
+	report *Report
+
+	sql  string
+	g    *sqlpp.Graph
+	need map[string]map[string]bool // original-query needed columns per ORIGINAL alias
+
+	// fragment[alias] is the assembled plan subtree producing that alias's
+	// data, expressed over base datasets (for Oracle re-execution and
+	// appendix-style printing).
+	fragment map[string]*plan.Node
+	// origin[alias][column] maps a current column of alias to its original
+	// "alias.field" qualified name.
+	origin map[string]map[string]string
+
+	tempNames []string // temps registered by this run, dropped at the end
+	stage     int
+	// naive makes the Planner choose joins by raw input cardinalities
+	// (INGRES-like baseline) instead of formula (1).
+	naive bool
+	// onlineStats gates sketch collection at every Sink, including the
+	// push-down materializations (row counts are always kept).
+	onlineStats bool
+}
+
+// reanalyze re-parses the current SQL text and re-runs semantic analysis —
+// the loop back through the SQL++ parser in Figure 2.
+func (rs *runState) reanalyze() error {
+	q, err := sqlpp.Parse(rs.sql)
+	if err != nil {
+		return fmt.Errorf("core: re-parse of reconstructed query failed: %w\n%s", err, rs.sql)
+	}
+	g, err := sqlpp.Analyze(q, rs.ctx.Catalog.Resolver())
+	if err != nil {
+		return fmt.Errorf("core: re-analysis of reconstructed query failed: %w\n%s", err, rs.sql)
+	}
+	rs.g = g
+	return nil
+}
+
+// originKey resolves a current qualified column ("iab.b_c") to its original
+// qualified name ("b.c").
+func (rs *runState) originKey(alias, column string) string {
+	if m, ok := rs.origin[alias]; ok {
+		if orig, ok := m[column]; ok {
+			return orig
+		}
+	}
+	return alias + "." + column
+}
+
+// initFragments seeds the per-alias plan fragments and origin maps from the
+// original query graph.
+func (rs *runState) initFragments() error {
+	rs.fragment = map[string]*plan.Node{}
+	rs.origin = map[string]map[string]string{}
+	need := rs.g.NeededColumns()
+	rs.need = need
+	for _, alias := range rs.g.Aliases {
+		ref := rs.g.Tables[alias]
+		leaf := &plan.Leaf{Dataset: ref.Dataset, Alias: alias}
+		if f := engine.FilterFor(rs.g.Locals[alias]); f != nil {
+			leaf.Filter = f
+			leaf.Filtered = true
+		}
+		if !rs.g.Query.SelectStar {
+			if cols, ok := need[alias]; ok {
+				for c := range cols {
+					leaf.Project = append(leaf.Project, c)
+				}
+				sortStrings(leaf.Project)
+			}
+		}
+		rs.fragment[alias] = plan.NewLeaf(leaf)
+	}
+	return nil
+}
+
+// pushDownPredicates implements lines 6–9 and 20–23 of Algorithm 1: every
+// dataset with more than one local predicate, or any complex one (UDF /
+// parameter), is wrapped in a single-variable query, executed, and
+// materialized with fresh statistics; the main query is reconstructed to
+// reference the intermediate. With all set, every filtered dataset is
+// decomposed (the original INGRES behaviour). Returns the number of
+// datasets pushed down.
+func (rs *runState) pushDownPredicates(all bool) (int, error) {
+	count := 0
+	for {
+		var target string
+		for _, alias := range rs.g.Aliases {
+			locals := rs.g.Locals[alias]
+			if len(locals) == 0 {
+				continue
+			}
+			complex := false
+			for _, p := range locals {
+				if expr.IsComplex(p) {
+					complex = true
+					break
+				}
+			}
+			if all || len(locals) > 1 || complex {
+				target = alias
+				break
+			}
+		}
+		if target == "" {
+			return count, nil
+		}
+		if err := rs.executePushDown(target); err != nil {
+			return count, err
+		}
+		count++
+	}
+}
+
+// executePushDown runs the single-variable query for one alias: scan with
+// its full local filter and the needed-column projection, materialize as a
+// temp with statistics on every retained column (they all participate in the
+// remaining query, by construction of the projection list), and reconstruct
+// the query text.
+func (rs *runState) executePushDown(alias string) error {
+	info := rs.currentTable(alias)
+	if info == nil {
+		return fmt.Errorf("core: push-down alias %q not found", alias)
+	}
+	ds, err := datasetOf(rs.ctx.Catalog, info)
+	if err != nil {
+		return err
+	}
+	rel, err := engine.Scan(rs.ctx, ds, alias, info.Filter, info.Project)
+	if err != nil {
+		return err
+	}
+	tempName := rs.ctx.Catalog.NextTempName("tmp_pred_" + alias)
+	// Collect statistics on every retained column: the projection is
+	// exactly the set of columns the remaining query touches (§5.1).
+	// Disabled in cardinality-only configurations.
+	var statsFields map[string]bool
+	if rs.onlineStats {
+		statsFields = map[string]bool{}
+		for _, f := range rel.Schema.Fields {
+			statsFields[sqlpp.FlattenName(f.Qualifier, f.Name)] = true
+		}
+	}
+	tds, tst, err := engine.Materialize(rs.ctx, rel, tempName, statsFields)
+	if err != nil {
+		return err
+	}
+	// The flattened names are alias_col; rename back to bare col so the
+	// reconstructed query's alias.col references still resolve: the
+	// ReplaceFilteredDataset reconstruction keeps the alias and column
+	// names (A → A′ in the paper keeps the attribute names).
+	for i := range tds.Schema.Fields {
+		tds.Schema.Fields[i].Name = stripPrefix(tds.Schema.Fields[i].Name, alias+"_")
+	}
+	for i, pk := range tds.PrimaryKey {
+		tds.PrimaryKey[i] = stripPrefix(pk, alias+"_")
+	}
+	renamed := map[string]bool{}
+	for f := range tst.Fields {
+		renamed[f] = true
+	}
+	for f := range renamed {
+		bare := stripPrefix(f, alias+"_")
+		if bare != f {
+			tst.Fields[bare] = tst.Fields[f]
+			delete(tst.Fields, f)
+		}
+	}
+	if err := rs.ctx.Catalog.Register(tds, tst); err != nil {
+		return err
+	}
+	rs.est.Reg.Put(tst) // feedback into the planner registry (no-op when shared)
+	rs.tempNames = append(rs.tempNames, tempName)
+	rs.ctx.Cluster.Acct().ReoptPoints.Add(1)
+	rs.report.PushDowns++
+	rs.report.StagePlans = append(rs.report.StagePlans,
+		fmt.Sprintf("pushdown %s: σ(%s) → %s [%d rows]", alias, alias, tempName, tds.RowCount()))
+
+	newQ, err := sqlpp.ReplaceFilteredDataset(rs.g.Query, alias, tempName)
+	if err != nil {
+		return err
+	}
+	rs.sql = newQ.SQL()
+	return rs.reanalyze()
+}
+
+func stripPrefix(s, prefix string) string {
+	return strings.TrimPrefix(s, prefix)
+}
+
+// currentTable builds the TableInfo for one alias of the current graph.
+func (rs *runState) currentTable(alias string) *TableInfo {
+	tables, err := rs.currentTables()
+	if err != nil {
+		return nil
+	}
+	return tables[alias]
+}
+
+// currentTables estimates every alias of the current graph.
+func (rs *runState) currentTables() (Tables, error) {
+	return BuildTables(rs.est, rs.g, rs.g.NeededColumns(), rs.g.Query.SelectStar)
+}
+
+// pickCheapestJoin is the Planner's line 27–28: scan all current edges and
+// return the one with the least estimated result cardinality. In naive
+// (INGRES-like) mode the choice minimizes the sum of input cardinalities
+// instead, and the result is guessed as the larger input.
+func (rs *runState) pickCheapestJoin(tables Tables) (*sqlpp.JoinEdge, int64, error) {
+	var best *sqlpp.JoinEdge
+	var bestScore, bestCard int64
+	for _, edge := range rs.g.Joins {
+		var score, card int64
+		if rs.naive {
+			lt, rt := tables[edge.LeftAlias], tables[edge.RightAlias]
+			if lt == nil || rt == nil {
+				return nil, 0, fmt.Errorf("core: unknown alias in edge %s", edge)
+			}
+			score = lt.EstRows + rt.EstRows
+			card = maxI64(lt.EstRows, rt.EstRows)
+		} else {
+			var err error
+			card, err = rs.est.JoinEstimate(edge, tables)
+			if err != nil {
+				return nil, 0, err
+			}
+			score = card
+		}
+		if best == nil || score < bestScore {
+			best, bestScore, bestCard = edge, score, card
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("core: no joins left to pick")
+	}
+	return best, bestCard, nil
+}
+
+// executeJoinStage runs one iteration of the loop (lines 12–15): build the
+// job for the chosen join, execute it, materialize the result with online
+// statistics on the join keys of the remaining query, register the temp,
+// and reconstruct the query text.
+func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables Tables, onlineStats bool) error {
+	lt := tables[edge.LeftAlias]
+	rt := tables[edge.RightAlias]
+	algo, buildLeft, err := rs.est.chooseAlgoForEdge(rs.cfg, edge, tables)
+	if err != nil {
+		return err
+	}
+
+	rel, err := rs.runJoinJob(edge, lt, rt, algo, buildLeft)
+	if err != nil {
+		return err
+	}
+
+	rs.stage++
+	newAlias := fmt.Sprintf("ij%d", rs.stage)
+	tempName := rs.ctx.Catalog.NextTempName("tmp_" + newAlias)
+
+	// Online statistics: only the attributes participating in subsequent
+	// join stages (§5.3), unless disabled (last iteration / overhead runs).
+	var statsFields map[string]bool
+	if onlineStats {
+		statsFields = map[string]bool{}
+		for _, other := range rs.g.Joins {
+			if other == edge {
+				continue
+			}
+			for i := range other.LeftFields {
+				for _, side := range []struct {
+					alias, field string
+				}{
+					{other.LeftAlias, other.LeftFields[i]},
+					{other.RightAlias, other.RightFields[i]},
+				} {
+					if side.alias == edge.LeftAlias || side.alias == edge.RightAlias {
+						statsFields[sqlpp.FlattenName(side.alias, side.field)] = true
+					}
+				}
+			}
+		}
+	}
+
+	tds, tst, err := engine.Materialize(rs.ctx, rel, tempName, statsFields)
+	if err != nil {
+		return err
+	}
+	if err := rs.ctx.Catalog.Register(tds, tst); err != nil {
+		return err
+	}
+	rs.est.Reg.Put(tst) // feedback into the planner registry (no-op when shared)
+	rs.tempNames = append(rs.tempNames, tempName)
+	rs.ctx.Cluster.Acct().ReoptPoints.Add(1)
+	rs.report.Reopts++
+
+	// Assemble the report-plan fragment and the origin map for the new alias.
+	lfrag, rfrag := rs.fragment[edge.LeftAlias], rs.fragment[edge.RightAlias]
+	if lfrag == nil || rfrag == nil {
+		return fmt.Errorf("core: missing plan fragment for %s/%s", edge.LeftAlias, edge.RightAlias)
+	}
+	lkeys := make([]string, len(edge.LeftFields))
+	rkeys := make([]string, len(edge.RightFields))
+	for i := range edge.LeftFields {
+		lkeys[i] = rs.originKey(edge.LeftAlias, edge.LeftFields[i])
+		rkeys[i] = rs.originKey(edge.RightAlias, edge.RightFields[i])
+	}
+	node := plan.NewJoin(&plan.Join{
+		Left: lfrag, Right: rfrag,
+		LeftKeys: lkeys, RightKeys: rkeys,
+		Algo: algo, BuildLeft: buildLeft,
+	})
+	node.EstRows = estCard
+	delete(rs.fragment, edge.LeftAlias)
+	delete(rs.fragment, edge.RightAlias)
+	rs.fragment[newAlias] = node
+
+	newOrigin := map[string]string{}
+	for _, f := range rel.Schema.Fields {
+		flat := sqlpp.FlattenName(f.Qualifier, f.Name)
+		newOrigin[flat] = rs.originKey(f.Qualifier, f.Name)
+	}
+	delete(rs.origin, edge.LeftAlias)
+	delete(rs.origin, edge.RightAlias)
+	rs.origin[newAlias] = newOrigin
+
+	rs.report.StagePlans = append(rs.report.StagePlans,
+		fmt.Sprintf("stage %d: %s → %s [%d rows, est %d]", rs.stage, node.Compact(), tempName, tds.RowCount(), estCard))
+
+	newQ, err := sqlpp.MergeJoin(rs.g.Query, edge, tempName, newAlias)
+	if err != nil {
+		return err
+	}
+	rs.sql = newQ.SQL()
+	return rs.reanalyze()
+}
+
+// runJoinJob executes the physical join between two current tables,
+// pipelining their scans into the join operators.
+func (rs *runState) runJoinJob(edge *sqlpp.JoinEdge, lt, rt *TableInfo, algo plan.Algo, buildLeft bool) (*engine.Relation, error) {
+	lkeys := make([]string, len(edge.LeftFields))
+	rkeys := make([]string, len(edge.RightFields))
+	for i := range edge.LeftFields {
+		lkeys[i] = edge.LeftAlias + "." + edge.LeftFields[i]
+		rkeys[i] = edge.RightAlias + "." + edge.RightFields[i]
+	}
+	switch algo {
+	case plan.AlgoIndexNL:
+		// Build (broadcast) side is executed as a scan; the inner is probed
+		// through its index in place.
+		outerInfo, innerInfo := lt, rt
+		outerKeys, innerFields := lkeys, edge.RightFields
+		if !buildLeft {
+			outerInfo, innerInfo = rt, lt
+			outerKeys, innerFields = rkeys, edge.LeftFields
+		}
+		innerDS, err := datasetOf(rs.ctx.Catalog, innerInfo)
+		if err != nil {
+			return nil, err
+		}
+		outerDS, err := datasetOf(rs.ctx.Catalog, outerInfo)
+		if err != nil {
+			return nil, err
+		}
+		outer, err := engine.Scan(rs.ctx, outerDS, outerInfo.Alias, outerInfo.Filter, outerInfo.Project)
+		if err != nil {
+			return nil, err
+		}
+		// The result is outer⧺inner; both halves carry their alias
+		// qualifiers, so downstream flattening and reconstruction are
+		// orientation-independent.
+		return engine.IndexNLJoin(rs.ctx, outer, innerDS, innerInfo.Alias, outerKeys, innerFields, innerInfo.Filter)
+	default:
+		lds, err := datasetOf(rs.ctx.Catalog, lt)
+		if err != nil {
+			return nil, err
+		}
+		rds, err := datasetOf(rs.ctx.Catalog, rt)
+		if err != nil {
+			return nil, err
+		}
+		left, err := engine.Scan(rs.ctx, lds, lt.Alias, lt.Filter, lt.Project)
+		if err != nil {
+			return nil, err
+		}
+		right, err := engine.Scan(rs.ctx, rds, rt.Alias, rt.Filter, rt.Project)
+		if err != nil {
+			return nil, err
+		}
+		if algo == plan.AlgoBroadcast {
+			return engine.BroadcastJoin(rs.ctx, left, right, lkeys, rkeys, buildLeft)
+		}
+		return engine.HashJoin(rs.ctx, left, right, lkeys, rkeys, buildLeft)
+	}
+}
+
+// cleanup drops the temps this run registered.
+func (rs *runState) cleanup() {
+	for _, name := range rs.tempNames {
+		rs.ctx.Catalog.Drop(name)
+	}
+	rs.tempNames = nil
+}

@@ -1,0 +1,110 @@
+// Package engine is the Hyracks-stand-in: partition-parallel physical
+// operators over hash-partitioned relations. Operators within a stage are
+// fused per partition (scan→filter→project, repartition→build→probe) and run
+// on one goroutine per partition; stages break at exchanges and sinks. Every
+// byte that would cross the simulated cluster's network or hit its disks is
+// reported to the cluster cost accountant.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"dynopt/internal/catalog"
+	"dynopt/internal/cluster"
+	"dynopt/internal/expr"
+	"dynopt/internal/types"
+)
+
+// Context carries everything a query execution needs.
+type Context struct {
+	Cluster *cluster.Cluster
+	Catalog *catalog.Catalog
+	UDFs    *expr.Registry
+	Params  map[string]types.Value
+}
+
+// Env builds an expression environment against a schema.
+func (c *Context) Env(sch *types.Schema) *expr.Env {
+	return &expr.Env{Schema: sch, Params: c.Params, UDFs: c.UDFs}
+}
+
+// Relation is a partitioned intermediate result flowing between operators.
+type Relation struct {
+	Schema *types.Schema   // qualified fields (alias.name)
+	Parts  [][]types.Tuple // one slice per cluster node
+	// PartCols are the column offsets the relation is currently
+	// hash-partitioned on (in hash order), or nil when partitioning is
+	// unknown/round-robin. Joins use it to skip redundant repartitioning,
+	// matching the §3 hash-join description.
+	PartCols []int
+}
+
+// RowCount returns total rows across partitions.
+func (r *Relation) RowCount() int64 {
+	var n int64
+	for _, p := range r.Parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// ByteSize returns total encoded bytes across partitions.
+func (r *Relation) ByteSize() int64 {
+	var n int64
+	for _, p := range r.Parts {
+		for _, t := range p {
+			n += int64(t.EncodedSize())
+		}
+	}
+	return n
+}
+
+// PartitionedOn reports whether the relation is hash-partitioned on exactly
+// the given column offsets (order-sensitive: composite hashes are
+// order-dependent).
+func (r *Relation) PartitionedOn(cols []int) bool {
+	if len(r.PartCols) == 0 || len(r.PartCols) != len(cols) {
+		return false
+	}
+	for i := range cols {
+		if r.PartCols[i] != cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachPart runs fn for every partition concurrently and returns the first
+// error.
+func forEachPart(nparts int, fn func(p int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, nparts)
+	for p := 0; p < nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveKeys maps qualified key names to column offsets in a schema.
+func resolveKeys(sch *types.Schema, keys []string) ([]int, error) {
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		idx, ok := sch.Index(k)
+		if !ok {
+			return nil, fmt.Errorf("engine: join key %q not found in %s", k, sch)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}

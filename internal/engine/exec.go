@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/plan"
+	"dynopt/internal/sqlpp"
+	"dynopt/internal/types"
+)
+
+// Execute runs a physical plan tree to a partitioned relation. Static
+// strategies execute their whole tree through this entry point in one
+// pipelined job; the dynamic optimizer instead executes one stage at a time
+// and materializes between stages. Interior projections (Join.Keep) are
+// applied in the same pipelined pass as the join that produces them.
+func Execute(ctx *Context, n *plan.Node) (*Relation, error) {
+	if n.Leaf != nil {
+		return ScanByName(ctx, n.Leaf.Dataset, n.Leaf.Alias, n.Leaf.Filter, n.Leaf.Project)
+	}
+	j := n.Join
+	var rel *Relation
+	switch j.Algo {
+	case plan.AlgoHash, plan.AlgoBroadcast:
+		left, err := Execute(ctx, j.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Execute(ctx, j.Right)
+		if err != nil {
+			return nil, err
+		}
+		if j.Algo == plan.AlgoHash {
+			rel, err = HashJoin(ctx, left, right, j.LeftKeys, j.RightKeys, j.BuildLeft)
+		} else {
+			rel, err = BroadcastJoin(ctx, left, right, j.LeftKeys, j.RightKeys, j.BuildLeft)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case plan.AlgoIndexNL:
+		var err error
+		rel, err = executeIndexNL(ctx, j)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown join algorithm %v", j.Algo)
+	}
+	if j.Keep != nil {
+		return ProjectColumns(rel, j.Keep)
+	}
+	return rel, nil
+}
+
+// ProjectColumns narrows a relation to the named qualified columns, keeping
+// partitioning knowledge when every partitioning column survives. Columns
+// named but absent from the schema are skipped (a parent may request keys a
+// swapped INLJ orientation already renamed).
+func ProjectColumns(rel *Relation, cols []string) (*Relation, error) {
+	var idxs []int
+	out := &types.Schema{}
+	for _, c := range cols {
+		i, ok := rel.Schema.Index(c)
+		if !ok {
+			continue
+		}
+		idxs = append(idxs, i)
+		out.Fields = append(out.Fields, rel.Schema.Fields[i])
+	}
+	if len(idxs) == 0 {
+		return nil, fmt.Errorf("engine: interior projection %v matches no columns of %s", cols, rel.Schema)
+	}
+	proj := &Relation{Schema: out, Parts: make([][]types.Tuple, len(rel.Parts))}
+	for p, part := range rel.Parts {
+		rows := make([]types.Tuple, len(part))
+		for r, t := range part {
+			nt := make(types.Tuple, len(idxs))
+			for k, i := range idxs {
+				nt[k] = t[i]
+			}
+			rows[r] = nt
+		}
+		proj.Parts[p] = rows
+	}
+	if rel.PartCols != nil {
+		mapped := make([]int, 0, len(rel.PartCols))
+		ok := true
+		for _, pc := range rel.PartCols {
+			found := -1
+			for k, i := range idxs {
+				if i == pc {
+					found = k
+					break
+				}
+			}
+			if found < 0 {
+				ok = false
+				break
+			}
+			mapped = append(mapped, found)
+		}
+		if ok {
+			proj.PartCols = mapped
+		}
+	}
+	return proj, nil
+}
+
+// executeIndexNL runs the probe-side-index plan shape: the build (broadcast)
+// side is executed as a subplan; the other side must be a base-dataset leaf
+// whose index on the first join key is probed in place.
+func executeIndexNL(ctx *Context, j *plan.Join) (*Relation, error) {
+	outerNode, innerNode := j.Right, j.Left
+	outerKeys, innerKeys := j.RightKeys, j.LeftKeys
+	if j.BuildLeft {
+		outerNode, innerNode = j.Left, j.Right
+		outerKeys, innerKeys = j.LeftKeys, j.RightKeys
+	}
+	if innerNode.Leaf == nil || innerNode.Leaf.Temp {
+		return nil, fmt.Errorf("engine: index NL join requires a base-dataset leaf inner, got %s", innerNode.Compact())
+	}
+	leaf := innerNode.Leaf
+	ds, ok := ctx.Catalog.Get(leaf.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown dataset %q", leaf.Dataset)
+	}
+	outer, err := Execute(ctx, outerNode)
+	if err != nil {
+		return nil, err
+	}
+	// Inner keys arrive qualified ("alias.field"); the index layer wants the
+	// bare field names of the base dataset.
+	bare := make([]string, len(innerKeys))
+	for i, k := range innerKeys {
+		bare[i] = stripAlias(k, leaf.Alias)
+	}
+	rel, err := IndexNLJoin(ctx, outer, ds, leaf.Alias, outerKeys, bare, leaf.Filter)
+	if err != nil {
+		return nil, err
+	}
+	if j.BuildLeft {
+		return rel, nil // already outer⧺inner = left⧺right
+	}
+	// Plan orientation is left⧺right but IndexNLJoin emitted outer⧺inner =
+	// right⧺left; swap the halves to keep downstream key offsets valid.
+	return swapSides(rel, outer.Schema.Len()), nil
+}
+
+func stripAlias(qualified, alias string) string {
+	if strings.HasPrefix(qualified, alias+".") {
+		return qualified[len(alias)+1:]
+	}
+	return qualified
+}
+
+func swapSides(rel *Relation, leftWidth int) *Relation {
+	rightWidth := rel.Schema.Len() - leftWidth
+	schema := &types.Schema{Fields: make([]types.Field, 0, rel.Schema.Len())}
+	schema.Fields = append(schema.Fields, rel.Schema.Fields[leftWidth:]...)
+	schema.Fields = append(schema.Fields, rel.Schema.Fields[:leftWidth]...)
+	out := &Relation{Schema: schema, Parts: make([][]types.Tuple, len(rel.Parts))}
+	for p, part := range rel.Parts {
+		rows := make([]types.Tuple, len(part))
+		for i, t := range part {
+			nt := make(types.Tuple, 0, len(t))
+			nt = append(nt, t[leftWidth:]...)
+			nt = append(nt, t[:leftWidth]...)
+			rows[i] = nt
+		}
+		out.Parts[p] = rows
+	}
+	if rel.PartCols != nil {
+		cols := make([]int, len(rel.PartCols))
+		for i, c := range rel.PartCols {
+			if c >= leftWidth {
+				cols[i] = c - leftWidth
+			} else {
+				cols[i] = c + rightWidth
+			}
+		}
+		out.PartCols = cols
+	}
+	return out
+}
+
+// Result is a finished query result at the coordinator.
+type Result struct {
+	Columns []string
+	Rows    []types.Tuple
+}
+
+// Finish applies the non-join clauses to the joined relation at the
+// coordinator: projection of the SELECT list (including aggregate
+// functions over the GROUP BY groups), GROUP BY (duplicate elimination on
+// the grouping keys when no aggregates are present), ORDER BY, and LIMIT.
+// Matches §6.4: other operators are evaluated after all joins and
+// selections complete.
+func Finish(ctx *Context, q *sqlpp.Query, rel *Relation) (*Result, error) {
+	if err := validateAggregateQuery(q); err != nil {
+		return nil, err
+	}
+	rows := Gather(ctx, rel)
+	if !q.SelectStar && hasAggregates(q.Select) {
+		return finishAggregate(ctx, q, rel, rows)
+	}
+	env := ctx.Env(rel.Schema)
+
+	res := &Result{}
+	if q.SelectStar {
+		for _, f := range rel.Schema.Fields {
+			res.Columns = append(res.Columns, f.QName())
+		}
+	} else {
+		for _, s := range q.Select {
+			name := s.Alias
+			if name == "" {
+				name = s.Expr.SQL()
+			}
+			res.Columns = append(res.Columns, name)
+		}
+	}
+
+	type finished struct {
+		projected types.Tuple
+		groupKey  string
+		orderKeys types.Tuple
+	}
+	var outRows []finished
+	seen := map[string]bool{}
+	for _, row := range rows {
+		var projected types.Tuple
+		if q.SelectStar {
+			projected = row
+		} else {
+			projected = make(types.Tuple, len(q.Select))
+			for i, s := range q.Select {
+				v, err := s.Expr.Eval(row, env)
+				if err != nil {
+					return nil, err
+				}
+				projected[i] = v
+			}
+		}
+		f := finished{projected: projected}
+		if len(q.GroupBy) > 0 {
+			var sb strings.Builder
+			for _, g := range q.GroupBy {
+				v, err := g.Eval(row, env)
+				if err != nil {
+					return nil, err
+				}
+				sb.WriteString(v.String())
+				sb.WriteByte('|')
+			}
+			f.groupKey = sb.String()
+			if seen[f.groupKey] {
+				continue
+			}
+			seen[f.groupKey] = true
+		}
+		if len(q.OrderBy) > 0 {
+			f.orderKeys = make(types.Tuple, len(q.OrderBy))
+			for i, o := range q.OrderBy {
+				v, err := o.Expr.Eval(row, env)
+				if err != nil {
+					return nil, err
+				}
+				f.orderKeys[i] = v
+			}
+		}
+		outRows = append(outRows, f)
+	}
+
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(outRows, func(a, b int) bool {
+			for i, o := range q.OrderBy {
+				c := outRows[a].orderKeys[i].Compare(outRows[b].orderKeys[i])
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if q.Limit >= 0 && int64(len(outRows)) > q.Limit {
+		outRows = outRows[:q.Limit]
+	}
+	res.Rows = make([]types.Tuple, len(outRows))
+	for i, f := range outRows {
+		res.Rows[i] = f.projected
+	}
+	return res, nil
+}
+
+// FilterFor conjuncts an alias's local predicates into a single filter
+// expression (nil when the alias has none).
+func FilterFor(locals []expr.Expr) expr.Expr {
+	switch len(locals) {
+	case 0:
+		return nil
+	case 1:
+		return locals[0]
+	default:
+		return &expr.And{Kids: locals}
+	}
+}

@@ -1,0 +1,357 @@
+package engine
+
+import (
+	"fmt"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// repartition redistributes a relation by hashing the key columns, metering
+// every row that moves between partitions as network shuffle. When the
+// relation is already partitioned on the keys the exchange is skipped
+// entirely (the §3 optimization for pre-partitioned inputs).
+func repartition(ctx *Context, rel *Relation, keyCols []int) *Relation {
+	if rel.PartitionedOn(keyCols) {
+		return rel
+	}
+	n := len(rel.Parts)
+	acct := ctx.Cluster.Acct()
+	out := &Relation{
+		Schema:   rel.Schema,
+		Parts:    make([][]types.Tuple, n),
+		PartCols: append([]int(nil), keyCols...),
+	}
+	if n == 1 {
+		out.Parts[0] = rel.Parts[0]
+		return out
+	}
+	// Partition-parallel split: each source partition buckets its rows,
+	// then buckets are concatenated per destination.
+	buckets := make([][][]types.Tuple, n) // [src][dst][]tuple
+	_ = forEachPart(n, func(src int) error {
+		local := make([][]types.Tuple, n)
+		var movedRows, movedBytes int64
+		for _, t := range rel.Parts[src] {
+			dst := int(t.HashKeys(keyCols) % uint64(n))
+			local[dst] = append(local[dst], t)
+			if dst != src {
+				movedRows++
+				movedBytes += int64(t.EncodedSize())
+			}
+		}
+		acct.ShuffleRows.Add(movedRows)
+		acct.ShuffleBytes.Add(movedBytes)
+		buckets[src] = local
+		return nil
+	})
+	for dst := 0; dst < n; dst++ {
+		var rows []types.Tuple
+		for src := 0; src < n; src++ {
+			rows = append(rows, buckets[src][dst]...)
+		}
+		out.Parts[dst] = rows
+	}
+	return out
+}
+
+// meterSpill models §3's overflow partitions: when a partition's build side
+// exceeds the per-node memory budget, the excess build bytes and the
+// matching fraction of probe bytes take a write+read round trip through
+// disk (the grace hash join's recursive passes are approximated by one).
+func meterSpill(ctx *Context, buildBytes, probeBytes, buildRows, probeRows int64) {
+	budget := ctx.Cluster.MemoryPerNodeBytes()
+	if budget <= 0 || buildBytes <= budget {
+		return
+	}
+	spillFrac := float64(buildBytes-budget) / float64(buildBytes)
+	spilledBuild := buildBytes - budget
+	spilledProbe := int64(float64(probeBytes) * spillFrac)
+	acct := ctx.Cluster.Acct()
+	acct.SpillBytes.Add(2 * (spilledBuild + spilledProbe)) // write + read back
+	acct.SpillRows.Add(int64(float64(buildRows+probeRows) * spillFrac))
+}
+
+func bytesOf(rows []types.Tuple) int64 {
+	var n int64
+	for _, t := range rows {
+		n += int64(t.EncodedSize())
+	}
+	return n
+}
+
+// hashTable is a per-partition build table keyed by composite key hash with
+// exact-key chains.
+type hashTable struct {
+	m       map[uint64][]types.Tuple
+	keyCols []int
+}
+
+func buildTable(rows []types.Tuple, keyCols []int) *hashTable {
+	ht := &hashTable{m: make(map[uint64][]types.Tuple, len(rows)), keyCols: keyCols}
+	for _, t := range rows {
+		h := t.HashKeys(keyCols)
+		ht.m[h] = append(ht.m[h], t)
+	}
+	return ht
+}
+
+func (ht *hashTable) probe(t types.Tuple, probeCols []int, emit func(build types.Tuple)) {
+	h := t.HashKeys(probeCols)
+	for _, b := range ht.m[h] {
+		if b.KeysEqual(ht.keyCols, t, probeCols) {
+			emit(b)
+		}
+	}
+}
+
+// HashJoin is the repartitioning dynamic hash join of §3: both inputs are
+// hash-exchanged on the join keys (skipped for pre-partitioned inputs), then
+// each partition builds a table over the build side and streams the probe
+// side through it. Output tuples are left⧺right regardless of build side;
+// the output stays partitioned on the join keys.
+func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string, buildLeft bool) (*Relation, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("engine: hash join needs aligned non-empty keys, got %v / %v", leftKeys, rightKeys)
+	}
+	if len(left.Parts) != len(right.Parts) {
+		return nil, fmt.Errorf("engine: partition count mismatch %d vs %d", len(left.Parts), len(right.Parts))
+	}
+	lCols, err := resolveKeys(left.Schema, leftKeys)
+	if err != nil {
+		return nil, err
+	}
+	rCols, err := resolveKeys(right.Schema, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	left = repartition(ctx, left, lCols)
+	right = repartition(ctx, right, rCols)
+
+	n := len(left.Parts)
+	acct := ctx.Cluster.Acct()
+	outSchema := left.Schema.Concat(right.Schema)
+	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, n)}
+	err = forEachPart(n, func(p int) error {
+		var rows []types.Tuple
+		if buildLeft {
+			ht := buildTable(left.Parts[p], lCols)
+			acct.BuildRows.Add(int64(len(left.Parts[p])))
+			acct.ProbeRows.Add(int64(len(right.Parts[p])))
+			meterSpill(ctx, bytesOf(left.Parts[p]), bytesOf(right.Parts[p]),
+				int64(len(left.Parts[p])), int64(len(right.Parts[p])))
+			for _, rt := range right.Parts[p] {
+				ht.probe(rt, rCols, func(lt types.Tuple) {
+					rows = append(rows, lt.Concat(rt))
+				})
+			}
+		} else {
+			ht := buildTable(right.Parts[p], rCols)
+			acct.BuildRows.Add(int64(len(right.Parts[p])))
+			acct.ProbeRows.Add(int64(len(left.Parts[p])))
+			meterSpill(ctx, bytesOf(right.Parts[p]), bytesOf(left.Parts[p]),
+				int64(len(right.Parts[p])), int64(len(left.Parts[p])))
+			for _, lt := range left.Parts[p] {
+				ht.probe(lt, lCols, func(rt types.Tuple) {
+					rows = append(rows, lt.Concat(rt))
+				})
+			}
+		}
+		out.Parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.PartCols = lCols // left keys positions are unchanged in concat schema
+	return out, nil
+}
+
+// BroadcastJoin replicates the (small) build side to every partition of the
+// probe side — metering (n-1)× its bytes as broadcast traffic — then joins
+// locally with no movement of the probe side (§3). buildLeft selects which
+// input is replicated; output tuples remain left⧺right and inherit the probe
+// side's partitioning.
+func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string, buildLeft bool) (*Relation, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("engine: broadcast join needs aligned non-empty keys, got %v / %v", leftKeys, rightKeys)
+	}
+	if len(left.Parts) != len(right.Parts) {
+		return nil, fmt.Errorf("engine: partition count mismatch %d vs %d", len(left.Parts), len(right.Parts))
+	}
+	lCols, err := resolveKeys(left.Schema, leftKeys)
+	if err != nil {
+		return nil, err
+	}
+	rCols, err := resolveKeys(right.Schema, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	build, probe := left, right
+	bCols, pCols := lCols, rCols
+	if !buildLeft {
+		build, probe = right, left
+		bCols, pCols = rCols, lCols
+	}
+
+	n := len(probe.Parts)
+	acct := ctx.Cluster.Acct()
+	// Replicate the build side: every partition receives all build rows it
+	// does not already host.
+	var all []types.Tuple
+	for _, p := range build.Parts {
+		all = append(all, p...)
+	}
+	if n > 1 {
+		acct.BroadcastRows.Add(int64(len(all)) * int64(n-1))
+		acct.BroadcastBytes.Add(build.ByteSize() * int64(n-1))
+	}
+	ht := buildTable(all, bCols)
+	acct.BuildRows.Add(int64(len(all)) * int64(n)) // each partition builds its copy
+
+	outSchema := left.Schema.Concat(right.Schema)
+	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, n)}
+	allBytes := bytesOf(all)
+	err = forEachPart(n, func(p int) error {
+		var rows []types.Tuple
+		acct.ProbeRows.Add(int64(len(probe.Parts[p])))
+		// Each partition holds a full copy of the broadcast build side.
+		meterSpill(ctx, allBytes, bytesOf(probe.Parts[p]),
+			int64(len(all)), int64(len(probe.Parts[p])))
+		for _, pt := range probe.Parts[p] {
+			ht.probe(pt, pCols, func(bt types.Tuple) {
+				if buildLeft {
+					rows = append(rows, bt.Concat(pt))
+				} else {
+					rows = append(rows, pt.Concat(bt))
+				}
+			})
+		}
+		out.Parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The probe side did not move; its partitioning columns survive at
+	// shifted offsets when the probe is the right input.
+	if probe.PartCols != nil {
+		offset := 0
+		if buildLeft {
+			offset = left.Schema.Len()
+		}
+		cols := make([]int, len(probe.PartCols))
+		for i, c := range probe.PartCols {
+			cols[i] = c + offset
+		}
+		out.PartCols = cols
+	}
+	return out, nil
+}
+
+// IndexNLJoin is the indexed nested-loop join of §3: the (small, filtered)
+// outer relation is broadcast to every partition of the inner, which must be
+// a base dataset carrying a secondary index on the (single) inner join key.
+// Arriving outer rows immediately probe the partition-local index; residual
+// composite-key fields are checked after the fetch. Output tuples are
+// outer⧺inner and inherit the inner dataset's partitioning only if the inner
+// is scanned unfiltered (it is, per the algorithm's precondition).
+func IndexNLJoin(ctx *Context, outer *Relation, inner *storage.Dataset, innerAlias string,
+	outerKeys []string, innerKeys []string, innerFilter expr.Expr) (*Relation, error) {
+	if len(outerKeys) != len(innerKeys) || len(outerKeys) == 0 {
+		return nil, fmt.Errorf("engine: index join needs aligned non-empty keys")
+	}
+	idx, ok := inner.Indexes[innerKeys[0]]
+	if !ok {
+		return nil, fmt.Errorf("engine: dataset %s has no index on %q", inner.Name, innerKeys[0])
+	}
+	if len(outer.Parts) != len(inner.Parts) {
+		return nil, fmt.Errorf("engine: partition count mismatch %d vs %d", len(outer.Parts), len(inner.Parts))
+	}
+	oCols, err := resolveKeys(outer.Schema, outerKeys)
+	if err != nil {
+		return nil, err
+	}
+	innerSchema := inner.Schema.Requalify(innerAlias)
+	iCols := make([]int, len(innerKeys))
+	for i, k := range innerKeys {
+		ci, ok := inner.Schema.Index(k)
+		if !ok {
+			return nil, fmt.Errorf("engine: inner key %q not in %s", k, inner.Schema)
+		}
+		iCols[i] = ci
+	}
+	var pred expr.Compiled
+	if innerFilter != nil {
+		pred, err = expr.Compile(innerFilter, ctx.Env(innerSchema))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	n := len(inner.Parts)
+	acct := ctx.Cluster.Acct()
+	var outerAll []types.Tuple
+	for _, p := range outer.Parts {
+		outerAll = append(outerAll, p...)
+	}
+	if n > 1 {
+		acct.BroadcastRows.Add(int64(len(outerAll)) * int64(n-1))
+		acct.BroadcastBytes.Add(outer.ByteSize() * int64(n-1))
+	}
+
+	outSchema := outer.Schema.Concat(innerSchema)
+	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, n)}
+	residual := iCols[1:]
+	oResidual := oCols[1:]
+	err = forEachPart(n, func(p int) error {
+		var rows []types.Tuple
+		var lookups, fetched int64
+		for _, ot := range outerAll {
+			lookups++
+			for _, rowIdx := range idx.Lookup(p, ot[oCols[0]]) {
+				it := inner.Parts[p][rowIdx]
+				fetched++
+				if len(residual) > 0 && !ot.KeysEqual(oResidual, it, residual) {
+					continue
+				}
+				if pred != nil {
+					v, err := pred(it)
+					if err != nil {
+						return err
+					}
+					if !v.IsTrue() {
+						continue
+					}
+				}
+				rows = append(rows, ot.Concat(it))
+			}
+		}
+		acct.IndexLookups.Add(lookups)
+		acct.IndexRows.Add(fetched)
+		out.Parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Inner partitioning survives (inner rows did not move).
+	if pf := inner.PartitionFields(); len(pf) > 0 {
+		cols := make([]int, 0, len(pf))
+		ok := true
+		offset := outer.Schema.Len()
+		for _, f := range pf {
+			ci, found := inner.Schema.Index(f)
+			if !found {
+				ok = false
+				break
+			}
+			cols = append(cols, ci+offset)
+		}
+		if ok {
+			out.PartCols = cols
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"testing"
+
+	"dynopt/internal/plan"
+	"dynopt/internal/types"
+)
+
+func TestProjectColumnsBasic(t *testing.T) {
+	ctx := testCtx(t, 4)
+	register(t, ctx, "t", []string{"id"}, []string{"id", "grp", "pay"}, seqTable(100, 10))
+	rel, _ := ScanByName(ctx, "t", "a", nil, nil)
+	out, err := ProjectColumns(rel, []string{"a.pay", "a.id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Len() != 2 || out.Schema.Fields[0].QName() != "a.pay" {
+		t.Errorf("schema = %s", out.Schema)
+	}
+	if out.RowCount() != 100 {
+		t.Errorf("rows = %d", out.RowCount())
+	}
+	// Partitioning survives: pk column a.id kept at new offset 1.
+	if out.PartCols == nil || out.PartCols[0] != 1 {
+		t.Errorf("PartCols = %v", out.PartCols)
+	}
+	// Values moved correctly.
+	for _, p := range out.Parts {
+		for _, row := range p {
+			if row[0].I != row[1].I*10 {
+				t.Fatalf("bad projected row %v", row)
+			}
+		}
+	}
+}
+
+func TestProjectColumnsDropsPartitioning(t *testing.T) {
+	ctx := testCtx(t, 4)
+	register(t, ctx, "t", []string{"id"}, []string{"id", "grp", "pay"}, seqTable(50, 5))
+	rel, _ := ScanByName(ctx, "t", "a", nil, nil)
+	out, err := ProjectColumns(rel, []string{"a.grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PartCols != nil {
+		t.Errorf("PartCols = %v after dropping pk", out.PartCols)
+	}
+}
+
+func TestProjectColumnsSkipsMissing(t *testing.T) {
+	ctx := testCtx(t, 2)
+	register(t, ctx, "t", nil, []string{"x", "y"}, [][]int64{{1, 2}})
+	rel, _ := ScanByName(ctx, "t", "a", nil, nil)
+	out, err := ProjectColumns(rel, []string{"a.x", "zz.nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Len() != 1 {
+		t.Errorf("schema = %s", out.Schema)
+	}
+	if _, err := ProjectColumns(rel, []string{"zz.nope"}); err == nil {
+		t.Error("all-missing projection did not error")
+	}
+}
+
+func TestExecuteAppliesInteriorProjection(t *testing.T) {
+	ctx := testCtx(t, 4)
+	register(t, ctx, "fact", []string{"id"}, []string{"id", "fk", "pay"}, seqTable(100, 10))
+	dimRows := make([][]int64, 10)
+	for i := range dimRows {
+		dimRows[i] = []int64{int64(i), int64(i * 100), 0}
+	}
+	register(t, ctx, "dim", []string{"id"}, []string{"id", "attr", "pad"}, dimRows)
+	root := plan.NewJoin(&plan.Join{
+		Left:      plan.NewLeaf(&plan.Leaf{Dataset: "fact", Alias: "f"}),
+		Right:     plan.NewLeaf(&plan.Leaf{Dataset: "dim", Alias: "d"}),
+		LeftKeys:  []string{"f.fk"},
+		RightKeys: []string{"d.id"},
+		Algo:      plan.AlgoHash,
+		Keep:      []string{"d.attr", "f.pay"},
+	})
+	rel, err := Execute(ctx, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema.Len() != 2 {
+		t.Errorf("kept schema = %s", rel.Schema)
+	}
+	if rel.RowCount() != 100 {
+		t.Errorf("rows = %d", rel.RowCount())
+	}
+	ai := rel.Schema.MustIndex("d.attr")
+	pi := rel.Schema.MustIndex("f.pay")
+	for _, p := range rel.Parts {
+		for _, row := range p {
+			// attr = fk*100, pay = id*10, fk = id%10 ⇒ attr = (pay/10 % 10)*100.
+			if row[ai].I != (row[pi].I/10%10)*100 {
+				t.Fatalf("bad pruned row %v", row)
+			}
+		}
+	}
+}
+
+func TestAnnotatedTreeEndToEnd(t *testing.T) {
+	// AnnotateProjections + Execute: the pruned pipelined tree returns the
+	// same rows as the unpruned one, with less gathered data.
+	ctx := testCtx(t, 4)
+	register(t, ctx, "fact", []string{"id"}, []string{"id", "fk", "pay"}, seqTable(200, 10))
+	dimRows := make([][]int64, 10)
+	for i := range dimRows {
+		dimRows[i] = []int64{int64(i), int64(i), int64(i)}
+	}
+	register(t, ctx, "dim", []string{"id"}, []string{"id", "attr", "pad"}, dimRows)
+	mk := func() *plan.Node {
+		return plan.NewJoin(&plan.Join{
+			Left:      plan.NewLeaf(&plan.Leaf{Dataset: "fact", Alias: "f"}),
+			Right:     plan.NewLeaf(&plan.Leaf{Dataset: "dim", Alias: "d"}),
+			LeftKeys:  []string{"f.fk"},
+			RightKeys: []string{"d.id"},
+			Algo:      plan.AlgoBroadcast,
+		})
+	}
+	plain, err := Execute(ctx, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := mk()
+	plan.AnnotateProjections(pruned, map[string]bool{"f.pay": true})
+	slim, err := Execute(ctx, pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slim.RowCount() != plain.RowCount() {
+		t.Errorf("row counts differ: %d vs %d", slim.RowCount(), plain.RowCount())
+	}
+	if slim.ByteSize() >= plain.ByteSize() {
+		t.Errorf("pruned bytes %d not smaller than %d", slim.ByteSize(), plain.ByteSize())
+	}
+	pay := slim.Schema.MustIndex("f.pay")
+	var sumSlim, sumPlain int64
+	for _, p := range slim.Parts {
+		for _, row := range p {
+			sumSlim += row[pay].I
+		}
+	}
+	pp := plain.Schema.MustIndex("f.pay")
+	for _, p := range plain.Parts {
+		for _, row := range p {
+			sumPlain += row[pp].I
+		}
+	}
+	if sumSlim != sumPlain {
+		t.Errorf("pay sums differ: %d vs %d", sumSlim, sumPlain)
+	}
+	_ = types.Null()
+}

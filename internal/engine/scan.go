@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// Scan reads a dataset bound to an alias, applying an optional pushed-down
+// filter and projection in the same partition-parallel pass (the fused
+// scan→select→project pipeline of one Hyracks stage). Base-dataset reads
+// meter scan I/O; temp reads meter materialized-read I/O (the Reader
+// operator of Figure 4).
+func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, project []string) (*Relation, error) {
+	qualified := ds.Schema.Requalify(alias)
+	env := ctx.Env(qualified)
+
+	var pred expr.Compiled
+	if filter != nil {
+		var err error
+		pred, err = expr.Compile(filter, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	outSchema := qualified
+	var projIdx []int
+	if project != nil {
+		names := make([]string, len(project))
+		for i, p := range project {
+			names[i] = alias + "." + p
+		}
+		var err error
+		outSchema, projIdx, err = qualified.Project(names)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	acct := ctx.Cluster.Acct()
+	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, len(ds.Parts))}
+	err := forEachPart(len(ds.Parts), func(p int) error {
+		var rows []types.Tuple
+		var scannedRows, scannedBytes int64
+		for _, t := range ds.Parts[p] {
+			scannedRows++
+			scannedBytes += int64(t.EncodedSize())
+			if pred != nil {
+				v, err := pred(t)
+				if err != nil {
+					return err
+				}
+				if !v.IsTrue() {
+					continue
+				}
+			}
+			if projIdx != nil {
+				pt := make(types.Tuple, len(projIdx))
+				for i, idx := range projIdx {
+					pt[i] = t[idx]
+				}
+				rows = append(rows, pt)
+			} else {
+				rows = append(rows, t)
+			}
+		}
+		if ds.Temp {
+			acct.MatReadRows.Add(scannedRows)
+			acct.MatReadBytes.Add(scannedBytes)
+		} else {
+			acct.ScanRows.Add(scannedRows)
+			acct.ScanBytes.Add(scannedBytes)
+		}
+		out.Parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Partitioning survives the scan when every partitioning field survives
+	// the projection (datasets are loaded hash-partitioned on their
+	// partition fields).
+	if pf := ds.PartitionFields(); len(pf) > 0 {
+		cols := make([]int, 0, len(pf))
+		ok := true
+		for _, f := range pf {
+			idx, found := outSchema.Index(alias + "." + f)
+			if !found {
+				ok = false
+				break
+			}
+			cols = append(cols, idx)
+		}
+		if ok {
+			out.PartCols = cols
+		}
+	}
+	return out, nil
+}
+
+// ScanByName resolves the dataset in the catalog and scans it.
+func ScanByName(ctx *Context, dataset, alias string, filter expr.Expr, project []string) (*Relation, error) {
+	ds, ok := ctx.Catalog.Get(dataset)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown dataset %q", dataset)
+	}
+	return Scan(ctx, ds, alias, filter, project)
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"sync"
+
+	"dynopt/internal/sqlpp"
+	"dynopt/internal/stats"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// Materialize is the Sink operator of Figure 4: it writes a relation to the
+// temp store (metering the write I/O of the blocking re-optimization point)
+// and collects online statistics on the requested fields — the join keys of
+// the remaining query, so no unnecessary sketches are built (§5.3).
+//
+// The materialized dataset's schema is flattened with sqlpp.FlattenName
+// (a.x → a_x), the same rule query reconstruction applies, so the re-parsed
+// reformulated query resolves against it. statsFields names flattened
+// columns; nil collects none (the last iteration disables online stats).
+// Row and byte counts are always recorded — the Planner needs sizes.
+func Materialize(ctx *Context, rel *Relation, name string, statsFields map[string]bool) (*storage.Dataset, *stats.DatasetStats, error) {
+	flat := &types.Schema{Fields: make([]types.Field, rel.Schema.Len())}
+	for i, f := range rel.Schema.Fields {
+		flat.Fields[i] = types.Field{Name: sqlpp.FlattenName(f.Qualifier, f.Name), Kind: f.Kind}
+	}
+
+	ds := &storage.Dataset{
+		Name:    name,
+		Schema:  flat,
+		Parts:   make([][]types.Tuple, len(rel.Parts)),
+		Indexes: map[string]*storage.Index{},
+		Temp:    true,
+	}
+	// Preserve partitioning so a later hash join on the same keys skips the
+	// exchange (Reader restores PartCols from these fields).
+	if rel.PartCols != nil {
+		pk := make([]string, len(rel.PartCols))
+		for i, c := range rel.PartCols {
+			pk[i] = flat.Fields[c].Name
+		}
+		ds.PrimaryKey = pk
+	}
+
+	acct := ctx.Cluster.Acct()
+	partStats := make([]*stats.DatasetStats, len(rel.Parts))
+	var wg sync.WaitGroup
+	for p := range rel.Parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			st := stats.NewDatasetStats(name)
+			var wBytes, observed int64
+			for _, t := range rel.Parts[p] {
+				wBytes += int64(t.EncodedSize())
+				st.RecordCount++
+				st.ByteSize += int64(t.EncodedSize())
+				if statsFields != nil {
+					for i, f := range flat.Fields {
+						if statsFields[f.Name] {
+							st.Field(f.Name).Observe(t[i])
+							observed++
+						}
+					}
+				}
+			}
+			acct.MatWriteRows.Add(int64(len(rel.Parts[p])))
+			acct.MatWriteBytes.Add(wBytes)
+			acct.StatsObserved.Add(observed)
+			partStats[p] = st
+			return
+		}(p)
+	}
+	wg.Wait()
+	for p := range rel.Parts {
+		ds.Parts[p] = rel.Parts[p]
+	}
+	merged := stats.NewDatasetStats(name)
+	for _, st := range partStats {
+		merged.Merge(st)
+	}
+	return ds, merged, nil
+}
+
+// Gather collects a relation to the coordinator in partition order — the
+// DistributeResult operator. Result bytes are metered as network traffic
+// (identical across strategies for identical results).
+func Gather(ctx *Context, rel *Relation) []types.Tuple {
+	acct := ctx.Cluster.Acct()
+	var out []types.Tuple
+	for _, p := range rel.Parts {
+		out = append(out, p...)
+	}
+	var bytes int64
+	for _, t := range out {
+		bytes += int64(t.EncodedSize())
+	}
+	acct.ShuffleRows.Add(int64(len(out)))
+	acct.ShuffleBytes.Add(bytes)
+	return out
+}

@@ -1,0 +1,315 @@
+package expr
+
+import (
+	"dynopt/internal/stats"
+	"dynopt/internal/types"
+)
+
+// ColumnsOf returns every column reference in the expression, in visit order.
+func ColumnsOf(e Expr) []*Column {
+	var out []*Column
+	e.Walk(func(n Expr) {
+		if c, ok := n.(*Column); ok {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// QualifiersOf returns the set of dataset aliases the expression touches.
+func QualifiersOf(e Expr) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range ColumnsOf(e) {
+		out[c.Qualifier] = true
+	}
+	return out
+}
+
+// IsComplex reports whether the predicate contains a UDF call or a query
+// parameter — the paper's definition of a complex predicate (§5.1), whose
+// selectivity a static optimizer cannot estimate.
+func IsComplex(e Expr) bool {
+	complex := false
+	e.Walk(func(n Expr) {
+		switch n.(type) {
+		case *Call, *Param:
+			complex = true
+		}
+	})
+	return complex
+}
+
+// Compiled is a predicate specialized against one schema: column lookups are
+// resolved to positional indexes once, so the per-tuple hot path does no map
+// or string work.
+type Compiled func(t types.Tuple) (types.Value, error)
+
+// Compile specializes e against the schema, resolving column references to
+// tuple offsets. Params and UDFs are captured from env.
+func Compile(e Expr, env *Env) (Compiled, error) {
+	switch n := e.(type) {
+	case *Column:
+		i, ok := env.Schema.Index(n.key())
+		if !ok {
+			// Fall back to the interpreted path which produces a precise
+			// error message.
+			return func(t types.Tuple) (types.Value, error) { return n.Eval(t, env) }, nil
+		}
+		return func(t types.Tuple) (types.Value, error) { return t[i], nil }, nil
+	case *Literal:
+		v := n.Val
+		return func(types.Tuple) (types.Value, error) { return v, nil }, nil
+	case *Param:
+		v, err := n.Eval(nil, env)
+		if err != nil {
+			return nil, err
+		}
+		return func(types.Tuple) (types.Value, error) { return v, nil }, nil
+	case *Compare:
+		l, err := Compile(n.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(n.R, env)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(t types.Tuple) (types.Value, error) {
+			lv, err := l(t)
+			if err != nil {
+				return types.Null(), err
+			}
+			rv, err := r(t)
+			if err != nil {
+				return types.Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return types.Bool(false), nil
+			}
+			cmp := lv.Compare(rv)
+			var out bool
+			switch op {
+			case CmpEq:
+				out = cmp == 0
+			case CmpNe:
+				out = cmp != 0
+			case CmpLt:
+				out = cmp < 0
+			case CmpLe:
+				out = cmp <= 0
+			case CmpGt:
+				out = cmp > 0
+			case CmpGe:
+				out = cmp >= 0
+			}
+			return types.Bool(out), nil
+		}, nil
+	case *Between:
+		x, err := Compile(n.X, env)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := Compile(n.Lo, env)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Compile(n.Hi, env)
+		if err != nil {
+			return nil, err
+		}
+		return func(t types.Tuple) (types.Value, error) {
+			xv, err := x(t)
+			if err != nil {
+				return types.Null(), err
+			}
+			lov, err := lo(t)
+			if err != nil {
+				return types.Null(), err
+			}
+			hiv, err := hi(t)
+			if err != nil {
+				return types.Null(), err
+			}
+			if xv.IsNull() || lov.IsNull() || hiv.IsNull() {
+				return types.Bool(false), nil
+			}
+			return types.Bool(xv.Compare(lov) >= 0 && xv.Compare(hiv) <= 0), nil
+		}, nil
+	case *And:
+		kids := make([]Compiled, len(n.Kids))
+		for i, k := range n.Kids {
+			c, err := Compile(k, env)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = c
+		}
+		return func(t types.Tuple) (types.Value, error) {
+			for _, k := range kids {
+				v, err := k(t)
+				if err != nil {
+					return types.Null(), err
+				}
+				if !v.IsTrue() {
+					return types.Bool(false), nil
+				}
+			}
+			return types.Bool(true), nil
+		}, nil
+	case *Or:
+		kids := make([]Compiled, len(n.Kids))
+		for i, k := range n.Kids {
+			c, err := Compile(k, env)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = c
+		}
+		return func(t types.Tuple) (types.Value, error) {
+			for _, k := range kids {
+				v, err := k(t)
+				if err != nil {
+					return types.Null(), err
+				}
+				if v.IsTrue() {
+					return types.Bool(true), nil
+				}
+			}
+			return types.Bool(false), nil
+		}, nil
+	case *Not:
+		k, err := Compile(n.Kid, env)
+		if err != nil {
+			return nil, err
+		}
+		return func(t types.Tuple) (types.Value, error) {
+			v, err := k(t)
+			if err != nil {
+				return types.Null(), err
+			}
+			return types.Bool(!v.IsTrue()), nil
+		}, nil
+	default:
+		// Calls and arithmetic fall back to tree interpretation; their cost
+		// dominates dispatch anyway.
+		return func(t types.Tuple) (types.Value, error) { return e.Eval(t, env) }, nil
+	}
+}
+
+// StaticSelectivity estimates the selectivity of a local predicate the way a
+// traditional static optimizer would: histogram lookups for simple
+// fixed-value comparisons, independence-multiplied across conjuncts, and
+// Selinger defaults for anything complex (UDFs, parameters) — the exact
+// behaviour whose failure modes motivate the paper.
+func StaticSelectivity(e Expr, ds *stats.DatasetStats) float64 {
+	switch n := e.(type) {
+	case *And:
+		sel := 1.0
+		for _, k := range n.Kids {
+			sel *= StaticSelectivity(k, ds) // independence assumption
+		}
+		return sel
+	case *Or:
+		// Inclusion-exclusion under independence.
+		miss := 1.0
+		for _, k := range n.Kids {
+			miss *= 1 - StaticSelectivity(k, ds)
+		}
+		return 1 - miss
+	case *Not:
+		return 1 - StaticSelectivity(n.Kid, ds)
+	case *Compare:
+		if IsComplex(n) {
+			return stats.DefaultUDFSelectivity
+		}
+		col, lit := splitColLit(n.L, n.R)
+		if col == nil || lit == nil {
+			return defaultForCmp(n.Op)
+		}
+		lv, ok := lit.Val.AsFloat()
+		if !ok || ds == nil {
+			return defaultForCmp(n.Op)
+		}
+		fs := ds.Fields[col.Name]
+		op := cmpToRange(n.Op, n.L == lit) // flipped when literal on the left
+		return stats.EstimateSelectivity(fs, op, lv, lv)
+	case *Between:
+		if IsComplex(n) {
+			return stats.DefaultUDFSelectivity
+		}
+		col, _ := n.X.(*Column)
+		lo, lok := n.Lo.(*Literal)
+		hi, hok := n.Hi.(*Literal)
+		if col == nil || !lok || !hok || ds == nil {
+			return stats.DefaultIneqSelectivity
+		}
+		lof, ok1 := lo.Val.AsFloat()
+		hif, ok2 := hi.Val.AsFloat()
+		if !ok1 || !ok2 {
+			return stats.DefaultIneqSelectivity
+		}
+		return stats.EstimateSelectivity(ds.Fields[col.Name], stats.OpBetween, lof, hif)
+	case *Call, *Param:
+		return stats.DefaultUDFSelectivity
+	default:
+		return stats.DefaultEqSelectivity
+	}
+}
+
+func splitColLit(l, r Expr) (*Column, *Literal) {
+	if c, ok := l.(*Column); ok {
+		if lit, ok := r.(*Literal); ok {
+			return c, lit
+		}
+	}
+	if c, ok := r.(*Column); ok {
+		if lit, ok := l.(*Literal); ok {
+			return c, lit
+		}
+	}
+	return nil, nil
+}
+
+func cmpToRange(op CmpOp, litOnLeft bool) stats.RangeOp {
+	if litOnLeft {
+		// lit < col  ≡  col > lit, etc.
+		switch op {
+		case CmpLt:
+			op = CmpGt
+		case CmpLe:
+			op = CmpGe
+		case CmpGt:
+			op = CmpLt
+		case CmpGe:
+			op = CmpLe
+		}
+	}
+	switch op {
+	case CmpEq:
+		return stats.OpEq
+	case CmpNe:
+		return stats.OpNe
+	case CmpLt:
+		return stats.OpLt
+	case CmpLe:
+		return stats.OpLe
+	case CmpGt:
+		return stats.OpGt
+	case CmpGe:
+		return stats.OpGe
+	default:
+		return stats.OpEq
+	}
+}
+
+func defaultForCmp(op CmpOp) float64 {
+	switch op {
+	case CmpEq:
+		return stats.DefaultEqSelectivity
+	case CmpNe:
+		return 1 - stats.DefaultEqSelectivity
+	default:
+		return stats.DefaultIneqSelectivity
+	}
+}

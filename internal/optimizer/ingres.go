@@ -1,0 +1,37 @@
+package optimizer
+
+import (
+	"dynopt/internal/core"
+	"dynopt/internal/engine"
+)
+
+// IngresLike is the original INGRES decomposition baseline (§7.2): every
+// dataset with local predicates is executed as a single-variable query and
+// materialized (like the dynamic approach), but the choice of the next join
+// is based only on raw dataset cardinalities — no sketches, no formula (1) —
+// which is what produces its less efficient bushy trees.
+type IngresLike struct {
+	Cfg core.AlgoConfig
+}
+
+// NewIngresLike returns the baseline with default algorithm config.
+func NewIngresLike() *IngresLike { return &IngresLike{Cfg: core.DefaultAlgoConfig()} }
+
+// Name implements core.Strategy.
+func (s *IngresLike) Name() string { return "ingres-like" }
+
+// Run implements core.Strategy.
+func (s *IngresLike) Run(ctx *engine.Context, sql string) (*engine.Result, *core.Report, error) {
+	d := &core.Dynamic{
+		Cfg: core.Config{
+			Algo:            s.Cfg,
+			PushDown:        true,
+			PushDownAll:     true, // full INGRES decomposition
+			ReoptLoop:       true,
+			OnlineStats:     false, // cardinalities only
+			CardinalityOnly: true,
+		},
+		Label: s.Name(),
+	}
+	return d.Run(ctx, sql)
+}

@@ -1,0 +1,175 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"dynopt/internal/core"
+	"dynopt/internal/engine"
+	"dynopt/internal/plan"
+	"dynopt/internal/sqlpp"
+	"dynopt/internal/stats"
+)
+
+// WorstOrder enforces a right-deep plan that schedules joins in decreasing
+// order of estimated result size, all hash joins, no broadcasts — the §7.2
+// adversarial baseline representing the least gain achievable by writing
+// the FROM clause badly against AsterixDB's default behaviour.
+type WorstOrder struct{}
+
+// NewWorstOrder returns the baseline.
+func NewWorstOrder() *WorstOrder { return &WorstOrder{} }
+
+// Name implements core.Strategy.
+func (s *WorstOrder) Name() string { return "worst-order" }
+
+// Run implements core.Strategy.
+func (s *WorstOrder) Run(ctx *engine.Context, sql string) (*engine.Result, *core.Report, error) {
+	return core.Metered(ctx, s.Name(), sql, func(r *core.Report) (*engine.Result, error) {
+		q, err := sqlpp.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		g, err := sqlpp.Analyze(q, ctx.Catalog.Resolver())
+		if err != nil {
+			return nil, err
+		}
+		est := &core.Estimator{Cat: ctx.Catalog, Reg: ctx.Catalog.Stats()}
+		tables, err := core.BuildTables(est, g, g.NeededColumns(), q.SelectStar)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := planWorst(est, g, tables)
+		if err != nil {
+			return nil, err
+		}
+		plan.AnnotateProjections(tree, core.RequiredOutputColumns(g))
+		r.Tree = tree
+		r.StagePlans = append(r.StagePlans, "worst-order plan: "+tree.Compact())
+		rel, err := engine.Execute(ctx, tree)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Finish(ctx, q, rel)
+	})
+}
+
+// planWorst builds the decreasing-result-size right-deep hash-join chain.
+func planWorst(est *core.Estimator, g *sqlpp.Graph, tables core.Tables) (*plan.Node, error) {
+	leaf := func(alias string) *plan.Node {
+		info := tables[alias]
+		n := plan.NewLeaf(&plan.Leaf{
+			Dataset:  info.Dataset,
+			Alias:    alias,
+			Filter:   info.Filter,
+			Project:  info.Project,
+			Filtered: info.Filtered,
+		})
+		n.EstRows = info.EstRows
+		return n
+	}
+	if len(g.Aliases) == 1 {
+		return leaf(g.Aliases[0]), nil
+	}
+
+	// First join: the edge with the largest estimated result.
+	var first *sqlpp.JoinEdge
+	var firstCard int64
+	for _, e := range g.Joins {
+		card, err := est.JoinEstimate(e, tables)
+		if err != nil {
+			return nil, err
+		}
+		if first == nil || card > firstCard {
+			first, firstCard = e, card
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("optimizer: no join edges")
+	}
+
+	covered := map[string]bool{first.LeftAlias: true, first.RightAlias: true}
+	cur := plan.NewJoin(&plan.Join{
+		Left:      leaf(first.LeftAlias),
+		Right:     leaf(first.RightAlias),
+		LeftKeys:  qualify(first.LeftAlias, first.LeftFields),
+		RightKeys: qualify(first.RightAlias, first.RightFields),
+		Algo:      plan.AlgoHash,
+		BuildLeft: true,
+	})
+	cur.EstRows = firstCard
+	curRows := firstCard
+
+	for len(covered) < len(g.Aliases) {
+		// Among edges reaching a new alias, pick the one maximizing the
+		// estimated result of joining it with the current intermediate.
+		var bestEdge *sqlpp.JoinEdge
+		var bestAlias string
+		var bestCard int64
+		for _, e := range g.Joins {
+			var newAlias string
+			switch {
+			case covered[e.LeftAlias] && !covered[e.RightAlias]:
+				newAlias = e.RightAlias
+			case covered[e.RightAlias] && !covered[e.LeftAlias]:
+				newAlias = e.LeftAlias
+			default:
+				continue
+			}
+			info := tables[newAlias]
+			// Distinct counts of the edge keys, capped by each side's rows.
+			var curKeys, newKeys []string
+			if newAlias == e.RightAlias {
+				curKeys, newKeys = e.LeftFields, e.RightFields
+			} else {
+				curKeys, newKeys = e.RightFields, e.LeftFields
+			}
+			curAlias := e.Other(newAlias)
+			cd := make([]int64, len(curKeys))
+			for i, f := range curKeys {
+				cd[i] = est.FieldDistinct(tables[curAlias].Dataset, f, curRows)
+			}
+			nd := make([]int64, len(newKeys))
+			for i, f := range newKeys {
+				nd[i] = est.FieldDistinct(info.Dataset, f, info.EstRows)
+			}
+			card := stats.JoinCardinality(curRows, info.EstRows,
+				stats.CompositeDistinct(curRows, cd),
+				stats.CompositeDistinct(info.EstRows, nd))
+			if bestEdge == nil || card > bestCard {
+				bestEdge, bestAlias, bestCard = e, newAlias, card
+			}
+		}
+		if bestEdge == nil {
+			return nil, fmt.Errorf("optimizer: join graph disconnected during worst-order planning")
+		}
+		var curKeys, newKeys []string
+		if bestAlias == bestEdge.RightAlias {
+			curKeys = qualify(bestEdge.LeftAlias, bestEdge.LeftFields)
+			newKeys = qualify(bestEdge.RightAlias, bestEdge.RightFields)
+		} else {
+			curKeys = qualify(bestEdge.RightAlias, bestEdge.RightFields)
+			newKeys = qualify(bestEdge.LeftAlias, bestEdge.LeftFields)
+		}
+		next := plan.NewJoin(&plan.Join{
+			Left:      leaf(bestAlias),
+			Right:     cur,
+			LeftKeys:  newKeys,
+			RightKeys: curKeys,
+			Algo:      plan.AlgoHash,
+			BuildLeft: true,
+		})
+		next.EstRows = bestCard
+		cur = next
+		curRows = bestCard
+		covered[bestAlias] = true
+	}
+	return cur, nil
+}
+
+func qualify(alias string, fields []string) []string {
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = alias + "." + f
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package plan defines physical join-tree plans: scans with pushed-down
+// filters and projections at the leaves, binary joins annotated with the
+// physical algorithm (hash ⋈, broadcast ⋈b, indexed nested-loop ⋈i) and the
+// build side. Plans are produced by every optimizer strategy and consumed by
+// the engine; the pretty-printer emits the compact notation the paper's
+// appendix uses, so chosen plans can be compared to Figures 11–23 directly.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"dynopt/internal/expr"
+)
+
+// Algo is the physical join algorithm.
+type Algo int
+
+// The three join algorithms of §3.
+const (
+	AlgoHash Algo = iota
+	AlgoBroadcast
+	AlgoIndexNL
+)
+
+// Symbol returns the paper's plan notation for the algorithm.
+func (a Algo) Symbol() string {
+	switch a {
+	case AlgoHash:
+		return "⋈"
+	case AlgoBroadcast:
+		return "⋈b"
+	case AlgoIndexNL:
+		return "⋈i"
+	default:
+		return "⋈?"
+	}
+}
+
+// String names the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case AlgoHash:
+		return "hash"
+	case AlgoBroadcast:
+		return "broadcast"
+	case AlgoIndexNL:
+		return "index-nl"
+	default:
+		return fmt.Sprintf("algo(%d)", int(a))
+	}
+}
+
+// Leaf is a base or temp dataset access with pushed-down filter and
+// projection.
+type Leaf struct {
+	Dataset  string    // catalog name
+	Alias    string    // binding alias in the query
+	Filter   expr.Expr // conjunction local to this dataset, or nil
+	Project  []string  // bare field names to retain; nil keeps all
+	Temp     bool      // dataset is a materialized intermediate
+	Filtered bool      // paper notation: render alias' when predicates were pre-applied
+}
+
+// Join is one binary join.
+type Join struct {
+	Left, Right *Node
+	// Qualified key names ("alias.field"), positionally aligned.
+	LeftKeys, RightKeys []string
+	Algo                Algo
+	// BuildLeft selects the hash build / broadcast / index-probing side.
+	// For AlgoIndexNL the build side is the broadcast outer and the other
+	// side must be a base-dataset Leaf with an index on its key.
+	BuildLeft bool
+	// Keep, when non-nil, is the interior projection applied to the join's
+	// output: only these qualified columns survive (see
+	// AnnotateProjections).
+	Keep []string
+}
+
+// Node is either a Leaf or a Join.
+type Node struct {
+	Leaf *Leaf
+	Join *Join
+	// EstRows/EstBytes are the optimizer's output estimates, carried for
+	// explain output and build-side decisions downstream.
+	EstRows  int64
+	EstBytes int64
+}
+
+// NewLeaf wraps a Leaf in a Node.
+func NewLeaf(l *Leaf) *Node { return &Node{Leaf: l} }
+
+// NewJoin wraps a Join in a Node.
+func NewJoin(j *Join) *Node { return &Node{Join: j} }
+
+// IsLeaf reports whether the node is a scan.
+func (n *Node) IsLeaf() bool { return n.Leaf != nil }
+
+// Aliases returns the dataset aliases covered by the subtree, in leaf order.
+func (n *Node) Aliases() []string {
+	var out []string
+	n.visitLeaves(func(l *Leaf) { out = append(out, l.Alias) })
+	return out
+}
+
+func (n *Node) visitLeaves(fn func(*Leaf)) {
+	if n.Leaf != nil {
+		fn(n.Leaf)
+		return
+	}
+	if n.Join != nil {
+		n.Join.Left.visitLeaves(fn)
+		n.Join.Right.visitLeaves(fn)
+	}
+}
+
+// JoinCount returns the number of join nodes in the subtree.
+func (n *Node) JoinCount() int {
+	if n.Leaf != nil {
+		return 0
+	}
+	return 1 + n.Join.Left.JoinCount() + n.Join.Right.JoinCount()
+}
+
+// Depth returns the height of the subtree (leaf = 1).
+func (n *Node) Depth() int {
+	if n.Leaf != nil {
+		return 1
+	}
+	l, r := n.Join.Left.Depth(), n.Join.Right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// IsBushy reports whether any join has two non-leaf inputs — the plan shape
+// the paper finds optimal for most workloads.
+func (n *Node) IsBushy() bool {
+	if n.Leaf != nil {
+		return false
+	}
+	j := n.Join
+	if !j.Left.IsLeaf() && !j.Right.IsLeaf() {
+		return true
+	}
+	return j.Left.IsBushy() || j.Right.IsBushy()
+}
+
+// Compact renders the paper's appendix notation: filtered leaves carry a
+// prime (dd'), joins show their algorithm symbol, build side first.
+func (n *Node) Compact() string {
+	if n.Leaf != nil {
+		name := n.Leaf.Alias
+		if n.Leaf.Filtered || n.Leaf.Filter != nil {
+			name += "'"
+		}
+		return name
+	}
+	j := n.Join
+	l, r := j.Left.Compact(), j.Right.Compact()
+	return "(" + l + " " + j.Algo.Symbol() + " " + r + ")"
+}
+
+// Tree renders an indented multi-line plan for explain output.
+func (n *Node) Tree() string {
+	var b strings.Builder
+	n.tree(&b, 0)
+	return b.String()
+}
+
+func (n *Node) tree(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Leaf != nil {
+		fmt.Fprintf(b, "%sscan %s", indent, n.Leaf.Dataset)
+		if n.Leaf.Alias != n.Leaf.Dataset {
+			fmt.Fprintf(b, " as %s", n.Leaf.Alias)
+		}
+		if n.Leaf.Temp {
+			b.WriteString(" [temp]")
+		}
+		if n.Leaf.Filter != nil {
+			fmt.Fprintf(b, " filter(%s)", n.Leaf.Filter.SQL())
+		}
+		if n.EstRows > 0 {
+			fmt.Fprintf(b, " ~%d rows", n.EstRows)
+		}
+		b.WriteString("\n")
+		return
+	}
+	j := n.Join
+	build := "right"
+	if j.BuildLeft {
+		build = "left"
+	}
+	keys := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		keys[i] = j.LeftKeys[i] + "=" + j.RightKeys[i]
+	}
+	fmt.Fprintf(b, "%s%s join on %s (build=%s)", indent, j.Algo, strings.Join(keys, ","), build)
+	if n.EstRows > 0 {
+		fmt.Fprintf(b, " ~%d rows", n.EstRows)
+	}
+	b.WriteString("\n")
+	j.Left.tree(b, depth+1)
+	j.Right.tree(b, depth+1)
+}

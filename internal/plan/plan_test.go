@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/types"
+)
+
+func leaf(ds, alias string, filtered bool) *Node {
+	l := &Leaf{Dataset: ds, Alias: alias, Filtered: filtered}
+	if filtered {
+		l.Filter = &expr.Compare{
+			Op: expr.CmpEq,
+			L:  &expr.Column{Qualifier: alias, Name: "k"},
+			R:  &expr.Literal{Val: types.Int(1)},
+		}
+	}
+	return NewLeaf(l)
+}
+
+func join(l, r *Node, lk, rk string, algo Algo) *Node {
+	return NewJoin(&Join{
+		Left: l, Right: r,
+		LeftKeys: []string{lk}, RightKeys: []string{rk},
+		Algo: algo,
+	})
+}
+
+func TestAlgoStrings(t *testing.T) {
+	cases := []struct {
+		a      Algo
+		symbol string
+		name   string
+	}{
+		{AlgoHash, "⋈", "hash"},
+		{AlgoBroadcast, "⋈b", "broadcast"},
+		{AlgoIndexNL, "⋈i", "index-nl"},
+	}
+	for _, c := range cases {
+		if c.a.Symbol() != c.symbol || c.a.String() != c.name {
+			t.Errorf("algo %d: %q/%q", c.a, c.a.Symbol(), c.a.String())
+		}
+	}
+	if Algo(9).Symbol() != "⋈?" {
+		t.Error("unknown algo symbol")
+	}
+	if !strings.Contains(Algo(9).String(), "algo") {
+		t.Error("unknown algo name")
+	}
+}
+
+func TestNodeShapes(t *testing.T) {
+	a, b, c, d := leaf("A", "a", true), leaf("B", "b", false), leaf("C", "c", false), leaf("D", "d", false)
+	j1 := join(a, b, "a.k", "b.k", AlgoBroadcast)
+	j2 := join(c, d, "c.k", "d.k", AlgoHash)
+	root := join(j1, j2, "b.j", "c.j", AlgoHash)
+
+	if root.JoinCount() != 3 || root.Depth() != 3 {
+		t.Errorf("JoinCount=%d Depth=%d", root.JoinCount(), root.Depth())
+	}
+	if !root.IsBushy() {
+		t.Error("two-subtree join not bushy")
+	}
+	if j1.IsBushy() {
+		t.Error("leaf-leaf join reported bushy")
+	}
+	al := root.Aliases()
+	if len(al) != 4 || al[0] != "a" || al[3] != "d" {
+		t.Errorf("Aliases = %v", al)
+	}
+	if a.JoinCount() != 0 || a.Depth() != 1 || !a.IsLeaf() {
+		t.Error("leaf accessors wrong")
+	}
+}
+
+func TestCompactNotation(t *testing.T) {
+	a, b := leaf("A", "a", true), leaf("B", "b", false)
+	j := join(a, b, "a.k", "b.k", AlgoIndexNL)
+	if got := j.Compact(); got != "(a' ⋈i b)" {
+		t.Errorf("Compact = %q", got)
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	a, b := leaf("A", "alias_a", true), leaf("B", "b", false)
+	b.Leaf.Temp = true
+	j := join(a, b, "alias_a.k", "b.k", AlgoBroadcast)
+	j.EstRows = 42
+	a.EstRows = 7
+	out := j.Tree()
+	for _, want := range []string{"broadcast join", "alias_a.k=b.k", "[temp]", "filter(", "~42 rows", "~7 rows", "scan A as alias_a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnnotateProjections(t *testing.T) {
+	a, b, c := leaf("A", "a", false), leaf("B", "b", false), leaf("C", "c", false)
+	j1 := join(a, b, "a.k", "b.k", AlgoHash)
+	root := join(j1, c, "b.j", "c.j", AlgoHash)
+	AnnotateProjections(root, map[string]bool{"a.out": true, "c.out": true})
+
+	// Root keeps exactly the required output columns.
+	if len(root.Join.Keep) != 2 || root.Join.Keep[0] != "a.out" || root.Join.Keep[1] != "c.out" {
+		t.Errorf("root Keep = %v", root.Join.Keep)
+	}
+	// The inner join keeps exactly what survives ABOVE it: a.out (query
+	// output) and b.j (the parent's key on this side). Its own keys a.k/b.k
+	// are consumed by the join itself and correctly pruned.
+	keep := map[string]bool{}
+	for _, k := range j1.Join.Keep {
+		keep[k] = true
+	}
+	if len(keep) != 2 || !keep["a.out"] || !keep["b.j"] {
+		t.Errorf("inner Keep = %v, want exactly [a.out b.j]", j1.Join.Keep)
+	}
+}
+
+func TestAnnotateProjectionsNilRequired(t *testing.T) {
+	a, b := leaf("A", "a", false), leaf("B", "b", false)
+	j := join(a, b, "a.k", "b.k", AlgoHash)
+	AnnotateProjections(j, nil)
+	if j.Join.Keep != nil {
+		t.Error("nil required should not annotate")
+	}
+	AnnotateProjections(nil, map[string]bool{"a.x": true})
+}
+
+func TestQualifierOf(t *testing.T) {
+	if qualifierOf("a.x") != "a" || qualifierOf("bare") != "" {
+		t.Error("qualifierOf wrong")
+	}
+}

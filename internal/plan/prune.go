@@ -1,0 +1,65 @@
+package plan
+
+import (
+	"sort"
+	"strings"
+)
+
+// AnnotateProjections walks a plan tree top-down and installs interior
+// projections: after every join, columns that no ancestor needs (result
+// columns or upstream join keys) are dropped. required holds the qualified
+// ("alias.field") columns the query's output clauses reference; nil leaves
+// the tree unannotated (SELECT *).
+//
+// Without interior pruning a pipelined plan carries every scanned column to
+// the root, which inflates its shuffle and broadcast traffic relative to the
+// dynamic strategy's stage-by-stage re-projection and would skew the §7
+// comparisons in dynamic's favour.
+func AnnotateProjections(n *Node, required map[string]bool) {
+	if n == nil || required == nil {
+		return
+	}
+	annotate(n, required)
+}
+
+func annotate(n *Node, required map[string]bool) {
+	if n.Leaf != nil {
+		return // leaf projections are set by the planners
+	}
+	j := n.Join
+	keep := make([]string, 0, len(required))
+	for col := range required {
+		keep = append(keep, col)
+	}
+	sort.Strings(keep)
+	j.Keep = keep
+
+	leftAliases := map[string]bool{}
+	for _, a := range j.Left.Aliases() {
+		leftAliases[a] = true
+	}
+	leftReq := map[string]bool{}
+	rightReq := map[string]bool{}
+	for col := range required {
+		if leftAliases[qualifierOf(col)] {
+			leftReq[col] = true
+		} else {
+			rightReq[col] = true
+		}
+	}
+	for _, k := range j.LeftKeys {
+		leftReq[k] = true
+	}
+	for _, k := range j.RightKeys {
+		rightReq[k] = true
+	}
+	annotate(j.Left, leftReq)
+	annotate(j.Right, rightReq)
+}
+
+func qualifierOf(qualified string) string {
+	if i := strings.IndexByte(qualified, '.'); i >= 0 {
+		return qualified[:i]
+	}
+	return ""
+}

@@ -1,0 +1,342 @@
+package sqlpp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/types"
+)
+
+// SchemaResolver maps a dataset name to its schema; the analyzer uses it to
+// resolve bare column names (TPC queries reference ss_item_sk etc. without
+// aliases) and to validate qualified references.
+type SchemaResolver func(dataset string) (*types.Schema, bool)
+
+// JoinEdge is one equi-join between two aliases, possibly on a composite key
+// (Q17/Q50 join store_sales to store_returns on customer+item+ticket). The
+// field lists are positionally aligned.
+type JoinEdge struct {
+	LeftAlias   string
+	RightAlias  string
+	LeftFields  []string
+	RightFields []string
+}
+
+// Key renders the edge canonically ("a⋈b" with a<b) for map keys.
+func (e *JoinEdge) Key() string {
+	a, b := e.LeftAlias, e.RightAlias
+	if a > b {
+		a, b = b, a
+	}
+	return a + "⋈" + b
+}
+
+// Touches reports whether the edge involves the alias.
+func (e *JoinEdge) Touches(alias string) bool {
+	return e.LeftAlias == alias || e.RightAlias == alias
+}
+
+// Other returns the opposite alias of the edge.
+func (e *JoinEdge) Other(alias string) string {
+	if e.LeftAlias == alias {
+		return e.RightAlias
+	}
+	return e.LeftAlias
+}
+
+// String renders "a.x,a.y = b.u,b.v".
+func (e *JoinEdge) String() string {
+	l := make([]string, len(e.LeftFields))
+	r := make([]string, len(e.RightFields))
+	for i := range e.LeftFields {
+		l[i] = e.LeftAlias + "." + e.LeftFields[i]
+		r[i] = e.RightAlias + "." + e.RightFields[i]
+	}
+	return strings.Join(l, ",") + " = " + strings.Join(r, ",")
+}
+
+// Graph is the analyzed form of a query: the Planner's working
+// representation. Joins between the same alias pair are merged into one
+// composite-key edge.
+type Graph struct {
+	Query   *Query
+	Tables  map[string]TableRef    // alias → FROM entry
+	Aliases []string               // FROM order
+	Joins   []*JoinEdge            // merged equi-join edges
+	Locals  map[string][]expr.Expr // alias → local predicates
+}
+
+// Analyze validates the query against the resolver and extracts the join
+// graph. Bare column references in every clause are rewritten in place to
+// qualified form.
+func Analyze(q *Query, resolve SchemaResolver) (*Graph, error) {
+	g := &Graph{Query: q, Tables: map[string]TableRef{}, Locals: map[string][]expr.Expr{}}
+	schemas := map[string]*types.Schema{}
+	for _, t := range q.From {
+		if _, dup := g.Tables[t.Alias]; dup {
+			return nil, fmt.Errorf("sqlpp: duplicate alias %q in FROM", t.Alias)
+		}
+		sch, ok := resolve(t.Dataset)
+		if !ok {
+			return nil, fmt.Errorf("sqlpp: unknown dataset %q", t.Dataset)
+		}
+		g.Tables[t.Alias] = t
+		g.Aliases = append(g.Aliases, t.Alias)
+		schemas[t.Alias] = sch
+	}
+
+	qualify := func(e expr.Expr) error {
+		var qerr error
+		e.Walk(func(n expr.Expr) {
+			c, ok := n.(*expr.Column)
+			if !ok || qerr != nil {
+				return
+			}
+			if c.Qualifier != "" {
+				sch, ok := schemas[c.Qualifier]
+				if !ok {
+					qerr = fmt.Errorf("sqlpp: unknown alias %q in %s", c.Qualifier, e.SQL())
+					return
+				}
+				if _, ok := sch.Index(c.Name); !ok {
+					qerr = fmt.Errorf("sqlpp: dataset %q has no column %q", g.Tables[c.Qualifier].Dataset, c.Name)
+				}
+				return
+			}
+			var owner string
+			for _, alias := range g.Aliases {
+				if _, ok := schemas[alias].Index(c.Name); ok {
+					if owner != "" {
+						qerr = fmt.Errorf("sqlpp: column %q is ambiguous (in %q and %q)", c.Name, owner, alias)
+						return
+					}
+					owner = alias
+				}
+			}
+			if owner == "" {
+				qerr = fmt.Errorf("sqlpp: column %q not found in any FROM dataset", c.Name)
+				return
+			}
+			c.Qualifier = owner
+		})
+		return qerr
+	}
+
+	for _, s := range q.Select {
+		if err := qualify(s.Expr); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range q.Where {
+		if err := qualify(w); err != nil {
+			return nil, err
+		}
+	}
+	for _, ge := range q.GroupBy {
+		if err := qualify(ge); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range q.OrderBy {
+		if err := qualify(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Classify conjuncts: equi-joins between two aliases vs local predicates.
+	edges := map[string]*JoinEdge{}
+	for _, w := range q.Where {
+		if l, r, ok := asJoinPred(w); ok {
+			key := canonPair(l.Qualifier, r.Qualifier)
+			e, exists := edges[key]
+			if !exists {
+				la, ra := l.Qualifier, r.Qualifier
+				if la > ra {
+					la, ra = ra, la
+					l, r = r, l
+				}
+				e = &JoinEdge{LeftAlias: la, RightAlias: ra}
+				edges[key] = e
+				g.Joins = append(g.Joins, e)
+			}
+			if e.LeftAlias == l.Qualifier {
+				e.LeftFields = append(e.LeftFields, l.Name)
+				e.RightFields = append(e.RightFields, r.Name)
+			} else {
+				e.LeftFields = append(e.LeftFields, r.Name)
+				e.RightFields = append(e.RightFields, l.Name)
+			}
+			continue
+		}
+		qs := expr.QualifiersOf(w)
+		if len(qs) == 1 {
+			for alias := range qs {
+				g.Locals[alias] = append(g.Locals[alias], w)
+			}
+			continue
+		}
+		if len(qs) == 0 {
+			// Constant predicate (e.g. $p = 1): attach to the first alias so
+			// it is evaluated once per row during its scan.
+			if len(g.Aliases) > 0 {
+				g.Locals[g.Aliases[0]] = append(g.Locals[g.Aliases[0]], w)
+				continue
+			}
+		}
+		return nil, fmt.Errorf("sqlpp: unsupported non-equi multi-dataset predicate: %s", w.SQL())
+	}
+
+	// Connectivity check: a disconnected join graph would imply a cross
+	// product, which this engine (like the paper) does not schedule.
+	if len(g.Aliases) > 1 {
+		if err := g.checkConnected(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// asJoinPred recognizes `a.x = b.y` with distinct aliases.
+func asJoinPred(e expr.Expr) (l, r *expr.Column, ok bool) {
+	c, isCmp := e.(*expr.Compare)
+	if !isCmp || c.Op != expr.CmpEq {
+		return nil, nil, false
+	}
+	lc, lok := c.L.(*expr.Column)
+	rc, rok := c.R.(*expr.Column)
+	if !lok || !rok || lc.Qualifier == rc.Qualifier {
+		return nil, nil, false
+	}
+	return lc, rc, true
+}
+
+func canonPair(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "⋈" + b
+}
+
+func (g *Graph) checkConnected() error {
+	if len(g.Joins) == 0 {
+		return fmt.Errorf("sqlpp: query with %d datasets has no join predicates (cross products unsupported)", len(g.Aliases))
+	}
+	adj := map[string][]string{}
+	for _, e := range g.Joins {
+		adj[e.LeftAlias] = append(adj[e.LeftAlias], e.RightAlias)
+		adj[e.RightAlias] = append(adj[e.RightAlias], e.LeftAlias)
+	}
+	seen := map[string]bool{g.Aliases[0]: true}
+	stack := []string{g.Aliases[0]}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	var missing []string
+	for _, a := range g.Aliases {
+		if !seen[a] {
+			missing = append(missing, a)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("sqlpp: join graph is disconnected; unreachable: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// JoinFor returns the merged edge between two aliases, if present.
+func (g *Graph) JoinFor(a, b string) (*JoinEdge, bool) {
+	key := canonPair(a, b)
+	for _, e := range g.Joins {
+		if e.Key() == key {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// NeededColumns returns, per alias, the set of column names the rest of the
+// query needs from that alias (projections, join keys, group/order keys,
+// post-join predicates). This is the projection list the paper pushes into
+// single-variable queries ("the SELECT clause is defined by attributes that
+// participate in the remaining query", §5.1).
+func (g *Graph) NeededColumns() map[string]map[string]bool {
+	need := map[string]map[string]bool{}
+	add := func(c *expr.Column) {
+		if c.Qualifier == "" {
+			return
+		}
+		m, ok := need[c.Qualifier]
+		if !ok {
+			m = map[string]bool{}
+			need[c.Qualifier] = m
+		}
+		m[c.Name] = true
+	}
+	collect := func(e expr.Expr) {
+		for _, c := range expr.ColumnsOf(e) {
+			add(c)
+		}
+	}
+	if g.Query.SelectStar {
+		// Everything is needed; signal with nil maps (callers treat a
+		// missing entry as "all columns" only under SelectStar).
+		return need
+	}
+	for _, s := range g.Query.Select {
+		collect(s.Expr)
+	}
+	for _, w := range g.Query.Where {
+		collect(w)
+	}
+	for _, ge := range g.Query.GroupBy {
+		collect(ge)
+	}
+	for _, o := range g.Query.OrderBy {
+		collect(o.Expr)
+	}
+	for _, e := range g.Joins {
+		for _, f := range e.LeftFields {
+			add(&expr.Column{Qualifier: e.LeftAlias, Name: f})
+		}
+		for _, f := range e.RightFields {
+			add(&expr.Column{Qualifier: e.RightAlias, Name: f})
+		}
+	}
+	return need
+}
+
+// String renders the graph compactly for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	b.WriteString("Graph{")
+	b.WriteString(strings.Join(g.Aliases, ", "))
+	b.WriteString("}")
+	for _, e := range g.Joins {
+		b.WriteString("\n  join ")
+		b.WriteString(e.String())
+	}
+	aliases := make([]string, 0, len(g.Locals))
+	for a := range g.Locals {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	for _, a := range aliases {
+		for _, p := range g.Locals[a] {
+			b.WriteString("\n  local[")
+			b.WriteString(a)
+			b.WriteString("] ")
+			b.WriteString(p.SQL())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,205 @@
+package sqlpp
+
+import (
+	"strings"
+	"testing"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/types"
+)
+
+// testResolver serves schemas for a small star-ish catalog.
+func testResolver() SchemaResolver {
+	mk := func(cols ...string) *types.Schema {
+		s := &types.Schema{}
+		for _, c := range cols {
+			s.Fields = append(s.Fields, types.Field{Name: c, Kind: types.KindInt})
+		}
+		return s
+	}
+	schemas := map[string]*types.Schema{
+		"fact":  mk("fk_a", "fk_b", "fk_c", "measure"),
+		"dim_a": mk("a_key", "a_attr"),
+		"dim_b": mk("b_key", "b_attr"),
+		"dim_c": mk("c_key", "c_attr"),
+		"sales": mk("cust", "item", "ticket", "amt"),
+		"rets":  mk("cust", "item", "ticket", "reason"),
+	}
+	return func(name string) (*types.Schema, bool) {
+		s, ok := schemas[name]
+		return s, ok
+	}
+}
+
+func analyze(t *testing.T, src string) *Graph {
+	t.Helper()
+	q := mustParse(t, src)
+	g, err := Analyze(q, testResolver())
+	if err != nil {
+		t.Fatalf("Analyze(%q): %v", src, err)
+	}
+	return g
+}
+
+func TestAnalyzeJoinGraph(t *testing.T) {
+	g := analyze(t, `SELECT fact.measure FROM fact, dim_a, dim_b
+		WHERE fact.fk_a = dim_a.a_key AND fact.fk_b = dim_b.b_key AND dim_a.a_attr = 3`)
+	if len(g.Aliases) != 3 {
+		t.Fatalf("aliases = %v", g.Aliases)
+	}
+	if len(g.Joins) != 2 {
+		t.Fatalf("joins = %d", len(g.Joins))
+	}
+	if len(g.Locals["dim_a"]) != 1 {
+		t.Errorf("locals[dim_a] = %d", len(g.Locals["dim_a"]))
+	}
+	e, ok := g.JoinFor("fact", "dim_a")
+	if !ok {
+		t.Fatal("no fact⋈dim_a edge")
+	}
+	if e.Other("fact") != "dim_a" || e.Other("dim_a") != "fact" {
+		t.Error("Other() wrong")
+	}
+	if !e.Touches("fact") || e.Touches("dim_b") {
+		t.Error("Touches() wrong")
+	}
+}
+
+func TestAnalyzeCompositeKeyMerged(t *testing.T) {
+	g := analyze(t, `SELECT sales.amt FROM sales, rets
+		WHERE sales.cust = rets.cust AND sales.item = rets.item AND sales.ticket = rets.ticket`)
+	if len(g.Joins) != 1 {
+		t.Fatalf("composite join split into %d edges", len(g.Joins))
+	}
+	e := g.Joins[0]
+	if len(e.LeftFields) != 3 || len(e.RightFields) != 3 {
+		t.Errorf("composite key fields = %v / %v", e.LeftFields, e.RightFields)
+	}
+	// Alignment: left fields belong to LeftAlias.
+	for i := range e.LeftFields {
+		if e.LeftFields[i] != e.RightFields[i] {
+			t.Errorf("misaligned key pair %s/%s", e.LeftFields[i], e.RightFields[i])
+		}
+	}
+}
+
+func TestAnalyzeQualifiesBareColumns(t *testing.T) {
+	g := analyze(t, `SELECT measure FROM fact, dim_a WHERE fk_a = a_key AND a_attr = 1`)
+	if len(g.Joins) != 1 {
+		t.Fatalf("joins = %d", len(g.Joins))
+	}
+	e := g.Joins[0]
+	if e.Key() != "dim_a⋈fact" {
+		t.Errorf("edge key = %q", e.Key())
+	}
+	if len(g.Locals["dim_a"]) != 1 {
+		t.Errorf("bare local predicate not attached: %v", g.Locals)
+	}
+	// SELECT item rewritten to qualified form.
+	c := g.Query.Select[0].Expr.(*expr.Column)
+	if c.Qualifier != "fact" {
+		t.Errorf("select column qualifier = %q", c.Qualifier)
+	}
+}
+
+func TestAnalyzeSelfJoinAliases(t *testing.T) {
+	g := analyze(t, `SELECT d1.a_attr FROM dim_a d1, dim_a d2, fact
+		WHERE fact.fk_a = d1.a_key AND fact.fk_b = d2.a_key`)
+	if len(g.Joins) != 2 {
+		t.Fatalf("self-join edges = %d", len(g.Joins))
+	}
+	if _, ok := g.JoinFor("d1", "fact"); !ok {
+		t.Error("missing d1⋈fact")
+	}
+	if _, ok := g.JoinFor("d2", "fact"); !ok {
+		t.Error("missing d2⋈fact")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"SELECT x.y FROM unknown_ds", "unknown dataset"},
+		{"SELECT fact.measure FROM fact, fact", "duplicate alias"},
+		{"SELECT nope.measure FROM fact WHERE nope.z = 1", "unknown alias"},
+		{"SELECT fact.nocol FROM fact", "no column"},
+		{"SELECT cust FROM sales, rets WHERE sales.cust = rets.cust", "ambiguous"},
+		{"SELECT ghost FROM fact", "not found"},
+		{"SELECT fact.measure FROM fact, dim_a", "no join predicates"},
+		{"SELECT fact.measure FROM fact, dim_a, dim_b WHERE fact.fk_a = dim_a.a_key", "disconnected"},
+		{"SELECT fact.measure FROM fact, dim_a WHERE fact.fk_a < dim_a.a_key", "unsupported"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		_, err = Analyze(q, testResolver())
+		if err == nil {
+			t.Errorf("Analyze(%q) succeeded, want %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Analyze(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAnalyzeNonEquiCrossPredicateRejected(t *testing.T) {
+	q := mustParse(t, `SELECT fact.measure FROM fact, dim_a
+		WHERE fact.fk_a = dim_a.a_key AND fact.measure < dim_a.a_attr + 1`)
+	_, err := Analyze(q, testResolver())
+	if err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAnalyzeConstantPredicateAttached(t *testing.T) {
+	g := analyze(t, `SELECT fact.measure FROM fact WHERE 1 = 1`)
+	if len(g.Locals["fact"]) != 1 {
+		t.Errorf("constant predicate not attached: %v", g.Locals)
+	}
+}
+
+func TestNeededColumns(t *testing.T) {
+	g := analyze(t, `SELECT fact.measure FROM fact, dim_a, dim_b
+		WHERE fact.fk_a = dim_a.a_key AND fact.fk_b = dim_b.b_key AND dim_a.a_attr = 3
+		ORDER BY fact.fk_c`)
+	need := g.NeededColumns()
+	f := need["fact"]
+	for _, col := range []string{"measure", "fk_a", "fk_b", "fk_c"} {
+		if !f[col] {
+			t.Errorf("fact needs %s", col)
+		}
+	}
+	if !need["dim_a"]["a_key"] || !need["dim_a"]["a_attr"] {
+		t.Errorf("dim_a needs = %v", need["dim_a"])
+	}
+	if need["dim_b"]["b_attr"] {
+		t.Error("dim_b.b_attr should not be needed")
+	}
+}
+
+func TestNeededColumnsSelectStar(t *testing.T) {
+	g := analyze(t, `SELECT * FROM fact, dim_a WHERE fact.fk_a = dim_a.a_key`)
+	need := g.NeededColumns()
+	if len(need) != 0 {
+		t.Errorf("SelectStar needs = %v, want empty sentinel", need)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := analyze(t, `SELECT fact.measure FROM fact, dim_a
+		WHERE fact.fk_a = dim_a.a_key AND dim_a.a_attr = 1`)
+	s := g.String()
+	for _, want := range []string{"fact", "dim_a", "join", "local[dim_a]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains(g.Joins[0].String(), "=") {
+		t.Error("edge String() malformed")
+	}
+}

@@ -1,0 +1,134 @@
+package sqlpp
+
+import (
+	"strconv"
+	"strings"
+
+	"dynopt/internal/expr"
+)
+
+// SelectItem is one projection: an expression with an optional output alias.
+type SelectItem struct {
+	Expr  expr.Expr
+	Alias string
+}
+
+// TableRef is one FROM-clause entry: a dataset with its binding alias.
+type TableRef struct {
+	Dataset string
+	Alias   string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Query is the parsed AST of a SELECT statement. Where holds the WHERE
+// clause already split into top-level conjuncts, the form both the analyzer
+// and the reconstruction step work on.
+type Query struct {
+	Select     []SelectItem
+	SelectStar bool
+	From       []TableRef
+	Where      []expr.Expr
+	GroupBy    []expr.Expr
+	OrderBy    []OrderItem
+	Limit      int64 // -1 when absent
+}
+
+// SQL re-emits the query as parseable text. The dynamic optimizer feeds this
+// back into Parse each iteration, mirroring Figure 2's reformulated-query
+// edge.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.SelectStar {
+		b.WriteString("*")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.Expr.SQL())
+			if s.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(s.Alias)
+			}
+		}
+	}
+	b.WriteString("\nFROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Dataset)
+		if t.Alias != t.Dataset {
+			b.WriteString(" AS ")
+			b.WriteString(t.Alias)
+		}
+	}
+	if len(q.Where) > 0 {
+		b.WriteString("\nWHERE ")
+		for i, w := range q.Where {
+			if i > 0 {
+				b.WriteString("\n  AND ")
+			}
+			b.WriteString(w.SQL())
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString("\nGROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.SQL())
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString("\nORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.SQL())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		b.WriteString("\nLIMIT ")
+		b.WriteString(strconv.FormatInt(q.Limit, 10))
+	}
+	b.WriteString(";")
+	return b.String()
+}
+
+// Clone returns a deep-ish copy: clause slices are copied so the
+// reconstruction step can mutate them; expression trees are shared (they are
+// treated as immutable once parsed, and rewrites build new trees).
+func (q *Query) Clone() *Query {
+	out := &Query{
+		SelectStar: q.SelectStar,
+		Limit:      q.Limit,
+		Select:     append([]SelectItem(nil), q.Select...),
+		From:       append([]TableRef(nil), q.From...),
+		Where:      append([]expr.Expr(nil), q.Where...),
+		GroupBy:    append([]expr.Expr(nil), q.GroupBy...),
+		OrderBy:    append([]OrderItem(nil), q.OrderBy...),
+	}
+	return out
+}
+
+// AliasOf returns the TableRef bound to alias, if any.
+func (q *Query) AliasOf(alias string) (TableRef, bool) {
+	for _, t := range q.From {
+		if t.Alias == alias {
+			return t, true
+		}
+	}
+	return TableRef{}, false
+}

@@ -1,0 +1,248 @@
+// Package sqlpp implements the SQL++ subset the workload queries need: a
+// lexer, a recursive-descent parser producing a query AST, semantic analysis
+// into a join graph (the Planner's input), and query reconstruction — the
+// §5.4 machinery that replaces an executed join's datasets with the
+// materialized intermediate and re-emits SQL text for the next iteration of
+// the dynamic optimization loop (Figure 2's feedback edge).
+package sqlpp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokParam // $name
+	tokOp    // punctuation and operators
+)
+
+// token is one lexical token with its source position (1-based line/col).
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep original case
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	case tokParam:
+		return "$" + t.text
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "GROUP": true, "BY": true, "ORDER": true,
+	"LIMIT": true, "AS": true, "ASC": true, "DESC": true, "TRUE": true,
+	"FALSE": true, "NULL": true, "DATE": true,
+}
+
+// ParseError reports a syntax or semantic problem with source position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sqlpp: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// lex tokenizes the whole input.
+func (l *lexer) lex() ([]token, error) {
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &ParseError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	startLine, startCol := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: startLine, col: startCol}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, line: startLine, col: startCol}, nil
+		}
+		return token{kind: tokIdent, text: text, line: startLine, col: startCol}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		seenDot := false
+		for l.pos < len(l.src) {
+			b := l.peekByte()
+			if b == '.' && !seenDot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+				seenDot = true
+				l.advance()
+				continue
+			}
+			if b < '0' || b > '9' {
+				break
+			}
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: startLine, col: startCol}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, &ParseError{Line: startLine, Col: startCol, Msg: "unterminated string literal"}
+			}
+			ch := l.advance()
+			if ch == quote {
+				if l.peekByte() == quote { // doubled quote escape
+					b.WriteByte(l.advance())
+					continue
+				}
+				break
+			}
+			b.WriteByte(ch)
+		}
+		return token{kind: tokString, text: b.String(), line: startLine, col: startCol}, nil
+	case c == '$':
+		l.advance()
+		if !isIdentStart(l.peekByte()) {
+			return token{}, &ParseError{Line: startLine, Col: startCol, Msg: "expected parameter name after $"}
+		}
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokParam, text: l.src[start:l.pos], line: startLine, col: startCol}, nil
+	default:
+		l.advance()
+		text := string(c)
+		two := func(second byte, combined string) bool {
+			if l.peekByte() == second {
+				l.advance()
+				text = combined
+				return true
+			}
+			return false
+		}
+		switch c {
+		case '<':
+			if !two('=', "<=") {
+				two('>', "!=")
+			}
+		case '>':
+			two('=', ">=")
+		case '!':
+			if !two('=', "!=") {
+				return token{}, &ParseError{Line: startLine, Col: startCol, Msg: "unexpected character '!'"}
+			}
+		case '=', ',', '.', '(', ')', '+', '-', '*', '/', ';':
+			// single-char tokens
+		default:
+			return token{}, &ParseError{Line: startLine, Col: startCol, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+		}
+		return token{kind: tokOp, text: text, line: startLine, col: startCol}, nil
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

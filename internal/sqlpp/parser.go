@@ -1,0 +1,478 @@
+package sqlpp
+
+import (
+	"fmt"
+	"strconv"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/types"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	// optional trailing semicolon
+	if p.peek().kind == tokOp && p.peek().text == ";" {
+		p.advance()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected %s after query", p.peek())
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token    { return p.toks[p.pos] }
+func (p *parser) advance() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errf("expected %s, found %s", kw, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokKeyword && t.text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	t := p.peek()
+	if t.kind == tokOp && t.text == op {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, found %s", op, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	if p.acceptOp("*") {
+		q.SelectStar = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				t := p.peek()
+				if t.kind != tokIdent {
+					return nil, p.errf("expected alias after AS, found %s", t)
+				}
+				item.Alias = p.advance().text
+			}
+			q.Select = append(q.Select, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected dataset name, found %s", t)
+		}
+		ref := TableRef{Dataset: p.advance().text}
+		ref.Alias = ref.Dataset
+		if p.acceptKeyword("AS") {
+			t := p.peek()
+			if t.kind != tokIdent {
+				return nil, p.errf("expected alias after AS, found %s", t)
+			}
+			ref.Alias = p.advance().text
+		} else if p.peek().kind == tokIdent {
+			// implicit alias: FROM date_dim d1
+			ref.Alias = p.advance().text
+		}
+		q.From = append(q.From, ref)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = splitConjuncts(e)
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected number after LIMIT, found %s", t)
+		}
+		n, err := strconv.ParseInt(p.advance().text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT value: %v", err)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// splitConjuncts flattens top-level ANDs into a conjunct list.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if a, ok := e.(*expr.And); ok {
+		var out []expr.Expr
+		for _, k := range a.Kids {
+			out = append(out, splitConjuncts(k)...)
+		}
+		return out
+	}
+	return []expr.Expr{e}
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	orExpr    := andExpr (OR andExpr)*
+//	andExpr   := notExpr (AND notExpr)*
+//	notExpr   := NOT notExpr | cmpExpr
+//	cmpExpr   := addExpr (( = | != | < | <= | > | >= ) addExpr
+//	           | BETWEEN addExpr AND addExpr)?
+//	addExpr   := mulExpr (( + | - ) mulExpr)*
+//	mulExpr   := unary (( * | / ) unary)*
+//	unary     := - unary | primary
+//	primary   := literal | $param | ident(...) | ident(.ident)? | ( orExpr )
+func (p *parser) parseExpr() (expr.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []expr.Expr{left}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &expr.Or{Kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	kids := []expr.Expr{left}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &expr.And{Kids: kids}, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		kid, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{Kid: kid}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (expr.Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Between{X: left, Lo: lo, Hi: hi}, nil
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		var op expr.CmpOp
+		switch t.text {
+		case "=":
+			op = expr.CmpEq
+		case "!=":
+			op = expr.CmpNe
+		case "<":
+			op = expr.CmpLt
+		case "<=":
+			op = expr.CmpLe
+		case ">":
+			op = expr.CmpGt
+		case ">=":
+			op = expr.CmpGe
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Compare{Op: op, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (expr.Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		op := expr.ArithAdd
+		if t.text == "-" {
+			op = expr.ArithSub
+		}
+		left = &expr.Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMul() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := expr.ArithMul
+		if t.text == "/" {
+			op = expr.ArithDiv
+		}
+		left = &expr.Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.peek().kind == tokOp && p.peek().text == "-" {
+		p.advance()
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := kid.(*expr.Literal); ok {
+			switch lit.Val.K {
+			case types.KindInt:
+				return &expr.Literal{Val: types.Int(-lit.Val.I)}, nil
+			case types.KindFloat:
+				return &expr.Literal{Val: types.Float(-lit.Val.F)}, nil
+			}
+		}
+		return &expr.Arith{Op: expr.ArithSub, L: &expr.Literal{Val: types.Int(0)}, R: kid}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if hasDot(t.text) {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q: %v", t.text, err)
+			}
+			return &expr.Literal{Val: types.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q: %v", t.text, err)
+		}
+		return &expr.Literal{Val: types.Int(i)}, nil
+	case tokString:
+		p.advance()
+		return &expr.Literal{Val: types.Str(t.text)}, nil
+	case tokParam:
+		p.advance()
+		return &expr.Param{Name: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.advance()
+			return &expr.Literal{Val: types.Bool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &expr.Literal{Val: types.Bool(false)}, nil
+		case "NULL":
+			p.advance()
+			return &expr.Literal{Val: types.Null()}, nil
+		case "DATE":
+			// DATE 'yyyy-mm-dd' is treated as a string literal; dates are
+			// lexicographically comparable in ISO form.
+			p.advance()
+			s := p.peek()
+			if s.kind != tokString {
+				return nil, p.errf("expected string after DATE, found %s", s)
+			}
+			p.advance()
+			return &expr.Literal{Val: types.Str(s.text)}, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t.text)
+	case tokIdent:
+		p.advance()
+		// Function call?
+		if p.peek().kind == tokOp && p.peek().text == "(" {
+			p.advance()
+			call := &expr.Call{Name: t.text}
+			if !(p.peek().kind == tokOp && p.peek().text == ")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.acceptOp(".") {
+			f := p.peek()
+			if f.kind != tokIdent {
+				return nil, p.errf("expected column name after %q., found %s", t.text, f)
+			}
+			p.advance()
+			return &expr.Column{Qualifier: t.text, Name: f.text}, nil
+		}
+		return &expr.Column{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

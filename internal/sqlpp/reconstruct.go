@@ -1,0 +1,161 @@
+package sqlpp
+
+import (
+	"fmt"
+
+	"dynopt/internal/expr"
+)
+
+// FlattenName is the single naming rule connecting query reconstruction to
+// materialized intermediate schemas: when the join of aliases a and b is
+// materialized, column a.x becomes field "a_x" of the new dataset. The Sink
+// operator applies the same rule, so re-parsed reconstructed queries resolve
+// against the temp dataset's schema.
+func FlattenName(alias, column string) string {
+	return alias + "_" + column
+}
+
+// RewriteColumns returns a copy of e with every column reference passed
+// through fn (fn returning nil keeps the original reference). The input tree
+// is not modified.
+func RewriteColumns(e expr.Expr, fn func(*expr.Column) *expr.Column) expr.Expr {
+	switch n := e.(type) {
+	case *expr.Column:
+		if out := fn(n); out != nil {
+			return out
+		}
+		cp := *n
+		return &cp
+	case *expr.Literal:
+		return n
+	case *expr.Param:
+		return n
+	case *expr.Compare:
+		return &expr.Compare{Op: n.Op, L: RewriteColumns(n.L, fn), R: RewriteColumns(n.R, fn)}
+	case *expr.Between:
+		return &expr.Between{
+			X:  RewriteColumns(n.X, fn),
+			Lo: RewriteColumns(n.Lo, fn),
+			Hi: RewriteColumns(n.Hi, fn),
+		}
+	case *expr.And:
+		kids := make([]expr.Expr, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = RewriteColumns(k, fn)
+		}
+		return &expr.And{Kids: kids}
+	case *expr.Or:
+		kids := make([]expr.Expr, len(n.Kids))
+		for i, k := range n.Kids {
+			kids[i] = RewriteColumns(k, fn)
+		}
+		return &expr.Or{Kids: kids}
+	case *expr.Not:
+		return &expr.Not{Kid: RewriteColumns(n.Kid, fn)}
+	case *expr.Call:
+		args := make([]expr.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = RewriteColumns(a, fn)
+		}
+		return &expr.Call{Name: n.Name, Args: args}
+	case *expr.Arith:
+		return &expr.Arith{Op: n.Op, L: RewriteColumns(n.L, fn), R: RewriteColumns(n.R, fn)}
+	default:
+		return e
+	}
+}
+
+// ReplaceFilteredDataset performs the predicate push-down reconstruction of
+// §5.1: after dataset bound to alias has had its local predicates executed
+// and materialized as tempDataset, the FROM entry is retargeted at the
+// materialized data and the executed predicates are removed from WHERE
+// (producing the paper's Q′1 from Q1). Column references keep working
+// because the temp dataset preserves field names and the alias is unchanged.
+func ReplaceFilteredDataset(q *Query, alias, tempDataset string) (*Query, error) {
+	out := q.Clone()
+	found := false
+	for i, t := range out.From {
+		if t.Alias == alias {
+			out.From[i] = TableRef{Dataset: tempDataset, Alias: alias}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("sqlpp: reconstruct: alias %q not in FROM", alias)
+	}
+	var kept []expr.Expr
+	for _, w := range out.Where {
+		qs := expr.QualifiersOf(w)
+		if len(qs) == 1 && qs[alias] {
+			continue // executed during push-down
+		}
+		if len(qs) == 0 {
+			continue // constant predicates folded into the push-down job
+		}
+		kept = append(kept, w)
+	}
+	out.Where = kept
+	return out, nil
+}
+
+// MergeJoin performs the join-result reconstruction of §5.4: the two aliases
+// of the executed join edge are removed from FROM and replaced by newAlias
+// bound to tempDataset; the executed equi-join conjuncts disappear; every
+// remaining reference to either old alias is rewritten to
+// newAlias.FlattenName(oldAlias, column) across SELECT, WHERE, GROUP BY and
+// ORDER BY (the paper's example: B.c becomes I_AB.c when I_AB replaces A⋈B).
+func MergeJoin(q *Query, edge *JoinEdge, tempDataset, newAlias string) (*Query, error) {
+	out := q.Clone()
+	if _, ok := out.AliasOf(edge.LeftAlias); !ok {
+		return nil, fmt.Errorf("sqlpp: reconstruct: alias %q not in FROM", edge.LeftAlias)
+	}
+	if _, ok := out.AliasOf(edge.RightAlias); !ok {
+		return nil, fmt.Errorf("sqlpp: reconstruct: alias %q not in FROM", edge.RightAlias)
+	}
+	if _, dup := out.AliasOf(newAlias); dup {
+		return nil, fmt.Errorf("sqlpp: reconstruct: alias %q already in FROM", newAlias)
+	}
+
+	// FROM: drop both inputs, prepend the intermediate (it is the freshest
+	// dataset; position has no semantic meaning for our planner).
+	var from []TableRef
+	from = append(from, TableRef{Dataset: tempDataset, Alias: newAlias})
+	for _, t := range out.From {
+		if t.Alias != edge.LeftAlias && t.Alias != edge.RightAlias {
+			from = append(from, t)
+		}
+	}
+	out.From = from
+
+	rewrite := func(c *expr.Column) *expr.Column {
+		if c.Qualifier == edge.LeftAlias || c.Qualifier == edge.RightAlias {
+			return &expr.Column{Qualifier: newAlias, Name: FlattenName(c.Qualifier, c.Name)}
+		}
+		return nil
+	}
+
+	// WHERE: drop the executed join's conjuncts, rewrite the rest.
+	var where []expr.Expr
+	for _, w := range out.Where {
+		if l, r, ok := asJoinPred(w); ok {
+			pair := canonPair(l.Qualifier, r.Qualifier)
+			if pair == canonPair(edge.LeftAlias, edge.RightAlias) {
+				continue
+			}
+		}
+		where = append(where, RewriteColumns(w, rewrite))
+	}
+	out.Where = where
+
+	for i, s := range out.Select {
+		out.Select[i].Expr = RewriteColumns(s.Expr, rewrite)
+	}
+	for i, g := range out.GroupBy {
+		out.GroupBy[i] = RewriteColumns(g, rewrite)
+	}
+	for i, o := range out.OrderBy {
+		out.OrderBy[i].Expr = RewriteColumns(o.Expr, rewrite)
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package sqlpp
+
+import (
+	"strings"
+	"testing"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/types"
+)
+
+func TestFlattenName(t *testing.T) {
+	if FlattenName("a", "x") != "a_x" {
+		t.Errorf("FlattenName = %q", FlattenName("a", "x"))
+	}
+}
+
+func TestRewriteColumnsDoesNotMutate(t *testing.T) {
+	orig := &expr.Compare{
+		Op: expr.CmpEq,
+		L:  &expr.Column{Qualifier: "a", Name: "x"},
+		R:  &expr.Column{Qualifier: "b", Name: "y"},
+	}
+	out := RewriteColumns(orig, func(c *expr.Column) *expr.Column {
+		if c.Qualifier == "a" {
+			return &expr.Column{Qualifier: "t", Name: "a_x"}
+		}
+		return nil
+	})
+	if orig.L.(*expr.Column).Qualifier != "a" {
+		t.Error("RewriteColumns mutated input tree")
+	}
+	oc := out.(*expr.Compare)
+	if oc.L.(*expr.Column).Qualifier != "t" || oc.L.(*expr.Column).Name != "a_x" {
+		t.Errorf("rewritten = %s", out.SQL())
+	}
+	if oc.R.(*expr.Column).Qualifier != "b" {
+		t.Errorf("untouched column changed: %s", out.SQL())
+	}
+}
+
+func TestRewriteColumnsAllNodeTypes(t *testing.T) {
+	e := &expr.And{Kids: []expr.Expr{
+		&expr.Or{Kids: []expr.Expr{
+			&expr.Not{Kid: &expr.Compare{Op: expr.CmpEq, L: &expr.Column{Qualifier: "a", Name: "x"}, R: &expr.Literal{Val: types.Int(1)}}},
+			&expr.Between{X: &expr.Column{Qualifier: "a", Name: "y"}, Lo: &expr.Param{Name: "p"}, Hi: &expr.Literal{Val: types.Int(9)}},
+		}},
+		&expr.Compare{Op: expr.CmpGt,
+			L: &expr.Call{Name: "f", Args: []expr.Expr{&expr.Column{Qualifier: "a", Name: "z"}}},
+			R: &expr.Arith{Op: expr.ArithAdd, L: &expr.Column{Qualifier: "a", Name: "w"}, R: &expr.Literal{Val: types.Int(2)}}},
+	}}
+	out := RewriteColumns(e, func(c *expr.Column) *expr.Column {
+		return &expr.Column{Qualifier: "T", Name: c.Name}
+	})
+	for _, c := range expr.ColumnsOf(out) {
+		if c.Qualifier != "T" {
+			t.Errorf("column %s not rewritten", c.SQL())
+		}
+	}
+	for _, c := range expr.ColumnsOf(e) {
+		if c.Qualifier != "a" {
+			t.Errorf("input mutated: %s", c.SQL())
+		}
+	}
+}
+
+// The paper's running example: Q1 with UDFs on A and C.
+const paperQ1 = `SELECT a.a FROM A a, B b, C c, D d
+WHERE udf(a.f) = 1 AND a.b = b.b AND udf(c.f) = 1 AND b.c = c.c AND b.d = d.d`
+
+func TestReplaceFilteredDataset(t *testing.T) {
+	q := mustParse(t, paperQ1)
+	q2, err := ReplaceFilteredDataset(q, "a", "tmp_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := q2.AliasOf("a")
+	if !ok || ref.Dataset != "tmp_a" || ref.Alias != "a" {
+		t.Errorf("FROM after replace: %+v", q2.From)
+	}
+	// a's UDF predicate gone; c's remains; joins remain.
+	sql := q2.SQL()
+	if strings.Contains(sql, "udf(a.f)") {
+		t.Errorf("a's predicate not removed:\n%s", sql)
+	}
+	if !strings.Contains(sql, "udf(c.f)") {
+		t.Errorf("c's predicate wrongly removed:\n%s", sql)
+	}
+	if !strings.Contains(sql, "a.b = b.b") {
+		t.Errorf("join lost:\n%s", sql)
+	}
+	// Original untouched.
+	if !strings.Contains(q.SQL(), "udf(a.f)") {
+		t.Error("input query mutated")
+	}
+}
+
+func TestReplaceFilteredDatasetUnknownAlias(t *testing.T) {
+	q := mustParse(t, paperQ1)
+	if _, err := ReplaceFilteredDataset(q, "zz", "tmp"); err == nil {
+		t.Error("unknown alias did not error")
+	}
+}
+
+func TestMergeJoinPaperExample(t *testing.T) {
+	// After push-down, Q′1: A′ ⋈ B ⋈ C′ ⋈ D. Executing A′⋈B produces I_AB;
+	// the reconstructed query must join I_AB with C on the flattened b_c and
+	// keep C⋈D intact (the paper's Q4).
+	q := mustParse(t, `SELECT a.a FROM tmp_a a, B b, tmp_c c, D d
+		WHERE a.b = b.b AND b.c = c.c AND b.d = d.d`)
+	edge := &JoinEdge{LeftAlias: "a", RightAlias: "b", LeftFields: []string{"b"}, RightFields: []string{"b"}}
+	q2, err := MergeJoin(q, edge, "tmp_iab", "iab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.From) != 3 {
+		t.Fatalf("FROM size = %d: %+v", len(q2.From), q2.From)
+	}
+	if q2.From[0].Dataset != "tmp_iab" || q2.From[0].Alias != "iab" {
+		t.Errorf("intermediate not first: %+v", q2.From)
+	}
+	sql := q2.SQL()
+	if !strings.Contains(sql, "iab.a_a") {
+		t.Errorf("projection not rewritten:\n%s", sql)
+	}
+	if !strings.Contains(sql, "iab.b_c = c.c") {
+		t.Errorf("join to c not rewritten:\n%s", sql)
+	}
+	if !strings.Contains(sql, "iab.b_d = d.d") {
+		t.Errorf("join to d not rewritten:\n%s", sql)
+	}
+	if strings.Contains(sql, "a.b = b.b") {
+		t.Errorf("executed join not removed:\n%s", sql)
+	}
+}
+
+func TestMergeJoinErrors(t *testing.T) {
+	q := mustParse(t, "SELECT a.x FROM A a, B b WHERE a.k = b.k")
+	if _, err := MergeJoin(q, &JoinEdge{LeftAlias: "zz", RightAlias: "b"}, "t", "n"); err == nil {
+		t.Error("unknown left alias did not error")
+	}
+	if _, err := MergeJoin(q, &JoinEdge{LeftAlias: "a", RightAlias: "zz"}, "t", "n"); err == nil {
+		t.Error("unknown right alias did not error")
+	}
+	if _, err := MergeJoin(q, &JoinEdge{LeftAlias: "a", RightAlias: "b"}, "t", "a"); err == nil {
+		t.Error("duplicate new alias did not error")
+	}
+}
+
+func TestMergeJoinRewritesAllClauses(t *testing.T) {
+	q := mustParse(t, `SELECT a.x FROM A a, B b, C c
+		WHERE a.k = b.k AND b.j = c.j AND a.z = 5
+		GROUP BY a.g ORDER BY b.o`)
+	edge := &JoinEdge{LeftAlias: "a", RightAlias: "b", LeftFields: []string{"k"}, RightFields: []string{"k"}}
+	q2, err := MergeJoin(q, edge, "tmp1", "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := q2.SQL()
+	for _, want := range []string{"j1.a_x", "j1.b_j = c.j", "j1.a_z = 5", "GROUP BY j1.a_g", "ORDER BY j1.b_o"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("missing %q in:\n%s", want, sql)
+		}
+	}
+}
+
+// Full round trip: reconstructed text must re-parse and re-analyze against a
+// resolver that serves the temp dataset's flattened schema.
+func TestReconstructionReparsesAndAnalyzes(t *testing.T) {
+	base := func(cols ...string) *types.Schema {
+		s := &types.Schema{}
+		for _, c := range cols {
+			s.Fields = append(s.Fields, types.Field{Name: c, Kind: types.KindInt})
+		}
+		return s
+	}
+	schemas := map[string]*types.Schema{
+		"A": base("a", "b", "f"),
+		"B": base("b", "c", "d"),
+		"C": base("c", "f"),
+		"D": base("d"),
+	}
+	resolve := func(n string) (*types.Schema, bool) { s, ok := schemas[n]; return s, ok }
+
+	q := mustParse(t, `SELECT a.a FROM A a, B b, C c, D d
+		WHERE a.b = b.b AND b.c = c.c AND b.d = d.d`)
+	if _, err := Analyze(q.Clone(), resolve); err != nil {
+		t.Fatalf("initial analyze: %v", err)
+	}
+	edge := &JoinEdge{LeftAlias: "a", RightAlias: "b", LeftFields: []string{"b"}, RightFields: []string{"b"}}
+	q2, err := MergeJoin(q, edge, "tmp_iab", "iab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The temp dataset carries flattened names, as the Sink will produce.
+	schemas["tmp_iab"] = base("a_a", "a_b", "a_f", "b_b", "b_c", "b_d")
+	q3, err := Parse(q2.SQL())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, q2.SQL())
+	}
+	g, err := Analyze(q3, resolve)
+	if err != nil {
+		t.Fatalf("re-analyze: %v\n%s", err, q2.SQL())
+	}
+	if len(g.Joins) != 2 {
+		t.Errorf("remaining joins = %d, want 2", len(g.Joins))
+	}
+	if _, ok := g.JoinFor("iab", "c"); !ok {
+		t.Error("iab⋈c missing after reconstruction")
+	}
+	if _, ok := g.JoinFor("iab", "d"); !ok {
+		t.Error("iab⋈d missing after reconstruction")
+	}
+}

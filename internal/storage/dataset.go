@@ -1,0 +1,187 @@
+// Package storage implements the partitioned dataset layer: hash-partitioned
+// base datasets with ingestion-time statistics collection (standing in for
+// AsterixDB's LSM ingestion stats), secondary indexes for indexed
+// nested-loop joins, and the temp store holding materialized intermediate
+// results between re-optimization points.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dynopt/internal/stats"
+	"dynopt/internal/types"
+)
+
+// Dataset is one hash-partitioned dataset. Partitions map 1:1 to cluster
+// nodes. Schema fields carry empty qualifiers; scans requalify them with the
+// query alias.
+type Dataset struct {
+	Name       string
+	Schema     *types.Schema
+	PrimaryKey []string
+	Parts      [][]types.Tuple
+	Indexes    map[string]*Index // secondary indexes by field name
+	Temp       bool              // materialized intermediate (no indexes survive)
+}
+
+// RowCount returns the total number of rows across partitions.
+func (d *Dataset) RowCount() int64 {
+	var n int64
+	for _, p := range d.Parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// ByteSize returns the total encoded size across partitions.
+func (d *Dataset) ByteSize() int64 {
+	var n int64
+	for _, p := range d.Parts {
+		for _, t := range p {
+			n += int64(t.EncodedSize())
+		}
+	}
+	return n
+}
+
+// PartitionFields returns the fields the dataset is hash-partitioned on
+// (its primary key, or nil for round-robin temp data).
+func (d *Dataset) PartitionFields() []string { return d.PrimaryKey }
+
+// HasIndex reports whether a secondary index exists on the field.
+func (d *Dataset) HasIndex(field string) bool {
+	_, ok := d.Indexes[field]
+	return ok
+}
+
+// Build constructs a base dataset: rows are hash-partitioned on the primary
+// key across nparts partitions (round-robin when pk is empty), and every
+// field is fed through the statistics collectors during the load — the
+// "upfront statistics gained during loading" of §7 that seed the first plan.
+func Build(name string, schema *types.Schema, pk []string, rows []types.Tuple, nparts int) (*Dataset, *stats.DatasetStats, error) {
+	if nparts < 1 {
+		nparts = 1
+	}
+	ds := &Dataset{
+		Name:       name,
+		Schema:     schema,
+		PrimaryKey: pk,
+		Parts:      make([][]types.Tuple, nparts),
+		Indexes:    map[string]*Index{},
+	}
+	var pkIdx []int
+	for _, f := range pk {
+		i, ok := schema.Index(f)
+		if !ok {
+			return nil, nil, fmt.Errorf("storage: primary key field %q not in schema %s", f, schema)
+		}
+		pkIdx = append(pkIdx, i)
+	}
+	st := stats.NewDatasetStats(name)
+	for i, row := range rows {
+		if len(row) != schema.Len() {
+			return nil, nil, fmt.Errorf("storage: row %d has %d values, schema has %d", i, len(row), schema.Len())
+		}
+		var p int
+		if len(pkIdx) > 0 {
+			p = int(row.HashKeys(pkIdx) % uint64(nparts))
+		} else {
+			p = i % nparts
+		}
+		ds.Parts[p] = append(ds.Parts[p], row)
+		st.ObserveTuple(schema, row, nil)
+	}
+	return ds, st, nil
+}
+
+// BuildParallel is Build with partition-parallel statistics collection: each
+// partition runs its own collectors, merged at the end. Semantically
+// identical to Build; used by large ingests and exercised by tests to verify
+// sketch mergeability.
+func BuildParallel(name string, schema *types.Schema, pk []string, rows []types.Tuple, nparts int) (*Dataset, *stats.DatasetStats, error) {
+	ds, _, err := Build(name, schema, pk, rows, nparts)
+	if err != nil {
+		return nil, nil, err
+	}
+	partStats := make([]*stats.DatasetStats, len(ds.Parts))
+	var wg sync.WaitGroup
+	for p := range ds.Parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			st := stats.NewDatasetStats(name)
+			for _, row := range ds.Parts[p] {
+				st.ObserveTuple(schema, row, nil)
+			}
+			partStats[p] = st
+		}(p)
+	}
+	wg.Wait()
+	merged := stats.NewDatasetStats(name)
+	for _, st := range partStats {
+		merged.Merge(st)
+	}
+	return ds, merged, nil
+}
+
+// Index is a secondary index: per partition, row offsets sorted by key, with
+// binary-search lookup. It indexes the partition-local rows (each node
+// indexes its own data, as in AsterixDB's local secondary indexes).
+type Index struct {
+	Field string
+	parts []indexPart
+}
+
+type indexPart struct {
+	keys []types.Value // sorted
+	rows []int         // parallel to keys: row offset within the partition
+}
+
+// BuildIndex creates (and attaches) a secondary index on the field.
+func BuildIndex(ds *Dataset, field string) (*Index, error) {
+	fi, ok := ds.Schema.Index(field)
+	if !ok {
+		return nil, fmt.Errorf("storage: index field %q not in schema of %s", field, ds.Name)
+	}
+	idx := &Index{Field: field, parts: make([]indexPart, len(ds.Parts))}
+	for p, part := range ds.Parts {
+		ip := indexPart{
+			keys: make([]types.Value, len(part)),
+			rows: make([]int, len(part)),
+		}
+		order := make([]int, len(part))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return part[order[a]][fi].Compare(part[order[b]][fi]) < 0
+		})
+		for i, r := range order {
+			ip.keys[i] = part[r][fi]
+			ip.rows[i] = r
+		}
+		idx.parts[p] = ip
+	}
+	ds.Indexes[field] = idx
+	return idx, nil
+}
+
+// Lookup returns the row offsets within partition p whose indexed field
+// equals key.
+func (ix *Index) Lookup(p int, key types.Value) []int {
+	if p < 0 || p >= len(ix.parts) {
+		return nil
+	}
+	ip := &ix.parts[p]
+	lo := sort.Search(len(ip.keys), func(i int) bool { return ip.keys[i].Compare(key) >= 0 })
+	var out []int
+	for i := lo; i < len(ip.keys) && ip.keys[i].Equal(key); i++ {
+		out = append(out, ip.rows[i])
+	}
+	return out
+}
+
+// Partitions returns the number of partitions the index covers.
+func (ix *Index) Partitions() int { return len(ix.parts) }

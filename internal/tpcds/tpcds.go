@@ -1,0 +1,266 @@
+// Package tpcds generates the TPC-DS table subset queries 17 and 50 touch:
+// two or three fact tables joined to each other on composite non-PK/FK keys
+// (the "fact-to-fact" joins whose result sizes static optimizers
+// misestimate), date dimensions carrying multi-predicate filters, and the
+// small store/item dimensions used to assemble the result.
+package tpcds
+
+import (
+	"fmt"
+
+	"dynopt/internal/engine"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+	"dynopt/internal/workload"
+)
+
+// Sizes reports the generated row counts at a scale factor.
+type Sizes struct {
+	StoreSales, StoreReturns, CatalogSales int
+	DateDim, Store, Item, Customer         int
+}
+
+// SizesFor returns the table sizes at sf. date_dim is fixed (a calendar);
+// facts scale linearly; returns are ~12% of sales, as in TPC-DS.
+func SizesFor(sf int) Sizes {
+	if sf < 1 {
+		sf = 1
+	}
+	return Sizes{
+		StoreSales:   6000 * sf,
+		StoreReturns: 720 * sf,
+		CatalogSales: 4000 * sf,
+		DateDim:      5 * 360, // synthetic calendar 1998..2002, 30-day months
+		Store:        6 + 2*sf,
+		Item:         200 * sf,
+		Customer:     400 * sf,
+	}
+}
+
+func intF(n string) types.Field { return types.Field{Name: n, Kind: types.KindInt} }
+func strF(n string) types.Field { return types.Field{Name: n, Kind: types.KindString} }
+
+// Load generates all tables at sf and registers them (with ingestion-time
+// statistics) in ctx's catalog.
+func Load(ctx *engine.Context, sf int) (Sizes, error) {
+	sz := SizesFor(sf)
+	nodes := ctx.Cluster.Nodes()
+	rng := workload.NewRNG(0xd5a7e19b)
+
+	reg := func(name string, sch *types.Schema, pk []string, rows []types.Tuple) error {
+		ds, st, err := storage.Build(name, sch, pk, rows, nodes)
+		if err != nil {
+			return fmt.Errorf("tpcds: %s: %w", name, err)
+		}
+		return ctx.Catalog.Register(ds, st)
+	}
+
+	// date_dim: d_date_sk is the day index over 1998..2002 with synthetic
+	// 30-day months (d_moy 1..12).
+	ddRows := make([]types.Tuple, sz.DateDim)
+	for i := range ddRows {
+		year := 1998 + i/360
+		moy := (i%360)/30 + 1
+		dom := i%30 + 1
+		ddRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Int(int64(year)),
+			types.Int(int64(moy)),
+			types.Str(fmt.Sprintf("%04d-%02d-%02d", year, moy, dom)),
+		}
+	}
+	if err := reg("date_dim", types.NewSchema(intF("d_date_sk"), intF("d_year"), intF("d_moy"), strF("d_date")),
+		[]string{"d_date_sk"}, ddRows); err != nil {
+		return sz, err
+	}
+
+	// store
+	stRows := make([]types.Tuple, sz.Store)
+	for i := range stRows {
+		stRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("AAAAAA%04d", i)),
+			types.Str(fmt.Sprintf("Store number %d", i)),
+		}
+	}
+	if err := reg("store", types.NewSchema(intF("s_store_sk"), strF("s_store_id"), strF("s_store_name")),
+		[]string{"s_store_sk"}, stRows); err != nil {
+		return sz, err
+	}
+
+	// item
+	itRows := make([]types.Tuple, sz.Item)
+	for i := range itRows {
+		itRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("ITEM%08d", i)),
+			types.Str(fmt.Sprintf("item %d description with decorative padding text", i)),
+		}
+	}
+	if err := reg("item", types.NewSchema(intF("i_item_sk"), strF("i_item_id"), strF("i_item_desc")),
+		[]string{"i_item_sk"}, itRows); err != nil {
+		return sz, err
+	}
+
+	// store_sales: sold dates uniform over the calendar; customers and
+	// items zipf-skewed (repeat shoppers / popular items), which is what
+	// makes sampled distinct counts extrapolate badly.
+	type saleKey struct {
+		cust, item, ticket int
+		soldDay            int
+	}
+	sales := make([]saleKey, sz.StoreSales)
+	ssRows := make([]types.Tuple, sz.StoreSales)
+	for i := range ssRows {
+		k := saleKey{
+			cust:    rng.Zipf(sz.Customer),
+			item:    rng.Zipf(sz.Item),
+			ticket:  i, // ticket number unique per sale
+			soldDay: rng.Intn(sz.DateDim),
+		}
+		sales[i] = k
+		ssRows[i] = types.Tuple{
+			types.Int(int64(k.soldDay)),
+			types.Int(int64(k.item)),
+			types.Int(int64(k.cust)),
+			types.Int(int64(k.ticket)),
+			types.Int(int64(rng.Intn(sz.Store))),
+			types.Int(int64(rng.Range(1, 100))),
+		}
+	}
+	if err := reg("store_sales", types.NewSchema(intF("ss_sold_date_sk"), intF("ss_item_sk"), intF("ss_customer_sk"),
+		intF("ss_ticket_number"), intF("ss_store_sk"), intF("ss_quantity")),
+		nil, ssRows); err != nil {
+		return sz, err
+	}
+
+	// store_returns reference actual sales (a return exists only for a
+	// sale), returned 0..60 days after the sale: the composite
+	// (customer, item, ticket) join back to store_sales is the paper's
+	// fact-to-fact case.
+	srRows := make([]types.Tuple, sz.StoreReturns)
+	for i := range srRows {
+		s := sales[rng.Intn(len(sales))]
+		retDay := s.soldDay + rng.Intn(61)
+		if retDay >= sz.DateDim {
+			retDay = sz.DateDim - 1
+		}
+		srRows[i] = types.Tuple{
+			types.Int(int64(retDay)),
+			types.Int(int64(s.cust)),
+			types.Int(int64(s.item)),
+			types.Int(int64(s.ticket)),
+			types.Int(int64(rng.Range(1, 10))),
+		}
+	}
+	if err := reg("store_returns", types.NewSchema(intF("sr_returned_date_sk"), intF("sr_customer_sk"),
+		intF("sr_item_sk"), intF("sr_ticket_number"), intF("sr_return_quantity")),
+		nil, srRows); err != nil {
+		return sz, err
+	}
+
+	// catalog_sales: 40% of rows are cross-channel repurchases — the same
+	// customer buying the returned item from the catalog shortly after the
+	// return (this is the behaviour TPC-DS Q17 analyzes; without it the
+	// sr⋈cs join on (customer, item) would be nearly empty). The remainder
+	// draw from the same skewed pools as the store channel.
+	csRows := make([]types.Tuple, sz.CatalogSales)
+	for i := range csRows {
+		var day, cust, item int
+		if rng.Intn(100) < 40 && len(srRows) > 0 {
+			r := srRows[rng.Intn(len(srRows))]
+			day = int(r[0].I) + rng.Intn(31)
+			if day >= sz.DateDim {
+				day = sz.DateDim - 1
+			}
+			cust = int(r[1].I)
+			item = int(r[2].I)
+		} else {
+			day = rng.Intn(sz.DateDim)
+			cust = rng.Zipf(sz.Customer)
+			item = rng.Zipf(sz.Item)
+		}
+		csRows[i] = types.Tuple{
+			types.Int(int64(day)),
+			types.Int(int64(cust)),
+			types.Int(int64(item)),
+			types.Int(int64(rng.Range(1, 100))),
+		}
+	}
+	if err := reg("catalog_sales", types.NewSchema(intF("cs_sold_date_sk"), intF("cs_bill_customer_sk"),
+		intF("cs_item_sk"), intF("cs_quantity")),
+		nil, csRows); err != nil {
+		return sz, err
+	}
+	return sz, nil
+}
+
+// BuildIndexes adds the secondary indexes the Figure 8 experiments assume:
+// the fact tables' date foreign keys.
+func BuildIndexes(ctx *engine.Context) error {
+	for _, spec := range []struct {
+		dataset, field string
+	}{
+		{"store_sales", "ss_sold_date_sk"},
+		{"store_returns", "sr_returned_date_sk"},
+		{"catalog_sales", "cs_sold_date_sk"},
+	} {
+		ds, ok := ctx.Catalog.Get(spec.dataset)
+		if !ok {
+			return fmt.Errorf("tpcds: %s not loaded", spec.dataset)
+		}
+		if _, err := storage.BuildIndex(ds, spec.field); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Q17 is the paper's TPC-DS query 17 (Figure 9a): three fact tables chained
+// on composite keys, three filtered date dimensions, item and store for the
+// result, aggregates over the sale/return quantities, GROUP BY / ORDER BY /
+// LIMIT 100.
+func Q17() string {
+	return `SELECT i.i_item_id, i.i_item_desc, st.s_store_id, st.s_store_name,
+       count(ss.ss_quantity) AS store_sales_quantitycount,
+       avg(ss.ss_quantity) AS store_sales_quantityave,
+       avg(sr.sr_return_quantity) AS store_returns_quantityave,
+       avg(cs.cs_quantity) AS catalog_sales_quantityave
+FROM store_sales ss, store_returns sr, catalog_sales cs,
+     date_dim d1, date_dim d2, date_dim d3, store st, item i
+WHERE d1.d_moy = 4
+  AND d1.d_year = 2001
+  AND d1.d_date_sk = ss.ss_sold_date_sk
+  AND i.i_item_sk = ss.ss_item_sk
+  AND st.s_store_sk = ss.ss_store_sk
+  AND ss.ss_customer_sk = sr.sr_customer_sk
+  AND ss.ss_item_sk = sr.sr_item_sk
+  AND ss.ss_ticket_number = sr.sr_ticket_number
+  AND sr.sr_returned_date_sk = d2.d_date_sk
+  AND d2.d_moy BETWEEN 4 AND 10
+  AND d2.d_year = 2001
+  AND sr.sr_customer_sk = cs.cs_bill_customer_sk
+  AND sr.sr_item_sk = cs.cs_item_sk
+  AND cs.cs_sold_date_sk = d3.d_date_sk
+  AND d3.d_moy BETWEEN 4 AND 10
+  AND d3.d_year = 2001
+GROUP BY i.i_item_id, i.i_item_desc, st.s_store_id, st.s_store_name
+ORDER BY i.i_item_id, i.i_item_desc, st.s_store_id, st.s_store_name
+LIMIT 100`
+}
+
+// Q50 is the paper's TPC-DS query 50 (Figure 9b): the fact-to-fact
+// store_sales⋈store_returns join with parameterized (myrand) predicates on
+// one date dimension.
+func Q50() string {
+	return `SELECT st.s_store_name, ss.ss_quantity, sr.sr_return_quantity
+FROM store_sales ss, store_returns sr, date_dim d1, date_dim d2, store st
+WHERE d1.d_moy = myrand(8, 10)
+  AND d1.d_year = myrand(1998, 2000)
+  AND d1.d_date_sk = sr.sr_returned_date_sk
+  AND ss.ss_customer_sk = sr.sr_customer_sk
+  AND ss.ss_item_sk = sr.sr_item_sk
+  AND ss.ss_ticket_number = sr.sr_ticket_number
+  AND ss.ss_sold_date_sk = d2.d_date_sk
+  AND ss.ss_store_sk = st.s_store_sk`
+}

@@ -1,0 +1,278 @@
+// Package tpch generates the TPC-H table subset queries 8 and 9 touch, at
+// row-multiplier scale factors, preserving the structural properties the
+// paper's evaluation depends on: key/foreign-key join paths, the correlated
+// (o_orderdate, o_orderstatus) predicate pair added to Q8, the UDF-filtered
+// columns of Q9, and the lineitem⋈partsupp composite-key join.
+package tpch
+
+import (
+	"fmt"
+
+	"dynopt/internal/engine"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+	"dynopt/internal/workload"
+)
+
+// Sizes reports the generated row counts at a scale factor. Ratios follow
+// TPC-H (lineitem : orders : partsupp : part : customer : supplier =
+// 6M : 1.5M : 800k : 200k : 150k : 10k per official SF), scaled down by
+// 1000×; SF 1 here plays the role of a small warehouse.
+type Sizes struct {
+	Lineitem, Orders, Partsupp, Part, Customer, Supplier, Nation, Region int
+}
+
+// SizesFor returns the table sizes at sf.
+func SizesFor(sf int) Sizes {
+	if sf < 1 {
+		sf = 1
+	}
+	return Sizes{
+		Lineitem: 6000 * sf,
+		Orders:   1500 * sf,
+		Partsupp: 800 * sf,
+		Part:     200 * sf,
+		Customer: 150 * sf,
+		Supplier: 10*sf + 15,
+		Nation:   25,
+		Region:   5,
+	}
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var partTypes = buildPartTypes()
+
+func buildPartTypes() []string {
+	t1 := []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	t2 := []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	t3 := []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	var out []string
+	for _, a := range t1 {
+		for _, b := range t2 {
+			for _, c := range t3 {
+				out = append(out, a+" "+b+" "+c)
+			}
+		}
+	}
+	return out
+}
+
+func intF(n string) types.Field { return types.Field{Name: n, Kind: types.KindInt} }
+func strF(n string) types.Field { return types.Field{Name: n, Kind: types.KindString} }
+
+// dateString renders a day offset within 1992-01-01 .. 1998-12-30 as an ISO
+// date (12 synthetic 30-day months per year keep the arithmetic exact).
+func dateString(day int) string {
+	year := 1992 + day/360
+	rem := day % 360
+	month := rem/30 + 1
+	dom := rem%30 + 1
+	return fmt.Sprintf("%04d-%02d-%02d", year, month, dom)
+}
+
+const daysTotal = 7 * 360 // 1992..1998
+
+// Load generates all eight tables at sf and registers them (with
+// ingestion-time statistics) in ctx's catalog, partitioned across the
+// cluster's nodes.
+func Load(ctx *engine.Context, sf int) (Sizes, error) {
+	sz := SizesFor(sf)
+	nodes := ctx.Cluster.Nodes()
+	rng := workload.NewRNG(0x7c4a7d15)
+
+	reg := func(name string, sch *types.Schema, pk []string, rows []types.Tuple) error {
+		ds, st, err := storage.Build(name, sch, pk, rows, nodes)
+		if err != nil {
+			return fmt.Errorf("tpch: %s: %w", name, err)
+		}
+		return ctx.Catalog.Register(ds, st)
+	}
+
+	// region
+	regionRows := make([]types.Tuple, sz.Region)
+	for i := range regionRows {
+		regionRows[i] = types.Tuple{types.Int(int64(i)), types.Str(regions[i]), types.Str("region comment padding text")}
+	}
+	if err := reg("region", types.NewSchema(intF("r_regionkey"), strF("r_name"), strF("r_comment")),
+		[]string{"r_regionkey"}, regionRows); err != nil {
+		return sz, err
+	}
+
+	// nation: 5 per region
+	nationRows := make([]types.Tuple, sz.Nation)
+	for i := range nationRows {
+		nationRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("NATION_%02d", i)),
+			types.Int(int64(i % sz.Region)),
+		}
+	}
+	if err := reg("nation", types.NewSchema(intF("n_nationkey"), strF("n_name"), intF("n_regionkey")),
+		[]string{"n_nationkey"}, nationRows); err != nil {
+		return sz, err
+	}
+
+	// supplier
+	suppRows := make([]types.Tuple, sz.Supplier)
+	for i := range suppRows {
+		suppRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("Supplier#%06d", i)),
+			types.Int(int64(rng.Intn(sz.Nation))),
+			types.Float(float64(rng.Intn(100000)) / 10),
+		}
+	}
+	if err := reg("supplier", types.NewSchema(intF("s_suppkey"), strF("s_name"), intF("s_nationkey"), types.Field{Name: "s_acctbal", Kind: types.KindFloat}),
+		[]string{"s_suppkey"}, suppRows); err != nil {
+		return sz, err
+	}
+
+	// part: p_brand "Brand#xy" with x in 1..9 (mysub extracts "#x", so the
+	// Q9 filter keeps ~1/9 of parts — selective enough that the post-filter
+	// lineitem⋈part' join is the cheapest first stage, as in the paper's
+	// Q9 plans), p_type one of 150 composed types (Q8 selects one).
+	partRows := make([]types.Tuple, sz.Part)
+	for i := range partRows {
+		brand := fmt.Sprintf("Brand#%d%d", rng.Range(1, 9), rng.Range(1, 5))
+		partRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Str(fmt.Sprintf("part name %d lavender linen", i)),
+			types.Str(brand),
+			types.Str(rng.Pick(partTypes)),
+			types.Int(int64(rng.Range(1, 50))),
+		}
+	}
+	if err := reg("part", types.NewSchema(intF("p_partkey"), strF("p_name"), strF("p_brand"), strF("p_type"), intF("p_size")),
+		[]string{"p_partkey"}, partRows); err != nil {
+		return sz, err
+	}
+
+	// customer
+	custRows := make([]types.Tuple, sz.Customer)
+	for i := range custRows {
+		custRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Int(int64(rng.Intn(sz.Nation))),
+			types.Str(fmt.Sprintf("Customer#%08d address padding", i)),
+		}
+	}
+	if err := reg("customer", types.NewSchema(intF("c_custkey"), intF("c_nationkey"), strF("c_address")),
+		[]string{"c_custkey"}, custRows); err != nil {
+		return sz, err
+	}
+
+	// orders: o_orderdate spans 1992..1998. The correlation the paper
+	// exploits: o_orderstatus = 'F' exactly for orders dated 1995 or 1996,
+	// so Q8's (date BETWEEN '1995-01-01' AND '1996-12-31') AND (status='F')
+	// has true selectivity 2/7 while the independence assumption predicts
+	// (2/7)·(2/7) ≈ 0.082 — a 3.5× underestimate.
+	orderRows := make([]types.Tuple, sz.Orders)
+	for i := range orderRows {
+		day := rng.Intn(daysTotal)
+		year := 1992 + day/360
+		status := "O"
+		if year == 1995 || year == 1996 {
+			status = "F"
+		}
+		orderRows[i] = types.Tuple{
+			types.Int(int64(i)),
+			types.Int(int64(rng.Intn(sz.Customer))),
+			types.Str(dateString(day)),
+			types.Str(status),
+			types.Str("order clerk comment padding"),
+		}
+	}
+	if err := reg("orders", types.NewSchema(intF("o_orderkey"), intF("o_custkey"), strF("o_orderdate"), strF("o_orderstatus"), strF("o_comment")),
+		[]string{"o_orderkey"}, orderRows); err != nil {
+		return sz, err
+	}
+
+	// partsupp: each part supplied by ~4 suppliers; keys skewed so sampled
+	// distinct counts extrapolate badly (pilot-run's weakness).
+	psRows := make([]types.Tuple, sz.Partsupp)
+	for i := range psRows {
+		psRows[i] = types.Tuple{
+			types.Int(int64(workload.NewRNG(uint64(i)).Zipf(sz.Part))),
+			types.Int(int64(rng.Intn(sz.Supplier))),
+			types.Int(int64(rng.Range(1, 9999))),
+			types.Float(float64(rng.Intn(100000)) / 100),
+		}
+	}
+	if err := reg("partsupp", types.NewSchema(intF("ps_partkey"), intF("ps_suppkey"), intF("ps_availqty"), types.Field{Name: "ps_supplycost", Kind: types.KindFloat}),
+		nil, psRows); err != nil {
+		return sz, err
+	}
+
+	// lineitem: the fact table. Part keys zipf-skewed; supplier and order
+	// references uniform.
+	liRows := make([]types.Tuple, sz.Lineitem)
+	for i := range liRows {
+		liRows[i] = types.Tuple{
+			types.Int(int64(rng.Intn(sz.Orders))),
+			types.Int(int64(rng.Zipf(sz.Part))),
+			types.Int(int64(rng.Intn(sz.Supplier))),
+			types.Int(int64(rng.Range(1, 50))),
+			types.Float(float64(rng.Intn(10000000)) / 100),
+			types.Float(float64(rng.Intn(10)) / 100),
+			types.Str("lineitem shipinstruct padding text"),
+		}
+	}
+	if err := reg("lineitem", types.NewSchema(intF("l_orderkey"), intF("l_partkey"), intF("l_suppkey"), intF("l_quantity"),
+		types.Field{Name: "l_extendedprice", Kind: types.KindFloat},
+		types.Field{Name: "l_discount", Kind: types.KindFloat},
+		strF("l_comment")), nil, liRows); err != nil {
+		return sz, err
+	}
+	return sz, nil
+}
+
+// BuildIndexes adds the secondary indexes the Figure 8 experiments assume:
+// lineitem on its part and supplier foreign keys.
+func BuildIndexes(ctx *engine.Context) error {
+	ds, ok := ctx.Catalog.Get("lineitem")
+	if !ok {
+		return fmt.Errorf("tpch: lineitem not loaded")
+	}
+	for _, f := range []string{"l_partkey", "l_suppkey"} {
+		if _, err := storage.BuildIndex(ds, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Q8 is the paper's modified TPC-H query 8: all PK/FK joins across eight
+// datasets, with the correlated predicate pair on orders and a one-in-150
+// type filter on part (Figure 10a).
+func Q8() string {
+	return `SELECT o.o_orderdate, l.l_extendedprice, l.l_discount, n2.n_name
+FROM lineitem l, part p, supplier s, orders o, customer c, nation n1, nation n2, region r
+WHERE p.p_partkey = l.l_partkey
+  AND s.s_suppkey = l.l_suppkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_custkey = c.c_custkey
+  AND c.c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r.r_regionkey
+  AND r.r_name = 'ASIA'
+  AND s.s_nationkey = n2.n_nationkey
+  AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND o.o_orderstatus = 'F'
+  AND p.p_type = 'SMALL PLATED COPPER'`
+}
+
+// Q9 is the paper's modified TPC-H query 9: UDF predicates on orders
+// (myyear) and part (mysub), plus the composite-key lineitem⋈partsupp join
+// (Figure 10b).
+func Q9() string {
+	return `SELECT n.n_name, o.o_orderdate, l.l_extendedprice, ps.ps_supplycost
+FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+WHERE s.s_suppkey = l.l_suppkey
+  AND ps.ps_suppkey = l.l_suppkey
+  AND ps.ps_partkey = l.l_partkey
+  AND p.p_partkey = l.l_partkey
+  AND o.o_orderkey = l.l_orderkey
+  AND myyear(o.o_orderdate) = 1998
+  AND s.s_nationkey = n.n_nationkey
+  AND mysub(p.p_brand) = '#3'`
+}

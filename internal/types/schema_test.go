@@ -1,0 +1,165 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Field{Qualifier: "a", Name: "x", Kind: KindInt},
+		Field{Qualifier: "a", Name: "y", Kind: KindString},
+		Field{Qualifier: "b", Name: "x", Kind: KindInt},
+		Field{Qualifier: "b", Name: "z", Kind: KindFloat},
+	)
+}
+
+func TestSchemaIndexQualified(t *testing.T) {
+	s := testSchema()
+	cases := []struct {
+		name string
+		want int
+		ok   bool
+	}{
+		{"a.x", 0, true},
+		{"a.y", 1, true},
+		{"b.x", 2, true},
+		{"b.z", 3, true},
+		{"c.x", -1, false},
+		{"a.z", -1, false},
+	}
+	for _, c := range cases {
+		got, ok := s.Index(c.name)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Index(%q) = %d,%v want %d,%v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestSchemaIndexBareAndAmbiguous(t *testing.T) {
+	s := testSchema()
+	if i, ok := s.Index("y"); !ok || i != 1 {
+		t.Errorf("Index(y) = %d,%v", i, ok)
+	}
+	if i, ok := s.Index("z"); !ok || i != 3 {
+		t.Errorf("Index(z) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("x"); ok {
+		t.Error("Index(x) should be ambiguous")
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("Index(nope) should fail")
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on missing column did not panic")
+		}
+	}()
+	testSchema().MustIndex("missing")
+}
+
+func TestSchemaQualifiers(t *testing.T) {
+	s := testSchema()
+	q := s.Qualifiers()
+	if len(q) != 2 || q[0] != "a" || q[1] != "b" {
+		t.Errorf("Qualifiers() = %v", q)
+	}
+	if !s.HasQualifier("a") || s.HasQualifier("c") {
+		t.Error("HasQualifier wrong")
+	}
+}
+
+func TestSchemaConcatAndRequalify(t *testing.T) {
+	s := testSchema()
+	o := NewSchema(Field{Qualifier: "c", Name: "w", Kind: KindBool})
+	cat := s.Concat(o)
+	if cat.Len() != 5 || cat.Fields[4].QName() != "c.w" {
+		t.Errorf("Concat wrong: %s", cat)
+	}
+	// Concat must not alias the receiver's backing array.
+	if s.Len() != 4 {
+		t.Error("Concat mutated receiver")
+	}
+	rq := s.Requalify("t")
+	for _, f := range rq.Fields {
+		if f.Qualifier != "t" {
+			t.Errorf("Requalify left qualifier %q", f.Qualifier)
+		}
+	}
+	if s.Fields[0].Qualifier != "a" {
+		t.Error("Requalify mutated receiver")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := testSchema()
+	p, idxs, err := s.Project([]string{"b.z", "a.x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || idxs[0] != 3 || idxs[1] != 0 {
+		t.Errorf("Project = %s idxs=%v", p, idxs)
+	}
+	if _, _, err := s.Project([]string{"x"}); err == nil {
+		t.Error("Project on ambiguous bare name should error")
+	}
+}
+
+func TestTupleCloneConcat(t *testing.T) {
+	tu := Tuple{Int(1), Str("a")}
+	cl := tu.Clone()
+	cl[0] = Int(9)
+	if tu[0].I != 1 {
+		t.Error("Clone aliased backing array")
+	}
+	cat := tu.Concat(Tuple{Bool(true)})
+	if len(cat) != 3 || !cat[2].IsTrue() {
+		t.Errorf("Concat = %v", cat)
+	}
+}
+
+func TestTupleEncodedSize(t *testing.T) {
+	tu := Tuple{Int(1), Str("ab"), Null()}
+	if got := tu.EncodedSize(); got != 9+3+1 {
+		t.Errorf("EncodedSize = %d", got)
+	}
+}
+
+func TestHashKeysCompositeConsistency(t *testing.T) {
+	f := func(a, b int64) bool {
+		t1 := Tuple{Int(a), Int(b), Str("pad")}
+		t2 := Tuple{Str("other"), Int(a), Int(b)}
+		return t1.HashKeys([]int{0, 1}) == t2.HashKeys([]int{1, 2})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashKeysOrderMatters(t *testing.T) {
+	t1 := Tuple{Int(1), Int(2)}
+	if t1.HashKeys([]int{0, 1}) == t1.HashKeys([]int{1, 0}) {
+		t.Error("composite hash should be order sensitive")
+	}
+}
+
+func TestKeysEqual(t *testing.T) {
+	a := Tuple{Int(1), Str("x"), Int(3)}
+	b := Tuple{Str("x"), Int(1), Int(4)}
+	if !a.KeysEqual([]int{0, 1}, b, []int{1, 0}) {
+		t.Error("KeysEqual false negative")
+	}
+	if a.KeysEqual([]int{0, 2}, b, []int{1, 2}) {
+		t.Error("KeysEqual false positive")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := Tuple{Int(1), Str("a")}
+	if got := tu.String(); got != "[1, 'a']" {
+		t.Errorf("Tuple.String() = %q", got)
+	}
+}

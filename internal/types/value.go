@@ -1,0 +1,253 @@
+// Package types defines the value, tuple, and schema primitives shared by
+// every layer of the engine: storage, expression evaluation, execution
+// operators, and statistics collection.
+//
+// Values are a compact tagged union rather than interface{} so that tuples
+// stay cache-friendly and hashing/comparison avoid allocation on the hot
+// join paths.
+package types
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union holding one SQL value. The zero Value is NULL.
+type Value struct {
+	S string
+	I int64
+	F float64
+	K Kind
+	B bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{K: KindNull} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{K: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{K: KindBool, B: b} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// IsTrue reports whether v is the boolean true. Any non-bool value is not
+// true; predicates therefore treat NULL and type mismatches as false, the
+// usual SQL three-valued collapse at the WHERE clause.
+func (v Value) IsTrue() bool { return v.K == KindBool && v.B }
+
+// AsFloat coerces numeric values to float64 for arithmetic and histogram
+// insertion. Non-numeric values report ok=false.
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.K {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt coerces numeric values to int64. Non-numeric values report ok=false.
+func (v Value) AsInt() (i int64, ok bool) {
+	switch v.K {
+	case KindInt:
+		return v.I, true
+	case KindFloat:
+		return int64(v.F), true
+	default:
+		return 0, false
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare numerically across int/float; otherwise values of different kinds
+// compare by kind tag (stable but arbitrary), and same-kind values compare
+// naturally. Returns -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	if v.K == KindNull || o.K == KindNull {
+		switch {
+		case v.K == o.K:
+			return 0
+		case v.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if isNumeric(v.K) && isNumeric(o.K) {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.K != o.K {
+		if v.K < o.K {
+			return -1
+		}
+		return 1
+	}
+	switch v.K {
+	case KindString:
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		default:
+			return 0
+		}
+	case KindBool:
+		switch {
+		case !v.B && o.B:
+			return -1
+		case v.B && !o.B:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+// Hash returns a 64-bit hash of the value, suitable for hash partitioning
+// and hash-join tables. Numerically equal int/float values hash identically.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.K {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt:
+		buf[0] = 1
+		putUint64(buf[1:], uint64(v.I))
+		h.Write(buf[:9])
+	case KindFloat:
+		if v.F == math.Trunc(v.F) && v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+			// Hash integral floats as ints so 3 and 3.0 join.
+			buf[0] = 1
+			putUint64(buf[1:], uint64(int64(v.F)))
+		} else {
+			buf[0] = 2
+			putUint64(buf[1:], math.Float64bits(v.F))
+		}
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 3
+		h.Write(buf[:1])
+		h.Write([]byte(v.S))
+	case KindBool:
+		buf[0] = 4
+		if v.B {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// EncodedSize returns the number of bytes this value occupies in the
+// simulated on-disk / on-wire representation. The cluster cost accountant
+// uses it to meter shuffles, broadcasts, and materialization.
+func (v Value) EncodedSize() int {
+	switch v.K {
+	case KindNull:
+		return 1
+	case KindInt, KindFloat:
+		return 9
+	case KindString:
+		return 1 + len(v.S)
+	case KindBool:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// String renders the value in SQL-literal-ish form for plan and result
+// printing.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "'" + v.S + "'"
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}

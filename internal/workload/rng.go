@@ -1,0 +1,64 @@
+// Package workload provides the deterministic PRNG and shared helpers used
+// by the TPC-H and TPC-DS data generators. Everything is seeded, so every
+// benchmark run sees byte-identical data.
+package workload
+
+// RNG is a splitmix64 pseudo-random generator.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Range returns a uniform int in [lo, hi] inclusive.
+func (r *RNG) Range(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Pick returns a uniform element of choices.
+func (r *RNG) Pick(choices []string) string {
+	if len(choices) == 0 {
+		return ""
+	}
+	return choices[r.Intn(len(choices))]
+}
+
+// Zipf returns an integer in [0, n) with a heavily skewed (approximately
+// zipfian) distribution: low indexes are far more likely. Used to give fact
+// tables the key skew that defeats sampling-based distinct estimation.
+func (r *RNG) Zipf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Three rolls, keep the minimum: cheap heavy-head skew.
+	a, b, c := r.Intn(n), r.Intn(n), r.Intn(n)
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-5) != 0 {
+		t.Error("degenerate Intn not 0")
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := NewRNG(7)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.Range(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+		if v == 3 {
+			seenLo = true
+		}
+		if v == 5 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Error("Range endpoints never hit")
+	}
+	if r.Range(9, 2) != 9 {
+		t.Error("inverted Range should return lo")
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(7)
+	choices := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Pick(choices)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick covered %d of 3", len(seen))
+	}
+	if r.Pick(nil) != "" {
+		t.Error("Pick(nil) not empty")
+	}
+}
+
+func TestZipfSkewed(t *testing.T) {
+	r := NewRNG(7)
+	const n = 100
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		v := r.Zipf(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Heavy head: the first decile should hold far more than 10% of mass.
+	head := 0
+	for i := 0; i < n/10; i++ {
+		head += counts[i]
+	}
+	if head < 20000 {
+		t.Errorf("Zipf head mass = %d of 100000, want heavy (>20%%)", head)
+	}
+	// Monotone-ish decay between head and tail.
+	if counts[0] <= counts[n-1] {
+		t.Error("Zipf head not heavier than tail")
+	}
+	if r.Zipf(1) != 0 || r.Zipf(0) != 0 {
+		t.Error("degenerate Zipf not 0")
+	}
+}
+
+func TestUniformityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		const n, trials = 8, 8000
+		counts := make([]int, n)
+		for i := 0; i < trials; i++ {
+			counts[r.Intn(n)]++
+		}
+		for _, c := range counts {
+			// Each bucket within 3x of the fair share (very loose bound).
+			if c < trials/n/3 || c > trials/n*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

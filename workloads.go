@@ -1,0 +1,51 @@
+package dynopt
+
+import (
+	"dynopt/internal/tpcds"
+	"dynopt/internal/tpch"
+)
+
+// LoadTPCH generates and loads the TPC-H table subset (lineitem, orders,
+// customer, part, supplier, partsupp, nation, region) at a row-multiplier
+// scale factor. Returns the lineitem row count.
+func LoadTPCH(db *DB, sf int) (int64, error) {
+	sz, err := tpch.Load(db.ctx, sf)
+	if err != nil {
+		return 0, err
+	}
+	return int64(sz.Lineitem), nil
+}
+
+// CreateTPCHIndexes adds the secondary indexes the paper's Figure 8
+// experiments assume for TPC-H (lineitem foreign keys).
+func CreateTPCHIndexes(db *DB) error { return tpch.BuildIndexes(db.ctx) }
+
+// TPCHQ8 returns the paper's modified TPC-H query 8 (correlated predicates
+// on orders).
+func TPCHQ8() string { return tpch.Q8() }
+
+// TPCHQ9 returns the paper's modified TPC-H query 9 (UDF predicates).
+func TPCHQ9() string { return tpch.Q9() }
+
+// LoadTPCDS generates and loads the TPC-DS table subset (store_sales,
+// store_returns, catalog_sales, date_dim, store, item) at a row-multiplier
+// scale factor. Returns the store_sales row count.
+func LoadTPCDS(db *DB, sf int) (int64, error) {
+	sz, err := tpcds.Load(db.ctx, sf)
+	if err != nil {
+		return 0, err
+	}
+	return int64(sz.StoreSales), nil
+}
+
+// CreateTPCDSIndexes adds the secondary indexes the paper's Figure 8
+// experiments assume for TPC-DS (fact-table date keys).
+func CreateTPCDSIndexes(db *DB) error { return tpcds.BuildIndexes(db.ctx) }
+
+// TPCDSQ17 returns the paper's TPC-DS query 17 (three fact tables, three
+// filtered date dimensions).
+func TPCDSQ17() string { return tpcds.Q17() }
+
+// TPCDSQ50 returns the paper's TPC-DS query 50 (parameterized date
+// predicates via myrand).
+func TPCDSQ50() string { return tpcds.Q50() }
