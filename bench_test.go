@@ -7,6 +7,8 @@ package dynopt
 
 import (
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dynopt/internal/bench"
@@ -292,5 +294,46 @@ func BenchmarkParse(b *testing.B) {
 		if _, err := sqlpp.Parse(sql); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConcurrentQueries measures serving throughput (queries/sec) at
+// 1, 4, and 16 concurrent clients issuing a mixed-strategy workload against
+// one DB — the per-query execution scope is what makes this sound.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	mixed := []Strategy{StrategyDynamic, StrategyCostBased, StrategyWorstOrder, StrategyIngres}
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(strconv.Itoa(clients)+"-clients", func(b *testing.B) {
+			db := Open(Config{Nodes: benchNodes})
+			if _, err := LoadTPCDS(db, benchSF); err != nil {
+				b.Fatal(err)
+			}
+			sql := TPCDSQ17()
+			var seq atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			work := make(chan int)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range work {
+						s := mixed[int(seq.Add(1))%len(mixed)]
+						if _, err := db.Query(sql, &QueryOptions{Strategy: s}); err != nil {
+							// Keep draining so the feeding loop never blocks
+							// on a channel nobody receives from.
+							b.Error(err)
+						}
+					}
+				}()
+			}
+			for i := 0; i < b.N; i++ {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
 	}
 }

@@ -20,7 +20,10 @@
 package dynopt
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dynopt/internal/catalog"
 	"dynopt/internal/cluster"
@@ -119,14 +122,31 @@ type Config struct {
 	// planned statically from the statistics gathered so far (the §8
 	// trade-off). 0 means unlimited.
 	ReoptBudget int
+	// MaxConcurrentQueries caps how many queries execute at once; further
+	// Query/QueryCtx calls block for a slot (admission control), or return
+	// early when their context is cancelled while waiting. 0 means
+	// unlimited.
+	MaxConcurrentQueries int
 }
 
 // DB is one simulated BDMS instance: a cluster, a catalog, and a UDF
-// registry. DB methods are not safe for concurrent use with each other.
+// registry.
+//
+// Concurrency: Query, QueryCtx, Explain, SetParam, and Datasets are safe
+// for concurrent use — each query runs in its own execution scope (private
+// cost accountant, private temp-dataset namespace swept even on error or
+// panic) against the shared, internally synchronized catalog, whose base
+// datasets are immutable once loaded. Load the data first: CreateDataset,
+// CreateIndex, and RegisterUDF belong to the loading phase and must not
+// race with in-flight queries over the same names.
 type DB struct {
-	ctx         *engine.Context
+	ctx         *engine.Context // loading-phase context (shared cluster/catalog/UDFs)
 	algo        core.AlgoConfig
 	reoptBudget int
+
+	pmu    sync.RWMutex // guards ctx.Params against SetParam during serving
+	admit  chan struct{}
+	qidSeq atomic.Int64
 }
 
 // Open creates a DB.
@@ -139,7 +159,7 @@ func Open(cfg Config) *DB {
 		algo.BroadcastThresholdBytes = cfg.BroadcastThresholdBytes
 	}
 	algo.EnableINLJ = cfg.EnableINLJ
-	return &DB{
+	db := &DB{
 		ctx: &engine.Context{
 			Cluster: cluster.New(cfg.Nodes),
 			Catalog: catalog.New(),
@@ -149,6 +169,10 @@ func Open(cfg Config) *DB {
 		algo:        algo,
 		reoptBudget: cfg.ReoptBudget,
 	}
+	if cfg.MaxConcurrentQueries > 0 {
+		db.admit = make(chan struct{}, cfg.MaxConcurrentQueries)
+	}
+	return db
 }
 
 // Nodes returns the simulated cluster size.
@@ -184,9 +208,30 @@ func (db *DB) RegisterUDF(name string, fn func(args []Value) (Value, error)) err
 	return db.ctx.UDFs.Register(expr.UDF{Name: name, Fn: fn})
 }
 
-// SetParam binds a query parameter referenced as $name.
+// SetParam binds a query parameter referenced as $name. Queries already
+// executing keep the bindings they started with.
 func (db *DB) SetParam(name string, v Value) {
+	db.pmu.Lock()
+	defer db.pmu.Unlock()
 	db.ctx.Params[name] = v
+}
+
+// paramsFor snapshots the DB-level parameters merged with per-query
+// overrides; every query gets its own copy so SetParam cannot race with
+// predicate evaluation mid-flight.
+func (db *DB) paramsFor(opts *QueryOptions) map[string]Value {
+	db.pmu.RLock()
+	merged := make(map[string]Value, len(db.ctx.Params))
+	for k, v := range db.ctx.Params {
+		merged[k] = v
+	}
+	db.pmu.RUnlock()
+	if opts != nil {
+		for k, v := range opts.Params {
+			merged[k] = v
+		}
+	}
+	return merged
 }
 
 // Datasets lists the registered dataset names.
@@ -258,7 +303,19 @@ func (db *DB) strategyFor(s Strategy) (core.Strategy, error) {
 }
 
 // Query parses, optimizes, and executes sql under the selected strategy.
+// Safe for concurrent use; equivalent to QueryCtx with a background context.
 func (db *DB) Query(sql string, opts *QueryOptions) (*Result, error) {
+	return db.QueryCtx(context.Background(), sql, opts)
+}
+
+// QueryCtx is Query with cancellation: the query stops at the next stage
+// boundary (scan, join, materialization, or re-optimization point) once ctx
+// is cancelled, and a call waiting on admission control gives up its place
+// in line. Each call runs in a private execution scope — its own cost
+// accountant, so Metrics meters exactly this query's work no matter how
+// many others run concurrently, and its own temp-dataset namespace, swept
+// on every exit path so a failing query leaves the catalog unchanged.
+func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Result, error) {
 	var strategy Strategy
 	if opts != nil {
 		strategy = opts.Strategy
@@ -267,23 +324,34 @@ func (db *DB) Query(sql string, opts *QueryOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := db.ctx
-	if opts != nil && opts.Params != nil {
-		merged := map[string]Value{}
-		for k, v := range db.ctx.Params {
-			merged[k] = v
-		}
-		for k, v := range opts.Params {
-			merged[k] = v
-		}
-		ctx = &engine.Context{
-			Cluster: db.ctx.Cluster,
-			Catalog: db.ctx.Catalog,
-			UDFs:    db.ctx.UDFs,
-			Params:  merged,
+	if db.admit != nil {
+		select {
+		case db.admit <- struct{}{}:
+			defer func() { <-db.admit }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
-	res, rep, err := s.Run(ctx, sql)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	scope := fmt.Sprintf("q%d_", db.qidSeq.Add(1))
+	// Backstop sweep: the dynamic driver drops its temps itself, but if a
+	// strategy errors or panics between materializing and registering its
+	// cleanup, the query's unique namespace guarantees nothing survives.
+	defer db.ctx.Catalog.DropPrefix("tmp_" + scope)
+
+	qctx := &engine.Context{
+		Cluster: db.ctx.Cluster,
+		Catalog: db.ctx.Catalog,
+		UDFs:    db.ctx.UDFs,
+		Params:  db.paramsFor(opts),
+		Acct:    &cluster.Accounting{},
+		Scope:   scope,
+		Cancel:  ctx,
+	}
+	res, rep, err := s.Run(qctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -316,9 +384,10 @@ func (db *DB) Explain(sql string, opts *QueryOptions) (string, error) {
 			Cluster: cluster.New(db.ctx.Cluster.Nodes()),
 			Catalog: db.ctx.Catalog.CloneBases(),
 			UDFs:    db.ctx.UDFs,
-			Params:  db.ctx.Params,
+			Params:  db.paramsFor(nil),
 		},
-		algo: db.algo,
+		algo:        db.algo,
+		reoptBudget: db.reoptBudget,
 	}
 	res, err := shadow.Query(sql, opts)
 	if err != nil {

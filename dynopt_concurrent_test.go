@@ -1,0 +1,278 @@
+package dynopt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var allStrategies = []Strategy{
+	StrategyDynamic, StrategyCostBased, StrategyBestOrder,
+	StrategyWorstOrder, StrategyPilotRun, StrategyIngres,
+}
+
+// TestConcurrentQueryIsolation issues 36 concurrent Query calls (six per
+// strategy) against one DB and asserts each result's metered counters are
+// identical to the same query run serially: per-query accounting must not
+// observe any other query's work, and the shared catalog must not let one
+// query's intermediates disturb another's planning.
+func TestConcurrentQueryIsolation(t *testing.T) {
+	db := testDB(t)
+
+	baseline := map[Strategy]Snapshot{}
+	baseRows := map[Strategy]int{}
+	for _, s := range allStrategies {
+		res, err := db.Query(apiQuery, &QueryOptions{Strategy: s})
+		if err != nil {
+			t.Fatalf("%s serial: %v", s, err)
+		}
+		baseline[s] = res.Metrics.Counters
+		baseRows[s] = len(res.Rows)
+	}
+
+	const perStrategy = 6 // 6 strategies × 6 = 36 concurrent queries
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(allStrategies)*perStrategy)
+	for _, s := range allStrategies {
+		for i := 0; i < perStrategy; i++ {
+			wg.Add(1)
+			go func(s Strategy) {
+				defer wg.Done()
+				res, err := db.Query(apiQuery, &QueryOptions{Strategy: s})
+				if err != nil {
+					errCh <- fmt.Errorf("%s: %w", s, err)
+					return
+				}
+				if len(res.Rows) != baseRows[s] {
+					errCh <- fmt.Errorf("%s: %d rows, want %d", s, len(res.Rows), baseRows[s])
+					return
+				}
+				if res.Metrics.Counters != baseline[s] {
+					errCh <- fmt.Errorf("%s: concurrent counters diverge from serial run\n got %s\nwant %s",
+						s, res.Metrics.Counters, baseline[s])
+				}
+			}(s)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	bases := map[string]bool{"users": true, "orders": true, "items": true}
+	for _, n := range db.Datasets() {
+		if !bases[n] {
+			t.Errorf("leftover dataset %q after concurrent queries", n)
+		}
+	}
+}
+
+// TestFailingQueryLeavesDatasetsUnchanged is the temp-leak regression test:
+// a query that fails after its first push-down has already materialized an
+// intermediate must drop that intermediate on the way out.
+func TestFailingQueryLeavesDatasetsUnchanged(t *testing.T) {
+	db := testDB(t)
+	if err := db.RegisterUDF("boom", func(args []Value) (Value, error) {
+		return Null(), errors.New("boom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Datasets()
+
+	// Aliases push down in FROM order: u (two local predicates) materializes
+	// tmp_* first, then i (complex UDF predicate) fails mid-query.
+	failing := `SELECT o.o_id FROM orders o, users u, items i
+		WHERE o.o_user = u.u_id AND o.o_item = i.i_id
+		AND u.u_grp = 3 AND u.u_id >= 0 AND boom(i.i_id) = 1`
+	if _, err := db.Query(failing, nil); err == nil {
+		t.Fatal("query with failing UDF did not error")
+	}
+
+	if after := db.Datasets(); !reflect.DeepEqual(before, after) {
+		t.Errorf("failing query changed catalog: before %v, after %v", before, after)
+	}
+
+	// The DB still serves queries normally afterwards.
+	if _, err := db.Query(apiQuery, nil); err != nil {
+		t.Fatalf("query after failed query: %v", err)
+	}
+}
+
+// TestConcurrentFailingQueries interleaves failing and succeeding queries
+// and checks the catalog holds exactly the base datasets at the end.
+func TestConcurrentFailingQueries(t *testing.T) {
+	db := testDB(t)
+	calls := new(atomic.Int64)
+	if err := db.RegisterUDF("flaky", func(args []Value) (Value, error) {
+		if calls.Add(1)%3 == 0 {
+			return Null(), errors.New("flaky failure")
+		}
+		return Int(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failing := `SELECT o.o_id FROM orders o, users u, items i
+		WHERE o.o_user = u.u_id AND o.o_item = i.i_id
+		AND u.u_grp = 3 AND u.u_id >= 0 AND flaky(i.i_id) = 1`
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				db.Query(failing, nil) // may fail; must not leak either way
+			} else {
+				if _, err := db.Query(apiQuery, nil); err != nil {
+					t.Errorf("clean query failed: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if names := db.Datasets(); len(names) != 3 {
+		t.Errorf("datasets after mixed workload = %v, want the 3 base datasets", names)
+	}
+}
+
+// TestQueryCtxCancel covers the cancellation paths: an already-cancelled
+// context fails fast, and cancellation mid-wait releases an admission slot.
+func TestQueryCtxCancel(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryCtx(ctx, apiQuery, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled QueryCtx error = %v, want context.Canceled", err)
+	}
+	// Uncancelled contexts work as Query does.
+	res, err := db.QueryCtx(context.Background(), apiQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3000/8 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+// TestQueryCtxCancelWhileWaitingForAdmission holds the only admission slot
+// with a long query and cancels a second query stuck in line.
+func TestQueryCtxCancelWhileWaitingForAdmission(t *testing.T) {
+	db := Open(Config{Nodes: 2, MaxConcurrentQueries: 1})
+	rows := make([]Tuple, 200)
+	for i := range rows {
+		rows[i] = Tuple{Int(int64(i)), Int(int64(i % 10))}
+	}
+	if err := db.CreateDataset("t", NewSchema(F("a", KindInt), F("b", KindInt)), []string{"a"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	if err := db.RegisterUDF("slow", func(args []Value) (Value, error) {
+		once.Do(func() { close(entered); <-release })
+		return Int(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Query(`SELECT t.a FROM t t WHERE slow(t.a) = 1`, nil)
+		done <- err
+	}()
+	<-entered // slot is held
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if _, err := db.QueryCtx(ctx, `SELECT t.a FROM t t`, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("waiting QueryCtx error = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("slot-holding query failed: %v", err)
+	}
+}
+
+// TestMaxConcurrentQueries proves admission control: with a cap of 2, no
+// more than two queries are ever executing simultaneously.
+func TestMaxConcurrentQueries(t *testing.T) {
+	db := Open(Config{Nodes: 2, MaxConcurrentQueries: 2})
+	rows := make([]Tuple, 64)
+	for i := range rows {
+		rows[i] = Tuple{Int(int64(i)), Int(int64(i % 4))}
+	}
+	if err := db.CreateDataset("t", NewSchema(F("a", KindInt), F("b", KindInt)), []string{"a"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	var inFlight, maxSeen atomic.Int64
+	if err := db.RegisterUDF("probe", func(args []Value) (Value, error) {
+		n := inFlight.Add(1)
+		for {
+			m := maxSeen.Load()
+			if n <= m || maxSeen.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return Int(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := db.Query(`SELECT t.a FROM t t WHERE probe(t.b) = 1 AND t.a >= 0`, nil); err != nil {
+				t.Errorf("query: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	// The UDF runs on one goroutine per partition, so each admitted query
+	// contributes up to Nodes() concurrent evaluations.
+	if limit := int64(2 * db.Nodes()); maxSeen.Load() > limit {
+		t.Errorf("observed %d concurrent UDF evaluations, admission cap allows at most %d", maxSeen.Load(), limit)
+	}
+}
+
+// TestSetParamConcurrentWithQueries hammers SetParam while parameterized
+// queries execute; meaningful under -race.
+func TestSetParamConcurrentWithQueries(t *testing.T) {
+	db := testDB(t)
+	db.SetParam("g", Int(3))
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				db.SetParam("g", Int(int64(i%8)))
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := db.Query(`SELECT u.u_id FROM users u WHERE u.u_grp = $g AND u.u_id >= 0`, nil); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-writerDone
+}

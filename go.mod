@@ -1,0 +1,3 @@
+module dynopt
+
+go 1.24

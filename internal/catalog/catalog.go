@@ -7,6 +7,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"dynopt/internal/sqlpp"
@@ -116,14 +117,16 @@ func (c *Catalog) CloneBases() *Catalog {
 	return out
 }
 
-// DropTemps removes every temp dataset (end-of-query cleanup) and returns
-// how many were dropped.
-func (c *Catalog) DropTemps() int {
+// DropPrefix removes every temp dataset whose name starts with prefix (the
+// serving layer's per-query namespace backstop: whatever a failed or
+// panicked query left behind is swept by its unique prefix) and returns how
+// many were dropped. Base datasets are never touched.
+func (c *Catalog) DropPrefix(prefix string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for name, ds := range c.datasets {
-		if ds.Temp {
+		if ds.Temp && strings.HasPrefix(name, prefix) {
 			delete(c.datasets, name)
 			c.registry.Drop(name)
 			n++
@@ -131,3 +134,7 @@ func (c *Catalog) DropTemps() int {
 	}
 	return n
 }
+
+// DropTemps removes every temp dataset (end-of-query cleanup) and returns
+// how many were dropped.
+func (c *Catalog) DropTemps() int { return c.DropPrefix("") }

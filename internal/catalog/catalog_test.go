@@ -121,3 +121,38 @@ func TestDropTemps(t *testing.T) {
 		t.Error("DropTemps left temp stats")
 	}
 }
+
+func TestDropPrefix(t *testing.T) {
+	c := New()
+	base, st1 := buildDS(t, "tmp_lookalike", false) // base dataset with a temp-looking name
+	q1a, st2 := buildDS(t, "tmp_q1_pred_a_1", true)
+	q1b, st3 := buildDS(t, "tmp_q1_ij1_2", true)
+	q2, st4 := buildDS(t, "tmp_q2_pred_a_3", true)
+	for _, pair := range []struct {
+		ds *storage.Dataset
+		st *stats.DatasetStats
+	}{{base, st1}, {q1a, st2}, {q1b, st3}, {q2, st4}} {
+		if err := c.Register(pair.ds, pair.st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.DropPrefix("tmp_q1_"); n != 2 {
+		t.Errorf("DropPrefix = %d, want 2", n)
+	}
+	if _, ok := c.Get("tmp_q2_pred_a_3"); !ok {
+		t.Error("DropPrefix removed another query's temp")
+	}
+	if _, ok := c.Get("tmp_q1_pred_a_1"); ok {
+		t.Error("DropPrefix left a scoped temp")
+	}
+	if c.Stats().Get("tmp_q1_ij1_2") != nil {
+		t.Error("DropPrefix left scoped temp stats")
+	}
+	// Base datasets are never swept, whatever their name.
+	if n := c.DropPrefix("tmp_"); n != 1 {
+		t.Errorf("DropPrefix(tmp_) = %d, want only q2's temp", n)
+	}
+	if _, ok := c.Get("tmp_lookalike"); !ok {
+		t.Error("DropPrefix removed a base dataset")
+	}
+}

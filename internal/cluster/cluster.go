@@ -12,6 +12,7 @@ package cluster
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -21,11 +22,15 @@ import (
 // query memory per node.
 const DefaultMemoryPerNodeBytes = 512 << 10
 
-// Cluster is one simulated shared-nothing deployment.
+// Cluster is one simulated shared-nothing deployment. A Cluster is shared by
+// every query a DB serves, so its tunables are safe to read and replace
+// concurrently: the memory budget is atomic and the cost model is guarded by
+// a read-write lock (partition goroutines read both mid-join).
 type Cluster struct {
 	nodes    int
-	memBytes int64
+	memBytes atomic.Int64
 	acct     Accounting
+	mu       sync.RWMutex // guards model
 	model    CostModel
 }
 
@@ -35,27 +40,37 @@ func New(nodes int) *Cluster {
 	if nodes < 1 {
 		nodes = 1
 	}
-	return &Cluster{nodes: nodes, memBytes: DefaultMemoryPerNodeBytes, model: DefaultCostModel()}
+	c := &Cluster{nodes: nodes, model: DefaultCostModel()}
+	c.memBytes.Store(DefaultMemoryPerNodeBytes)
+	return c
 }
 
 // MemoryPerNodeBytes returns the per-node join-memory budget.
-func (c *Cluster) MemoryPerNodeBytes() int64 { return c.memBytes }
+func (c *Cluster) MemoryPerNodeBytes() int64 { return c.memBytes.Load() }
 
 // SetMemoryPerNodeBytes replaces the per-node join-memory budget (0 or
 // negative disables spill modelling).
-func (c *Cluster) SetMemoryPerNodeBytes(b int64) { c.memBytes = b }
+func (c *Cluster) SetMemoryPerNodeBytes(b int64) { c.memBytes.Store(b) }
 
 // Nodes returns the partition count.
 func (c *Cluster) Nodes() int { return c.nodes }
 
-// Acct returns the cluster's cost accountant.
+// Acct returns the cluster's lifetime cost accountant.
 func (c *Cluster) Acct() *Accounting { return &c.acct }
 
 // Model returns the cluster's cost model.
-func (c *Cluster) Model() CostModel { return c.model }
+func (c *Cluster) Model() CostModel {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.model
+}
 
 // SetModel replaces the cost model (used by ablation benches).
-func (c *Cluster) SetModel(m CostModel) { c.model = m }
+func (c *Cluster) SetModel(m CostModel) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.model = m
+}
 
 // Accounting is the set of atomic counters the engine operators report to.
 // All counters are cumulative for the cluster's lifetime; callers diff

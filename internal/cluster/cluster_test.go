@@ -128,3 +128,47 @@ func TestSetModel(t *testing.T) {
 		t.Error("SetModel did not stick")
 	}
 }
+
+// TestTunablesConcurrentWithMetering hammers SetModel and
+// SetMemoryPerNodeBytes while readers price work and check the spill
+// budget, as partition goroutines do mid-join; meaningful under -race.
+func TestTunablesConcurrentWithMetering(t *testing.T) {
+	c := New(4)
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				m := DefaultCostModel()
+				m.ReoptLatencySec = float64(i)
+				c.SetModel(m)
+				c.SetMemoryPerNodeBytes(i << 10)
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 2000; i++ {
+				if c.MemoryPerNodeBytes() < 0 {
+					t.Error("negative budget")
+					return
+				}
+				if c.Model().SimSeconds(Snapshot{ScanBytes: 1 << 20}, c.Nodes()) <= 0 {
+					t.Error("non-positive priced work")
+					return
+				}
+				c.Acct().ScanRows.Add(1)
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-writerDone
+}

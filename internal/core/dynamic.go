@@ -121,6 +121,9 @@ func (d *Dynamic) Body(ctx *engine.Context, sql string, r *Report) (*engine.Resu
 	// Lines 11–15: while more than two joins remain, execute only the
 	// cheapest next join, materialize, and re-optimize the rest.
 	for len(rs.g.Joins) > 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if d.Cfg.MaxReopts > 0 && rs.report.Reopts >= d.Cfg.MaxReopts {
 			// Re-optimization budget exhausted (§8 trade-off): plan the
 			// rest from the statistics gathered so far.

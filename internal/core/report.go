@@ -63,11 +63,12 @@ func (r *Report) String() string {
 // simulated-time pricing; every strategy runs inside one Metered window.
 func Metered(ctx *engine.Context, name, sql string, body func(r *Report) (*engine.Result, error)) (*engine.Result, *Report, error) {
 	r := &Report{Strategy: name, SQL: sql}
-	before := ctx.Cluster.Acct().Snapshot()
+	acct := ctx.Accounting()
+	before := acct.Snapshot()
 	start := time.Now()
 	res, err := body(r)
 	r.Wall = time.Since(start)
-	r.Counters = ctx.Cluster.Acct().Snapshot().Sub(before)
+	r.Counters = acct.Snapshot().Sub(before)
 	r.SimSeconds = ctx.Cluster.Model().SimSeconds(r.Counters, ctx.Cluster.Nodes())
 	if err != nil {
 		return nil, r, err

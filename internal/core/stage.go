@@ -152,7 +152,7 @@ func (rs *runState) executePushDown(alias string) error {
 	if err != nil {
 		return err
 	}
-	tempName := rs.ctx.Catalog.NextTempName("tmp_pred_" + alias)
+	tempName := rs.ctx.TempName("pred_" + alias)
 	// Collect statistics on every retained column: the projection is
 	// exactly the set of columns the remaining query touches (§5.1).
 	// Disabled in cardinality-only configurations.
@@ -193,7 +193,7 @@ func (rs *runState) executePushDown(alias string) error {
 	}
 	rs.est.Reg.Put(tst) // feedback into the planner registry (no-op when shared)
 	rs.tempNames = append(rs.tempNames, tempName)
-	rs.ctx.Cluster.Acct().ReoptPoints.Add(1)
+	rs.ctx.Accounting().ReoptPoints.Add(1)
 	rs.report.PushDowns++
 	rs.report.StagePlans = append(rs.report.StagePlans,
 		fmt.Sprintf("pushdown %s: σ(%s) → %s [%d rows]", alias, alias, tempName, tds.RowCount()))
@@ -277,7 +277,7 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 
 	rs.stage++
 	newAlias := fmt.Sprintf("ij%d", rs.stage)
-	tempName := rs.ctx.Catalog.NextTempName("tmp_" + newAlias)
+	tempName := rs.ctx.TempName(newAlias)
 
 	// Online statistics: only the attributes participating in subsequent
 	// join stages (§5.3), unless disabled (last iteration / overhead runs).
@@ -312,7 +312,7 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 	}
 	rs.est.Reg.Put(tst) // feedback into the planner registry (no-op when shared)
 	rs.tempNames = append(rs.tempNames, tempName)
-	rs.ctx.Cluster.Acct().ReoptPoints.Add(1)
+	rs.ctx.Accounting().ReoptPoints.Add(1)
 	rs.report.Reopts++
 
 	// Assemble the report-plan fragment and the origin map for the new alias.

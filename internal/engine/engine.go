@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -16,17 +17,53 @@ import (
 	"dynopt/internal/types"
 )
 
-// Context carries everything a query execution needs.
+// Context carries everything a query execution needs. The Cluster, Catalog,
+// and UDFs are shared by every query a DB serves; Acct, Scope, and Cancel
+// are the per-query execution scope that keeps concurrent queries isolated.
 type Context struct {
 	Cluster *cluster.Cluster
 	Catalog *catalog.Catalog
 	UDFs    *expr.Registry
 	Params  map[string]types.Value
+
+	// Acct is the per-query cost accountant. When nil the cluster's
+	// lifetime accountant is used (single-client and test contexts).
+	Acct *cluster.Accounting
+	// Scope namespaces this query's materialized intermediates
+	// ("q<id>_"); empty means the shared "tmp_*" namespace.
+	Scope string
+	// Cancel carries the caller's cancellation signal; nil never cancels.
+	// Operators check it at stage boundaries.
+	Cancel context.Context
 }
 
 // Env builds an expression environment against a schema.
 func (c *Context) Env(sch *types.Schema) *expr.Env {
 	return &expr.Env{Schema: sch, Params: c.Params, UDFs: c.UDFs}
+}
+
+// Accounting returns the accountant execution work is metered against: the
+// per-query one when set, else the cluster's lifetime accountant.
+func (c *Context) Accounting() *cluster.Accounting {
+	if c.Acct != nil {
+		return c.Acct
+	}
+	return c.Cluster.Acct()
+}
+
+// TempName mints a catalog-unique name for a materialized intermediate
+// inside this query's temp namespace.
+func (c *Context) TempName(suffix string) string {
+	return c.Catalog.NextTempName("tmp_" + c.Scope + suffix)
+}
+
+// Err reports the caller's cancellation state (nil when no deadline or
+// cancel signal is attached).
+func (c *Context) Err() error {
+	if c.Cancel == nil {
+		return nil
+	}
+	return c.Cancel.Err()
 }
 
 // Relation is a partitioned intermediate result flowing between operators.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"dynopt/internal/catalog"
@@ -492,5 +493,33 @@ func TestJoinAlgorithmEquivalence(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestForEachPartErrorPropagation checks the partition-parallel driver runs
+// fn for every partition even when some fail, and reports the failure of
+// the lowest-numbered failing partition deterministically.
+func TestForEachPartErrorPropagation(t *testing.T) {
+	var ran [8]atomic.Bool
+	err := forEachPart(8, func(p int) error {
+		ran[p].Store(true)
+		if p == 3 || p == 6 {
+			return fmt.Errorf("partition %d failed", p)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "partition 3 failed" {
+		t.Errorf("err = %v, want the lowest failing partition's error", err)
+	}
+	for p := range ran {
+		if !ran[p].Load() {
+			t.Errorf("partition %d did not run", p)
+		}
+	}
+	if err := forEachPart(4, func(p int) error { return nil }); err != nil {
+		t.Errorf("all-success returned %v", err)
+	}
+	if err := forEachPart(0, func(p int) error { return fmt.Errorf("never") }); err != nil {
+		t.Errorf("zero partitions returned %v", err)
 	}
 }

@@ -199,6 +199,9 @@ type Result struct {
 // Matches §6.4: other operators are evaluated after all joins and
 // selections complete.
 func Finish(ctx *Context, q *sqlpp.Query, rel *Relation) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := validateAggregateQuery(q); err != nil {
 		return nil, err
 	}

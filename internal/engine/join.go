@@ -17,7 +17,7 @@ func repartition(ctx *Context, rel *Relation, keyCols []int) *Relation {
 		return rel
 	}
 	n := len(rel.Parts)
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	out := &Relation{
 		Schema:   rel.Schema,
 		Parts:    make([][]types.Tuple, n),
@@ -68,7 +68,7 @@ func meterSpill(ctx *Context, buildBytes, probeBytes, buildRows, probeRows int64
 	spillFrac := float64(buildBytes-budget) / float64(buildBytes)
 	spilledBuild := buildBytes - budget
 	spilledProbe := int64(float64(probeBytes) * spillFrac)
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	acct.SpillBytes.Add(2 * (spilledBuild + spilledProbe)) // write + read back
 	acct.SpillRows.Add(int64(float64(buildRows+probeRows) * spillFrac))
 }
@@ -112,6 +112,9 @@ func (ht *hashTable) probe(t types.Tuple, probeCols []int, emit func(build types
 // side through it. Output tuples are left⧺right regardless of build side;
 // the output stays partitioned on the join keys.
 func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string, buildLeft bool) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
 		return nil, fmt.Errorf("engine: hash join needs aligned non-empty keys, got %v / %v", leftKeys, rightKeys)
 	}
@@ -130,7 +133,7 @@ func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string,
 	right = repartition(ctx, right, rCols)
 
 	n := len(left.Parts)
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	outSchema := left.Schema.Concat(right.Schema)
 	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, n)}
 	err = forEachPart(n, func(p int) error {
@@ -174,6 +177,9 @@ func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string,
 // input is replicated; output tuples remain left⧺right and inherit the probe
 // side's partitioning.
 func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string, buildLeft bool) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
 		return nil, fmt.Errorf("engine: broadcast join needs aligned non-empty keys, got %v / %v", leftKeys, rightKeys)
 	}
@@ -196,7 +202,7 @@ func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []st
 	}
 
 	n := len(probe.Parts)
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	// Replicate the build side: every partition receives all build rows it
 	// does not already host.
 	var all []types.Tuple
@@ -259,6 +265,9 @@ func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []st
 // is scanned unfiltered (it is, per the algorithm's precondition).
 func IndexNLJoin(ctx *Context, outer *Relation, inner *storage.Dataset, innerAlias string,
 	outerKeys []string, innerKeys []string, innerFilter expr.Expr) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(outerKeys) != len(innerKeys) || len(outerKeys) == 0 {
 		return nil, fmt.Errorf("engine: index join needs aligned non-empty keys")
 	}
@@ -291,7 +300,7 @@ func IndexNLJoin(ctx *Context, outer *Relation, inner *storage.Dataset, innerAli
 	}
 
 	n := len(inner.Parts)
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	var outerAll []types.Tuple
 	for _, p := range outer.Parts {
 		outerAll = append(outerAll, p...)

@@ -14,6 +14,9 @@ import (
 // meter scan I/O; temp reads meter materialized-read I/O (the Reader
 // operator of Figure 4).
 func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, project []string) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	qualified := ds.Schema.Requalify(alias)
 	env := ctx.Env(qualified)
 
@@ -40,7 +43,7 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 		}
 	}
 
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, len(ds.Parts))}
 	err := forEachPart(len(ds.Parts), func(p int) error {
 		var rows []types.Tuple

@@ -20,6 +20,9 @@ import (
 // columns; nil collects none (the last iteration disables online stats).
 // Row and byte counts are always recorded — the Planner needs sizes.
 func Materialize(ctx *Context, rel *Relation, name string, statsFields map[string]bool) (*storage.Dataset, *stats.DatasetStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	flat := &types.Schema{Fields: make([]types.Field, rel.Schema.Len())}
 	for i, f := range rel.Schema.Fields {
 		flat.Fields[i] = types.Field{Name: sqlpp.FlattenName(f.Qualifier, f.Name), Kind: f.Kind}
@@ -42,7 +45,7 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 		ds.PrimaryKey = pk
 	}
 
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	partStats := make([]*stats.DatasetStats, len(rel.Parts))
 	var wg sync.WaitGroup
 	for p := range rel.Parts {
@@ -86,7 +89,7 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 // DistributeResult operator. Result bytes are metered as network traffic
 // (identical across strategies for identical results).
 func Gather(ctx *Context, rel *Relation) []types.Tuple {
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	var out []types.Tuple
 	for _, p := range rel.Parts {
 		out = append(out, p...)

@@ -67,7 +67,7 @@ func (s *PilotRun) samplePhase(ctx *engine.Context, g *sqlpp.Graph, r *core.Repo
 		k = DefaultPilotSampleK
 	}
 	reg := ctx.Catalog.Stats().Clone()
-	acct := ctx.Cluster.Acct()
+	acct := ctx.Accounting()
 	for _, alias := range g.Aliases {
 		ref := g.Tables[alias]
 		ds, ok := ctx.Catalog.Get(ref.Dataset)

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // gkEntry is one tuple of the GK summary: Value with weight G (number of
@@ -27,7 +28,12 @@ type gkEntry struct {
 // GK is a Greenwald-Khanna ε-approximate quantile sketch over float64
 // observations. Quantile queries are accurate to ±ε·n ranks. The zero value
 // is not usable; construct with NewGK.
+//
+// All methods are safe for concurrent use: queries flush the insertion
+// buffer (a structural mutation), and base-dataset sketches are read by
+// every concurrently planning query, so even the read path must serialize.
 type GK struct {
+	mu      sync.Mutex
 	eps     float64
 	entries []gkEntry
 	n       int64
@@ -52,10 +58,16 @@ func NewGK(eps float64) *GK {
 func (g *GK) Epsilon() float64 { return g.eps }
 
 // Count returns the number of observations inserted so far.
-func (g *GK) Count() int64 { return g.n + int64(len(g.buf)) }
+func (g *GK) Count() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n + int64(len(g.buf))
+}
 
 // Insert adds one observation to the sketch.
 func (g *GK) Insert(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.buf = append(g.buf, v)
 	if len(g.buf) >= g.bufCap {
 		g.flush()
@@ -63,7 +75,7 @@ func (g *GK) Insert(v float64) {
 }
 
 // flush merges buffered observations into the summary in one sorted pass,
-// then compresses.
+// then compresses. The caller must hold g.mu.
 func (g *GK) flush() {
 	if len(g.buf) == 0 {
 		return
@@ -117,6 +129,12 @@ func (g *GK) compress() {
 // Quantile returns an ε-approximate φ-quantile (φ in [0,1]). Returns ok=false
 // for an empty sketch.
 func (g *GK) Quantile(phi float64) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.quantileLocked(phi)
+}
+
+func (g *GK) quantileLocked(phi float64) (float64, bool) {
 	g.flush()
 	if g.n == 0 {
 		return 0, false
@@ -149,6 +167,12 @@ func (g *GK) Quantile(phi float64) (float64, bool) {
 
 // Min returns the smallest observation, ok=false when empty.
 func (g *GK) Min() (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.minLocked()
+}
+
+func (g *GK) minLocked() (float64, bool) {
 	g.flush()
 	if g.n == 0 {
 		return 0, false
@@ -158,6 +182,12 @@ func (g *GK) Min() (float64, bool) {
 
 // Max returns the largest observation, ok=false when empty.
 func (g *GK) Max() (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.maxLocked()
+}
+
+func (g *GK) maxLocked() (float64, bool) {
 	g.flush()
 	if g.n == 0 {
 		return 0, false
@@ -167,6 +197,8 @@ func (g *GK) Max() (float64, bool) {
 
 // RankOf returns the approximate number of observations strictly less than v.
 func (g *GK) RankOf(v float64) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.flush()
 	var rank int64
 	for _, e := range g.entries {
@@ -185,31 +217,39 @@ func (g *GK) Merge(other *GK) {
 	if other == nil {
 		return
 	}
-	g.flush()
+	// Snapshot other under its own lock first, then fold in under g's lock,
+	// so the two locks are never held together (no ordering hazard).
+	other.mu.Lock()
 	other.flush()
-	if other.n == 0 {
+	otherEntries := append([]gkEntry(nil), other.entries...)
+	otherN := other.n
+	other.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flush()
+	if otherN == 0 {
 		return
 	}
-	merged := make([]gkEntry, 0, len(g.entries)+len(other.entries))
+	merged := make([]gkEntry, 0, len(g.entries)+len(otherEntries))
 	i, j := 0, 0
-	for i < len(g.entries) || j < len(other.entries) {
+	for i < len(g.entries) || j < len(otherEntries) {
 		switch {
 		case i >= len(g.entries):
-			merged = append(merged, other.entries[j])
+			merged = append(merged, otherEntries[j])
 			j++
-		case j >= len(other.entries):
+		case j >= len(otherEntries):
 			merged = append(merged, g.entries[i])
 			i++
-		case g.entries[i].Value <= other.entries[j].Value:
+		case g.entries[i].Value <= otherEntries[j].Value:
 			merged = append(merged, g.entries[i])
 			i++
 		default:
-			merged = append(merged, other.entries[j])
+			merged = append(merged, otherEntries[j])
 			j++
 		}
 	}
 	g.entries = merged
-	g.n += other.n
+	g.n += otherN
 	g.compress()
 }
 
@@ -225,16 +265,18 @@ type Bucket struct {
 // equi-height buckets. Fewer buckets are returned when the data has fewer
 // distinct quantile points.
 func (g *GK) Histogram(buckets int) []Bucket {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.flush()
 	if g.n == 0 || buckets <= 0 {
 		return nil
 	}
-	lo, _ := g.Min()
+	lo, _ := g.minLocked()
 	per := float64(g.n) / float64(buckets)
 	out := make([]Bucket, 0, buckets)
 	prev := lo
 	for b := 1; b <= buckets; b++ {
-		q, _ := g.Quantile(float64(b) / float64(buckets))
+		q, _ := g.quantileLocked(float64(b) / float64(buckets))
 		if len(out) > 0 && q == out[len(out)-1].Hi {
 			out[len(out)-1].Count += int64(per)
 			continue
@@ -248,6 +290,8 @@ func (g *GK) Histogram(buckets int) []Bucket {
 // EstimateRange estimates how many observations fall in [lo, hi] using
 // linear interpolation within histogram-equivalent rank positions.
 func (g *GK) EstimateRange(lo, hi float64) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.flush()
 	if g.n == 0 || hi < lo {
 		return 0
@@ -270,12 +314,13 @@ func (g *GK) EstimateEquals(v float64) int64 {
 }
 
 // rankInterp returns the interpolated fractional rank of v (observations < v).
+// The caller must hold g.mu.
 func (g *GK) rankInterp(v float64) float64 {
 	if g.n == 0 {
 		return 0
 	}
-	mn, _ := g.Min()
-	mx, _ := g.Max()
+	mn, _ := g.minLocked()
+	mx, _ := g.maxLocked()
 	if v <= mn {
 		return 0
 	}
@@ -304,6 +349,8 @@ func (g *GK) rankInterp(v float64) float64 {
 
 // String summarizes the sketch for debugging.
 func (g *GK) String() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.flush()
 	var b strings.Builder
 	fmt.Fprintf(&b, "GK(eps=%g, n=%d, entries=%d)", g.eps, g.n, len(g.entries))
