@@ -12,14 +12,10 @@ import (
 	"testing"
 
 	"dynopt/internal/bench"
-	"dynopt/internal/catalog"
-	"dynopt/internal/cluster"
 	"dynopt/internal/core"
 	"dynopt/internal/engine"
-	"dynopt/internal/expr"
 	"dynopt/internal/sketch"
 	"dynopt/internal/sqlpp"
-	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
 
@@ -168,44 +164,8 @@ func BenchmarkValueHash(b *testing.B) {
 
 func benchEngineCtx(b *testing.B, rows int) *engine.Context {
 	b.Helper()
-	ctx := &engine.Context{
-		Cluster: cluster.New(benchNodes),
-		Catalog: catalog.New(),
-		UDFs:    expr.NewRegistry(),
-		Params:  map[string]types.Value{},
-	}
-	sch := types.NewSchema(
-		types.Field{Name: "id", Kind: types.KindInt},
-		types.Field{Name: "fk", Kind: types.KindInt},
-		types.Field{Name: "pay", Kind: types.KindInt},
-	)
-	fact := make([]types.Tuple, rows)
-	for i := range fact {
-		fact[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i % 512)), types.Int(int64(i))}
-	}
-	ds, st, err := storage.Build("fact", sch, []string{"id"}, fact, benchNodes)
+	ctx, err := bench.NewMicroCtx(rows, benchNodes)
 	if err != nil {
-		b.Fatal(err)
-	}
-	if err := ctx.Catalog.Register(ds, st); err != nil {
-		b.Fatal(err)
-	}
-	dimSch := types.NewSchema(
-		types.Field{Name: "id", Kind: types.KindInt},
-		types.Field{Name: "attr", Kind: types.KindInt},
-	)
-	dim := make([]types.Tuple, 512)
-	for i := range dim {
-		dim[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i * 3))}
-	}
-	dds, dst, err := storage.Build("dim", dimSch, []string{"id"}, dim, benchNodes)
-	if err != nil {
-		b.Fatal(err)
-	}
-	if err := ctx.Catalog.Register(dds, dst); err != nil {
-		b.Fatal(err)
-	}
-	if _, err := storage.BuildIndex(ds, "fk"); err != nil {
 		b.Fatal(err)
 	}
 	return ctx
@@ -216,6 +176,7 @@ func BenchmarkHashJoin(b *testing.B) {
 	for _, rows := range []int{10000, 50000} {
 		b.Run(strconv.Itoa(rows), func(b *testing.B) {
 			ctx := benchEngineCtx(b, rows)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				fact, _ := engine.ScanByName(ctx, "fact", "f", nil, nil)
@@ -235,6 +196,7 @@ func BenchmarkHashJoin(b *testing.B) {
 // BenchmarkBroadcastJoin measures the broadcast join end to end.
 func BenchmarkBroadcastJoin(b *testing.B) {
 	ctx := benchEngineCtx(b, 50000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fact, _ := engine.ScanByName(ctx, "fact", "f", nil, nil)
@@ -253,10 +215,33 @@ func BenchmarkBroadcastJoin(b *testing.B) {
 func BenchmarkIndexNLJoin(b *testing.B) {
 	ctx := benchEngineCtx(b, 50000)
 	ds, _ := ctx.Catalog.Get("fact")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dim, _ := engine.ScanByName(ctx, "dim", "d", nil, nil)
 		out, err := engine.IndexNLJoin(ctx, dim, ds, "f", []string{"d.id"}, []string{"fk"}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.RowCount() != 50000 {
+			b.Fatalf("rows = %d", out.RowCount())
+		}
+	}
+}
+
+// BenchmarkRepartition measures the hash-exchange (shuffle) path in
+// isolation: the fact table is partitioned on id and exchanged onto fk, so
+// every row is hashed and ~(n-1)/n of them move.
+func BenchmarkRepartition(b *testing.B) {
+	ctx := benchEngineCtx(b, 50000)
+	fact, err := engine.ScanByName(ctx, "fact", "f", nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := engine.Repartition(ctx, fact, []string{"f.fk"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -278,6 +263,7 @@ func BenchmarkDynamicEndToEnd(b *testing.B) {
 			q9 = q
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := env.RunOne(core.NewDynamic(), q9.SQL); err != nil {

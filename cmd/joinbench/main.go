@@ -4,6 +4,8 @@
 //	joinbench -fig 7            Figure 7 (six strategies, hash+broadcast)
 //	joinbench -fig 8            Figure 8 (with secondary indexes + INLJ)
 //	joinbench -table 1          Table 1 (average improvement ratios)
+//	joinbench -joinjson FILE    join micro-benchmark snapshot (ns/op,
+//	                            allocs/op for repartition/hash/broadcast/INLJ)
 //	joinbench -all              everything
 //
 // Flags -sf (comma-separated scale factors, default 1,5,25 standing in for
@@ -26,6 +28,8 @@ func main() {
 	table := flag.Int("table", 0, "table to regenerate (1)")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	ablation := flag.Bool("ablation", false, "broadcast-threshold ablation sweep")
+	joinJSON := flag.String("joinjson", "", "write a join micro-benchmark snapshot (ns/op, allocs/op) to this file")
+	joinRows := flag.Int("joinrows", 50000, "fact rows for the -joinjson micro-benchmarks")
 	sfFlag := flag.String("sf", "1,5,25", "comma-separated scale factors")
 	nodes := flag.Int("nodes", 10, "simulated cluster nodes")
 	flag.Parse()
@@ -65,6 +69,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(bench.FormatAblation(rows))
+	}
+	if *joinJSON != "" {
+		ran = true
+		fmt.Printf("== Join micro-benchmarks (%d fact rows, %d nodes) -> %s ==\n",
+			*joinRows, *nodes, *joinJSON)
+		res, err := bench.WriteJoinMicrosJSON(*joinJSON, *joinRows, *nodes)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range res {
+			fmt.Printf("  %-14s %12.0f ns/op %8d allocs/op %10d B/op\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
 	}
 	if !ran {
 		flag.Usage()

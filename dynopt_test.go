@@ -99,7 +99,7 @@ func TestQueryUnknownStrategy(t *testing.T) {
 func TestRegisterUDFAndParams(t *testing.T) {
 	db := testDB(t)
 	err := db.RegisterUDF("grp_of", func(args []Value) (Value, error) {
-		return Int(args[0].I % 8), nil
+		return Int(args[0].I() % 8), nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -266,7 +266,7 @@ func TestAggregateQueryViaAPI(t *testing.T) {
 	}
 	var total int64
 	for _, r := range res.Rows {
-		total += r[1].I
+		total += r[1].I()
 	}
 	if total != 3000 {
 		t.Errorf("counts sum to %d, want 3000", total)

@@ -65,7 +65,7 @@ func build() *dynopt.DB {
 
 	// is_maintenance_window(day): true for 3 specific weeks of the year.
 	must(db.RegisterUDF("is_maintenance_window", func(args []dynopt.Value) (dynopt.Value, error) {
-		w := args[0].I / 7
+		w := args[0].I() / 7
 		return dynopt.Bool(w == 10 || w == 30 || w == 45), nil
 	}))
 	return db

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dynopt/internal/catalog"
+	"dynopt/internal/cluster"
+	"dynopt/internal/engine"
+	"dynopt/internal/expr"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// NewMicroCtx builds the fact⋈dim context shared by the substrate
+// micro-benchmarks: a fact(id, fk, pay) table of the given row count,
+// hash-partitioned on id with a secondary index on fk, and a 512-row
+// dim(id, attr) table, both across nodes partitions. fact.fk joins dim.id
+// with exactly one match per fact row.
+func NewMicroCtx(rows, nodes int) (*engine.Context, error) {
+	ctx := &engine.Context{
+		Cluster: cluster.New(nodes),
+		Catalog: catalog.New(),
+		UDFs:    expr.NewRegistry(),
+		Params:  map[string]types.Value{},
+	}
+	sch := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt},
+		types.Field{Name: "fk", Kind: types.KindInt},
+		types.Field{Name: "pay", Kind: types.KindInt},
+	)
+	fact := make([]types.Tuple, rows)
+	for i := range fact {
+		fact[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i % 512)), types.Int(int64(i))}
+	}
+	ds, st, err := storage.Build("fact", sch, []string{"id"}, fact, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Catalog.Register(ds, st); err != nil {
+		return nil, err
+	}
+	dimSch := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt},
+		types.Field{Name: "attr", Kind: types.KindInt},
+	)
+	dim := make([]types.Tuple, 512)
+	for i := range dim {
+		dim[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i * 3))}
+	}
+	dds, dst, err := storage.Build("dim", dimSch, []string{"id"}, dim, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Catalog.Register(dds, dst); err != nil {
+		return nil, err
+	}
+	if _, err := storage.BuildIndex(ds, "fk"); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// MicroResult is one join micro-benchmark measurement, the unit of the
+// BENCH_join.json snapshot.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Nodes       int     `json:"nodes"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// JoinMicros runs the join micro-benchmarks (repartition, hash, broadcast,
+// indexed nested-loop) through the testing harness and reports ns/op and
+// allocs/op — the allocation-free contract of the join core, measurable
+// outside `go test`.
+func JoinMicros(rows, nodes int) ([]MicroResult, error) {
+	ctx, err := NewMicroCtx(rows, nodes)
+	if err != nil {
+		return nil, err
+	}
+	fact, err := engine.ScanByName(ctx, "fact", "f", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	factDS, _ := ctx.Catalog.Get("fact")
+
+	var benchErr error
+	cases := []struct {
+		name string
+		body func() error
+	}{
+		{"Repartition", func() error {
+			_, err := engine.Repartition(ctx, fact, []string{"f.fk"})
+			return err
+		}},
+		{"HashJoin", func() error {
+			f, _ := engine.ScanByName(ctx, "fact", "f", nil, nil)
+			d, _ := engine.ScanByName(ctx, "dim", "d", nil, nil)
+			_, err := engine.HashJoin(ctx, f, d, []string{"f.fk"}, []string{"d.id"}, false)
+			return err
+		}},
+		{"BroadcastJoin", func() error {
+			f, _ := engine.ScanByName(ctx, "fact", "f", nil, nil)
+			d, _ := engine.ScanByName(ctx, "dim", "d", nil, nil)
+			_, err := engine.BroadcastJoin(ctx, f, d, []string{"f.fk"}, []string{"d.id"}, false)
+			return err
+		}},
+		{"IndexNLJoin", func() error {
+			d, _ := engine.ScanByName(ctx, "dim", "d", nil, nil)
+			_, err := engine.IndexNLJoin(ctx, d, factDS, "f", []string{"d.id"}, []string{"fk"}, nil)
+			return err
+		}},
+	}
+	out := make([]MicroResult, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.body(); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("bench: %s: %w", c.name, benchErr)
+		}
+		out = append(out, MicroResult{
+			Name:        c.name,
+			Rows:        rows,
+			Nodes:       nodes,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}
+
+// WriteJoinMicrosJSON runs JoinMicros and writes the snapshot to path.
+func WriteJoinMicrosJSON(path string, rows, nodes int) ([]MicroResult, error) {
+	res, err := JoinMicros(rows, nodes)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return res, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -138,7 +138,7 @@ func TestDynamicMatchesReferenceProperty(t *testing.T) {
 		}
 		got := make([]int64, 0, len(res.Rows))
 		for _, r := range res.Rows {
-			got = append(got, r[0].I)
+			got = append(got, r[0].I())
 		}
 		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
 		if len(got) != len(want) {

@@ -114,7 +114,7 @@ func TestFinishOrderByWithNulls(t *testing.T) {
 	// NULL sorts first, then 'a', then 'b'.
 	want := []int64{2, 3, 1}
 	for i, w := range want {
-		if res.Rows[i][0].I != w {
+		if res.Rows[i][0].I() != w {
 			t.Fatalf("order = %v, want ids %v", res.Rows, want)
 		}
 	}

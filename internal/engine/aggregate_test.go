@@ -39,7 +39,7 @@ func TestAggregateGlobalGroup(t *testing.T) {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
 	row := res.Rows[0]
-	if row[0].I != 100 {
+	if row[0].I() != 100 {
 		t.Errorf("count = %v", row[0])
 	}
 	// pay = id*10, sum = 10 * (0+..+99) = 49500.
@@ -68,10 +68,10 @@ func TestAggregatePerGroup(t *testing.T) {
 		t.Fatalf("groups = %d", len(res.Rows))
 	}
 	for g, row := range res.Rows {
-		if row[0].I != int64(g) {
+		if row[0].I() != int64(g) {
 			t.Errorf("group key order: %v", row)
 		}
-		if row[1].I != 25 {
+		if row[1].I() != 25 {
 			t.Errorf("group %d count = %v", g, row[1])
 		}
 		// ids g, g+4, ..., g+96 → sum(pay) = 10*(25g + 4*(0+..+24)).
@@ -89,7 +89,7 @@ func TestAggregateOrderDescLimit(t *testing.T) {
 	if len(res.Rows) != 2 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
-	if res.Rows[0][0].I != 3 || res.Rows[1][0].I != 2 {
+	if res.Rows[0][0].I() != 3 || res.Rows[1][0].I() != 2 {
 		t.Errorf("desc order: %v %v", res.Rows[0], res.Rows[1])
 	}
 }
@@ -130,7 +130,7 @@ func TestAggregateMixedWithUDFCallNotConfused(t *testing.T) {
 	ctx := testCtx(t, 2)
 	register(t, ctx, "t", []string{"id"}, []string{"id", "grp", "pay"}, seqTable(20, 2))
 	res := runAgg(t, ctx, "SELECT a.grp, count(a.id) FROM t AS a GROUP BY a.grp ORDER BY a.grp")
-	if len(res.Rows) != 2 || res.Rows[0][1].I != 10 {
+	if len(res.Rows) != 2 || res.Rows[0][1].I() != 10 {
 		t.Errorf("rows = %v", res.Rows)
 	}
 }

@@ -75,6 +75,11 @@ type Relation struct {
 	// unknown/round-robin. Joins use it to skip redundant repartitioning,
 	// matching the §3 hash-join description.
 	PartCols []int
+
+	// sizes caches encoded byte sizes: relations are immutable once their
+	// Parts are filled, so sizes are computed at most once per relation
+	// instead of once per metering site.
+	sizes types.SizeCache
 }
 
 // RowCount returns total rows across partitions.
@@ -86,15 +91,18 @@ func (r *Relation) RowCount() int64 {
 	return n
 }
 
-// ByteSize returns total encoded bytes across partitions.
-func (r *Relation) ByteSize() int64 {
-	var n int64
-	for _, p := range r.Parts {
-		for _, t := range p {
-			n += int64(t.EncodedSize())
-		}
-	}
-	return n
+// ByteSize returns total encoded bytes across partitions, computed once and
+// cached. Callers must not mutate Parts after the first call.
+func (r *Relation) ByteSize() int64 { return r.sizes.Total(r.Parts) }
+
+// PartBytes returns the encoded size of partition p, cached like ByteSize.
+func (r *Relation) PartBytes(p int) int64 { return r.sizes.Part(r.Parts, p) }
+
+// seedSizes installs sizes an operator already computed while building the
+// relation (pass-through scans, exchanges), so the lazy pass never runs.
+// Must be called before the relation escapes the constructing goroutine.
+func (r *Relation) seedSizes(partBytes []int64, total int64) {
+	r.sizes.Seed(partBytes, total)
 }
 
 // PartitionedOn reports whether the relation is hash-partitioned on exactly

@@ -76,8 +76,10 @@ func ProjectColumns(rel *Relation, cols []string) (*Relation, error) {
 	proj := &Relation{Schema: out, Parts: make([][]types.Tuple, len(rel.Parts))}
 	for p, part := range rel.Parts {
 		rows := make([]types.Tuple, len(part))
+		var arena types.Arena
+		arena.Reserve(len(part) * len(idxs)) // exact: one chunk per partition
 		for r, t := range part {
-			nt := make(types.Tuple, len(idxs))
+			nt := arena.Make(len(idxs))
 			for k, i := range idxs {
 				nt[k] = t[i]
 			}
@@ -164,11 +166,10 @@ func swapSides(rel *Relation, leftWidth int) *Relation {
 	out := &Relation{Schema: schema, Parts: make([][]types.Tuple, len(rel.Parts))}
 	for p, part := range rel.Parts {
 		rows := make([]types.Tuple, len(part))
+		var arena types.Arena
+		arena.Reserve(len(part) * rel.Schema.Len()) // exact: one chunk per partition
 		for i, t := range part {
-			nt := make(types.Tuple, 0, len(t))
-			nt = append(nt, t[leftWidth:]...)
-			nt = append(nt, t[:leftWidth]...)
-			rows[i] = nt
+			rows[i] = arena.Concat(t[leftWidth:], t[:leftWidth])
 		}
 		out.Parts[p] = rows
 	}

@@ -210,7 +210,7 @@ func TestFinishProjectionGroupOrderLimit(t *testing.T) {
 	}
 	// Groups are 0..3; DESC LIMIT 3 → 3, 2, 1.
 	for i, want := range []int64{3, 2, 1} {
-		if res.Rows[i][0].I != want {
+		if res.Rows[i][0].I() != want {
 			t.Errorf("row %d = %v, want %d", i, res.Rows[i], want)
 		}
 	}

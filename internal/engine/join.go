@@ -2,22 +2,54 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"dynopt/internal/expr"
 	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
 
+// maxPartRows caps one partition at 2^31-1 rows: the flat build table, the
+// exchange scatter, and the index-range bookkeeping store row positions as
+// int32 to halve their footprint. That is far beyond in-memory scale, but
+// the limit is enforced with errors rather than silently wrapping into
+// corrupted row indexes.
+const maxPartRows = math.MaxInt32
+
+func checkPartRows(parts [][]types.Tuple) error {
+	for _, p := range parts {
+		if len(p) > maxPartRows {
+			return fmt.Errorf("engine: partition has %d rows, exceeding the %d-row limit of int32 row indexing", len(p), maxPartRows)
+		}
+	}
+	return nil
+}
+
+// prehashParts bulk-hashes the key columns of every partition in parallel —
+// the one hash pass each relation side pays per join.
+func prehashParts(parts [][]types.Tuple, keyCols []int) [][]uint64 {
+	out := make([][]uint64, len(parts))
+	_ = forEachPart(len(parts), func(p int) error {
+		out[p] = types.HashKeysInto(parts[p], keyCols, nil)
+		return nil
+	})
+	return out
+}
+
 // repartition redistributes a relation by hashing the key columns, metering
 // every row that moves between partitions as network shuffle. When the
 // relation is already partitioned on the keys the exchange is skipped
 // entirely (the §3 optimization for pre-partitioned inputs).
-func repartition(ctx *Context, rel *Relation, keyCols []int) *Relation {
+//
+// Alongside the exchanged relation it returns the key hashes aligned with
+// each output partition's rows: every row is hashed exactly once here and
+// the prehashes travel with the rows, so the downstream build and probe
+// never rehash.
+func repartition(ctx *Context, rel *Relation, keyCols []int) (*Relation, [][]uint64, error) {
 	if rel.PartitionedOn(keyCols) {
-		return rel
+		return rel, prehashParts(rel.Parts, keyCols), nil
 	}
 	n := len(rel.Parts)
-	acct := ctx.Accounting()
 	out := &Relation{
 		Schema:   rel.Schema,
 		Parts:    make([][]types.Tuple, n),
@@ -25,35 +57,99 @@ func repartition(ctx *Context, rel *Relation, keyCols []int) *Relation {
 	}
 	if n == 1 {
 		out.Parts[0] = rel.Parts[0]
-		return out
+		return out, prehashParts(out.Parts, keyCols), nil
 	}
-	// Partition-parallel split: each source partition buckets its rows,
-	// then buckets are concatenated per destination.
-	buckets := make([][][]types.Tuple, n) // [src][dst][]tuple
+	acct := ctx.Accounting()
+	// Two-pass partition-parallel exchange: pass one hashes every row once,
+	// counts per-destination occupancy, and meters the shuffle; pass two
+	// scatters rows (and their prehashes) straight into exactly-sized
+	// destination arrays at precomputed offsets — no per-bucket chain
+	// slices, no append regrowth, no intermediate copy. Each destination
+	// receives source blocks in source order with source row order
+	// preserved, matching the previous implementation's output order.
+	srcHash := make([][]uint64, n)    // [src] prehashes aligned with rel.Parts[src]
+	srcDst := make([][]int32, n)      // [src] per-row destination (hash mod n, computed once)
+	srcCount := make([][]int32, n)    // [src] dst -> rows routed there
+	srcDstBytes := make([][]int64, n) // [src] dst -> encoded bytes routed there
 	_ = forEachPart(n, func(src int) error {
-		local := make([][]types.Tuple, n)
-		var movedRows, movedBytes int64
-		for _, t := range rel.Parts[src] {
-			dst := int(t.HashKeys(keyCols) % uint64(n))
-			local[dst] = append(local[dst], t)
-			if dst != src {
-				movedRows++
-				movedBytes += int64(t.EncodedSize())
-			}
+		part := rel.Parts[src]
+		hashes := types.HashKeysInto(part, keyCols, nil)
+		dsts := make([]int32, len(part))
+		counts := make([]int32, n)
+		dstBytes := make([]int64, n)
+		var totalBytes int64
+		for r, t := range part {
+			dst := int32(hashes[r] % uint64(n))
+			dsts[r] = dst
+			counts[dst]++
+			// One EncodedSize walk per row covers both the shuffle metering
+			// (bytes leaving src) and the output partitions' size cache.
+			sz := int64(t.EncodedSize())
+			dstBytes[dst] += sz
+			totalBytes += sz
 		}
-		acct.ShuffleRows.Add(movedRows)
-		acct.ShuffleBytes.Add(movedBytes)
-		buckets[src] = local
+		srcHash[src], srcDst[src], srcCount[src], srcDstBytes[src] = hashes, dsts, counts, dstBytes
+		acct.ShuffleRows.Add(int64(len(part)) - int64(counts[src]))
+		acct.ShuffleBytes.Add(totalBytes - dstBytes[src])
 		return nil
 	})
-	for dst := 0; dst < n; dst++ {
-		var rows []types.Tuple
-		for src := 0; src < n; src++ {
-			rows = append(rows, buckets[src][dst]...)
-		}
-		out.Parts[dst] = rows
+	// srcStart[src][dst]: where src's block begins within destination dst.
+	srcStart := make([][]int32, n)
+	for src := 0; src < n; src++ {
+		srcStart[src] = make([]int32, n)
 	}
-	return out
+	outHashes := make([][]uint64, n)
+	outBytes := make([]int64, n)
+	var outTotal int64
+	for dst := 0; dst < n; dst++ {
+		var total int
+		for src := 0; src < n; src++ {
+			srcStart[src][dst] = int32(total)
+			total += int(srcCount[src][dst])
+			outBytes[dst] += srcDstBytes[src][dst]
+		}
+		if total > maxPartRows {
+			return nil, nil, fmt.Errorf("engine: exchange destination %d would hold %d rows, exceeding the %d-row limit of int32 row indexing", dst, total, maxPartRows)
+		}
+		out.Parts[dst] = make([]types.Tuple, total)
+		outHashes[dst] = make([]uint64, total)
+		outTotal += outBytes[dst]
+	}
+	_ = forEachPart(n, func(src int) error {
+		next := srcStart[src] // disjoint write ranges per src; safe to share dst arrays
+		dsts := srcDst[src]
+		hashes := srcHash[src]
+		for r, t := range rel.Parts[src] {
+			dst := dsts[r]
+			i := next[dst]
+			next[dst]++
+			out.Parts[dst][i] = t
+			outHashes[dst][i] = hashes[r]
+		}
+		return nil
+	})
+	out.seedSizes(outBytes, outTotal)
+	return out, outHashes, nil
+}
+
+// Repartition hash-exchanges a relation onto the named key columns. It is
+// the exported face of the exchange for benchmarks and tools; joins call the
+// internal path, which additionally hands the per-row prehashes downstream.
+func Repartition(ctx *Context, rel *Relation, keys []string) (*Relation, error) {
+	cols, err := resolveKeys(rel.Schema, keys)
+	if err != nil {
+		return nil, err
+	}
+	if rel.PartitionedOn(cols) {
+		// Already placed: skip the internal path so the no-op exchange does
+		// not pay its prehash pass (callers here have no use for hashes).
+		return rel, nil
+	}
+	if err := checkPartRows(rel.Parts); err != nil {
+		return nil, err
+	}
+	out, _, err := repartition(ctx, rel, cols)
+	return out, err
 }
 
 // meterSpill models §3's overflow partitions: when a partition's build side
@@ -73,37 +169,106 @@ func meterSpill(ctx *Context, buildBytes, probeBytes, buildRows, probeRows int64
 	acct.SpillRows.Add(int64(float64(buildRows+probeRows) * spillFrac))
 }
 
-func bytesOf(rows []types.Tuple) int64 {
-	var n int64
-	for _, t := range rows {
-		n += int64(t.EncodedSize())
-	}
-	return n
-}
-
-// hashTable is a per-partition build table keyed by composite key hash with
-// exact-key chains.
+// hashTable is a per-partition build table over prehashed rows: a
+// power-of-two bucket array of prefix offsets into one flat []int32 of row
+// indices, built in two passes (count occupancy, then fill). No chain slices
+// and no map growth — the whole table is three flat allocations regardless
+// of key distribution. Probes compare the stored 64-bit prehash first and
+// verify exact keys only on a full-hash match.
 type hashTable struct {
-	m       map[uint64][]types.Tuple
+	rows    []types.Tuple // build rows, referenced by index
+	hashes  []uint64      // prehashed composite keys aligned with rows
 	keyCols []int
+	mask    uint64
+	starts  []int32 // len nbuckets+1: bucket -> prefix offset into idx
+	idx     []int32 // row indices grouped by bucket, row order within bucket
 }
 
-func buildTable(rows []types.Tuple, keyCols []int) *hashTable {
-	ht := &hashTable{m: make(map[uint64][]types.Tuple, len(rows)), keyCols: keyCols}
-	for _, t := range rows {
-		h := t.HashKeys(keyCols)
-		ht.m[h] = append(ht.m[h], t)
+func buildTable(rows []types.Tuple, hashes []uint64, keyCols []int) *hashTable {
+	nb := 1
+	for nb < len(rows) {
+		nb <<= 1
+	}
+	ht := &hashTable{
+		rows: rows, hashes: hashes, keyCols: keyCols,
+		mask:   uint64(nb - 1),
+		starts: make([]int32, nb+1),
+		idx:    make([]int32, len(rows)),
+	}
+	for _, h := range hashes {
+		ht.starts[(h&ht.mask)+1]++
+	}
+	for b := 0; b < nb; b++ {
+		ht.starts[b+1] += ht.starts[b]
+	}
+	next := make([]int32, nb)
+	copy(next, ht.starts[:nb])
+	for r, h := range hashes {
+		b := h & ht.mask
+		ht.idx[next[b]] = int32(r)
+		next[b]++
 	}
 	return ht
 }
 
-func (ht *hashTable) probe(t types.Tuple, probeCols []int, emit func(build types.Tuple)) {
-	h := t.HashKeys(probeCols)
-	for _, b := range ht.m[h] {
-		if b.KeysEqual(ht.keyCols, t, probeCols) {
-			emit(b)
+// countMatches returns the number of full-hash matches for the probe rows:
+// the output-size hint that lets HashJoin/BroadcastJoin allocate the row
+// headers and the tuple arena once, sized from match counts instead of grown
+// per row. The pre-verification counting pass costs a fraction of the probe
+// itself (bucket arrays are compact and cache-resident), and 64-bit hash
+// collisions between unequal keys can only overcount — the count is a
+// capacity, not a length, so that is harmless.
+func (ht *hashTable) countMatches(hashes []uint64) int {
+	starts, idx, hs := ht.starts, ht.idx, ht.hashes
+	cnt := 0
+	for _, h := range hashes {
+		b := h & ht.mask
+		for _, ri := range idx[starts[b]:starts[b+1]] {
+			if hs[ri] == h {
+				cnt++
+			}
 		}
 	}
+	return cnt
+}
+
+// joinInto streams probeRows through the table, appending one build⧺probe
+// (or probe⧺build, per buildFirst) arena tuple per match to out and
+// returning it. hashes are the probe rows' prehashes — rows are hashed once
+// upstream (exchange or broadcast-probe prehash), never here. Matches
+// sharing a full hash are emitted in build row order, matching the chain
+// order of the previous map-based table. The flat loop — no per-row closure
+// — is the join's innermost hot path.
+func (ht *hashTable) joinInto(out []types.Tuple, arena *types.Arena, probeRows []types.Tuple, hashes []uint64, probeCols []int, buildFirst bool) []types.Tuple {
+	starts, idx, hs, bRows, mask := ht.starts, ht.idx, ht.hashes, ht.rows, ht.mask
+	singleKey := len(probeCols) == 1 && len(ht.keyCols) == 1
+	var bCol0, pCol0 int
+	if singleKey {
+		bCol0, pCol0 = ht.keyCols[0], probeCols[0]
+	}
+	for r, pt := range probeRows {
+		h := hashes[r]
+		b := h & mask
+		for _, ri := range idx[starts[b]:starts[b+1]] {
+			if hs[ri] != h {
+				continue
+			}
+			bt := bRows[ri]
+			if singleKey {
+				if !bt[bCol0].Equal(pt[pCol0]) {
+					continue
+				}
+			} else if !bt.KeysEqual(ht.keyCols, pt, probeCols) {
+				continue
+			}
+			if buildFirst {
+				out = append(out, arena.Concat(bt, pt))
+			} else {
+				out = append(out, arena.Concat(pt, bt))
+			}
+		}
+	}
+	return out
 }
 
 // HashJoin is the repartitioning dynamic hash join of §3: both inputs are
@@ -129,39 +294,51 @@ func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string,
 	if err != nil {
 		return nil, err
 	}
-	left = repartition(ctx, left, lCols)
-	right = repartition(ctx, right, rCols)
+	if err := checkPartRows(left.Parts); err != nil {
+		return nil, err
+	}
+	if err := checkPartRows(right.Parts); err != nil {
+		return nil, err
+	}
+	left, lHash, err := repartition(ctx, left, lCols)
+	if err != nil {
+		return nil, err
+	}
+	right, rHash, err := repartition(ctx, right, rCols)
+	if err != nil {
+		return nil, err
+	}
 
 	n := len(left.Parts)
 	acct := ctx.Accounting()
 	outSchema := left.Schema.Concat(right.Schema)
 	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, n)}
 	err = forEachPart(n, func(p int) error {
-		var rows []types.Tuple
+		// Output building is arena-backed and sized from the match count:
+		// one header slice and one Value chunk per partition, allocated
+		// exactly, replacing a Concat allocation per output row.
+		var arena types.Arena
 		if buildLeft {
-			ht := buildTable(left.Parts[p], lCols)
+			ht := buildTable(left.Parts[p], lHash[p], lCols)
 			acct.BuildRows.Add(int64(len(left.Parts[p])))
 			acct.ProbeRows.Add(int64(len(right.Parts[p])))
-			meterSpill(ctx, bytesOf(left.Parts[p]), bytesOf(right.Parts[p]),
+			meterSpill(ctx, left.PartBytes(p), right.PartBytes(p),
 				int64(len(left.Parts[p])), int64(len(right.Parts[p])))
-			for _, rt := range right.Parts[p] {
-				ht.probe(rt, rCols, func(lt types.Tuple) {
-					rows = append(rows, lt.Concat(rt))
-				})
-			}
+			cnt := ht.countMatches(rHash[p])
+			arena.Reserve(cnt * outSchema.Len())
+			rows := make([]types.Tuple, 0, cnt)
+			out.Parts[p] = ht.joinInto(rows, &arena, right.Parts[p], rHash[p], rCols, true)
 		} else {
-			ht := buildTable(right.Parts[p], rCols)
+			ht := buildTable(right.Parts[p], rHash[p], rCols)
 			acct.BuildRows.Add(int64(len(right.Parts[p])))
 			acct.ProbeRows.Add(int64(len(left.Parts[p])))
-			meterSpill(ctx, bytesOf(right.Parts[p]), bytesOf(left.Parts[p]),
+			meterSpill(ctx, right.PartBytes(p), left.PartBytes(p),
 				int64(len(right.Parts[p])), int64(len(left.Parts[p])))
-			for _, lt := range left.Parts[p] {
-				ht.probe(lt, lCols, func(rt types.Tuple) {
-					rows = append(rows, lt.Concat(rt))
-				})
-			}
+			cnt := ht.countMatches(lHash[p])
+			arena.Reserve(cnt * outSchema.Len())
+			rows := make([]types.Tuple, 0, cnt)
+			out.Parts[p] = ht.joinInto(rows, &arena, left.Parts[p], lHash[p], lCols, false)
 		}
-		out.Parts[p] = rows
 		return nil
 	})
 	if err != nil {
@@ -194,6 +371,12 @@ func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []st
 	if err != nil {
 		return nil, err
 	}
+	if err := checkPartRows(left.Parts); err != nil {
+		return nil, err
+	}
+	if err := checkPartRows(right.Parts); err != nil {
+		return nil, err
+	}
 	build, probe := left, right
 	bCols, pCols := lCols, rCols
 	if !buildLeft {
@@ -204,37 +387,38 @@ func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []st
 	n := len(probe.Parts)
 	acct := ctx.Accounting()
 	// Replicate the build side: every partition receives all build rows it
-	// does not already host.
-	var all []types.Tuple
+	// does not already host. The build side's byte size is computed once and
+	// reused for both broadcast metering and the spill check below.
+	all := make([]types.Tuple, 0, build.RowCount())
 	for _, p := range build.Parts {
 		all = append(all, p...)
 	}
+	if len(all) > maxPartRows {
+		return nil, fmt.Errorf("engine: broadcast build side has %d rows, exceeding the %d-row limit of int32 row indexing", len(all), maxPartRows)
+	}
+	buildBytes := build.ByteSize()
 	if n > 1 {
 		acct.BroadcastRows.Add(int64(len(all)) * int64(n-1))
-		acct.BroadcastBytes.Add(build.ByteSize() * int64(n-1))
+		acct.BroadcastBytes.Add(buildBytes * int64(n-1))
 	}
-	ht := buildTable(all, bCols)
+	ht := buildTable(all, types.HashKeysInto(all, bCols, nil), bCols)
 	acct.BuildRows.Add(int64(len(all)) * int64(n)) // each partition builds its copy
 
 	outSchema := left.Schema.Concat(right.Schema)
 	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, n)}
-	allBytes := bytesOf(all)
 	err = forEachPart(n, func(p int) error {
-		var rows []types.Tuple
 		acct.ProbeRows.Add(int64(len(probe.Parts[p])))
 		// Each partition holds a full copy of the broadcast build side.
-		meterSpill(ctx, allBytes, bytesOf(probe.Parts[p]),
+		meterSpill(ctx, buildBytes, probe.PartBytes(p),
 			int64(len(all)), int64(len(probe.Parts[p])))
-		for _, pt := range probe.Parts[p] {
-			ht.probe(pt, pCols, func(bt types.Tuple) {
-				if buildLeft {
-					rows = append(rows, bt.Concat(pt))
-				} else {
-					rows = append(rows, pt.Concat(bt))
-				}
-			})
-		}
-		out.Parts[p] = rows
+		// The probe side never went through an exchange, so prehash it here
+		// (once per row), then size the output from the match count.
+		hs := types.HashKeysInto(probe.Parts[p], pCols, nil)
+		cnt := ht.countMatches(hs)
+		var arena types.Arena
+		arena.Reserve(cnt * outSchema.Len())
+		rows := make([]types.Tuple, 0, cnt)
+		out.Parts[p] = ht.joinInto(rows, &arena, probe.Parts[p], hs, pCols, buildLeft)
 		return nil
 	})
 	if err != nil {
@@ -278,6 +462,9 @@ func IndexNLJoin(ctx *Context, outer *Relation, inner *storage.Dataset, innerAli
 	if len(outer.Parts) != len(inner.Parts) {
 		return nil, fmt.Errorf("engine: partition count mismatch %d vs %d", len(outer.Parts), len(inner.Parts))
 	}
+	if err := checkPartRows(inner.Parts); err != nil {
+		return nil, err
+	}
 	oCols, err := resolveKeys(outer.Schema, outerKeys)
 	if err != nil {
 		return nil, err
@@ -301,7 +488,7 @@ func IndexNLJoin(ctx *Context, outer *Relation, inner *storage.Dataset, innerAli
 
 	n := len(inner.Parts)
 	acct := ctx.Accounting()
-	var outerAll []types.Tuple
+	outerAll := make([]types.Tuple, 0, outer.RowCount())
 	for _, p := range outer.Parts {
 		outerAll = append(outerAll, p...)
 	}
@@ -315,13 +502,39 @@ func IndexNLJoin(ctx *Context, outer *Relation, inner *storage.Dataset, innerAli
 	residual := iCols[1:]
 	oResidual := oCols[1:]
 	err = forEachPart(n, func(p int) error {
-		var rows []types.Tuple
-		var lookups, fetched int64
-		for _, ot := range outerAll {
-			lookups++
-			for _, rowIdx := range idx.Lookup(p, ot[oCols[0]]) {
-				it := inner.Parts[p][rowIdx]
-				fetched++
+		part := inner.Parts[p]
+		key0 := oCols[0]
+		// Pass 1: resolve every outer row's index range once. Lookup yields
+		// a position range over the sorted index keys — no per-probe []int
+		// materialization — and the range widths bound the output exactly
+		// (pre-filter), so the header slice and arena are sized up front.
+		ranges := make([]int32, 2*len(outerAll))
+		var fetched int64
+		for o, ot := range outerAll {
+			lo, hi := idx.Lookup(p, ot[key0])
+			ranges[2*o], ranges[2*o+1] = int32(lo), int32(hi)
+			fetched += int64(hi - lo)
+		}
+		acct.IndexLookups.Add(int64(len(outerAll)))
+		acct.IndexRows.Add(fetched)
+		var arena types.Arena
+		rows := make([]types.Tuple, 0, fetched)
+		rowAt := idx.Rows(p)
+		if len(residual) == 0 && pred == nil {
+			// No post-fetch filtering: the bound is exact, and the fetch
+			// loop carries no per-row branch work.
+			arena.Reserve(int(fetched) * outSchema.Len())
+			for o, ot := range outerAll {
+				for i := ranges[2*o]; i < ranges[2*o+1]; i++ {
+					rows = append(rows, arena.Concat(ot, part[rowAt[i]]))
+				}
+			}
+			out.Parts[p] = rows
+			return nil
+		}
+		for o, ot := range outerAll {
+			for i := ranges[2*o]; i < ranges[2*o+1]; i++ {
+				it := part[rowAt[i]]
 				if len(residual) > 0 && !ot.KeysEqual(oResidual, it, residual) {
 					continue
 				}
@@ -334,11 +547,9 @@ func IndexNLJoin(ctx *Context, outer *Relation, inner *storage.Dataset, innerAli
 						continue
 					}
 				}
-				rows = append(rows, ot.Concat(it))
+				rows = append(rows, arena.Concat(ot, it))
 			}
 		}
-		acct.IndexLookups.Add(lookups)
-		acct.IndexRows.Add(fetched)
 		out.Parts[p] = rows
 		return nil
 	})

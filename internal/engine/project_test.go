@@ -28,7 +28,7 @@ func TestProjectColumnsBasic(t *testing.T) {
 	// Values moved correctly.
 	for _, p := range out.Parts {
 		for _, row := range p {
-			if row[0].I != row[1].I*10 {
+			if row[0].I() != row[1].I()*10 {
 				t.Fatalf("bad projected row %v", row)
 			}
 		}
@@ -95,7 +95,7 @@ func TestExecuteAppliesInteriorProjection(t *testing.T) {
 	for _, p := range rel.Parts {
 		for _, row := range p {
 			// attr = fk*100, pay = id*10, fk = id%10 ⇒ attr = (pay/10 % 10)*100.
-			if row[ai].I != (row[pi].I/10%10)*100 {
+			if row[ai].I() != (row[pi].I()/10%10)*100 {
 				t.Fatalf("bad pruned row %v", row)
 			}
 		}
@@ -141,13 +141,13 @@ func TestAnnotatedTreeEndToEnd(t *testing.T) {
 	var sumSlim, sumPlain int64
 	for _, p := range slim.Parts {
 		for _, row := range p {
-			sumSlim += row[pay].I
+			sumSlim += row[pay].I()
 		}
 	}
 	pp := plain.Schema.MustIndex("f.pay")
 	for _, p := range plain.Parts {
 		for _, row := range p {
-			sumPlain += row[pp].I
+			sumPlain += row[pp].I()
 		}
 	}
 	if sumSlim != sumPlain {

@@ -46,11 +46,26 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 	acct := ctx.Accounting()
 	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, len(ds.Parts))}
 	err := forEachPart(len(ds.Parts), func(p int) error {
+		// Scan I/O is metered for every stored row whether or not the filter
+		// keeps it, so the byte count is the partition's (cached) encoded
+		// size — no per-tuple EncodedSize walk.
+		scannedRows := int64(len(ds.Parts[p]))
+		scannedBytes := ds.PartBytes(p)
+		if ds.Temp {
+			acct.MatReadRows.Add(scannedRows)
+			acct.MatReadBytes.Add(scannedBytes)
+		} else {
+			acct.ScanRows.Add(scannedRows)
+			acct.ScanBytes.Add(scannedBytes)
+		}
+		if pred == nil && projIdx == nil {
+			// Pass-through scan: share the stored rows directly.
+			out.Parts[p] = ds.Parts[p]
+			return nil
+		}
+		var arena types.Arena
 		var rows []types.Tuple
-		var scannedRows, scannedBytes int64
 		for _, t := range ds.Parts[p] {
-			scannedRows++
-			scannedBytes += int64(t.EncodedSize())
 			if pred != nil {
 				v, err := pred(t)
 				if err != nil {
@@ -61,7 +76,7 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 				}
 			}
 			if projIdx != nil {
-				pt := make(types.Tuple, len(projIdx))
+				pt := arena.Make(len(projIdx))
 				for i, idx := range projIdx {
 					pt[i] = t[idx]
 				}
@@ -70,18 +85,20 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 				rows = append(rows, t)
 			}
 		}
-		if ds.Temp {
-			acct.MatReadRows.Add(scannedRows)
-			acct.MatReadBytes.Add(scannedBytes)
-		} else {
-			acct.ScanRows.Add(scannedRows)
-			acct.ScanBytes.Add(scannedBytes)
-		}
 		out.Parts[p] = rows
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if pred == nil && projIdx == nil {
+		// The relation's rows are exactly the dataset's; seed its size cache
+		// from the dataset's so downstream metering never re-walks them.
+		pb := make([]int64, len(ds.Parts))
+		for p := range pb {
+			pb[p] = ds.PartBytes(p)
+		}
+		out.seedSizes(pb, ds.ByteSize())
 	}
 
 	// Partitioning survives the scan when every partitioning field survives

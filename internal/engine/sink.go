@@ -53,12 +53,11 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 		go func(p int) {
 			defer wg.Done()
 			st := stats.NewDatasetStats(name)
-			var wBytes, observed int64
-			for _, t := range rel.Parts[p] {
-				wBytes += int64(t.EncodedSize())
-				st.RecordCount++
-				st.ByteSize += int64(t.EncodedSize())
-				if statsFields != nil {
+			st.RecordCount = int64(len(rel.Parts[p]))
+			st.ByteSize = rel.PartBytes(p)
+			var observed int64
+			if statsFields != nil {
+				for _, t := range rel.Parts[p] {
 					for i, f := range flat.Fields {
 						if statsFields[f.Name] {
 							st.Field(f.Name).Observe(t[i])
@@ -67,17 +66,20 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 					}
 				}
 			}
-			acct.MatWriteRows.Add(int64(len(rel.Parts[p])))
-			acct.MatWriteBytes.Add(wBytes)
+			acct.MatWriteRows.Add(st.RecordCount)
+			acct.MatWriteBytes.Add(st.ByteSize)
 			acct.StatsObserved.Add(observed)
 			partStats[p] = st
 			return
 		}(p)
 	}
 	wg.Wait()
+	pb := make([]int64, len(rel.Parts))
 	for p := range rel.Parts {
 		ds.Parts[p] = rel.Parts[p]
+		pb[p] = rel.PartBytes(p)
 	}
+	ds.SeedSizes(pb, rel.ByteSize())
 	merged := stats.NewDatasetStats(name)
 	for _, st := range partStats {
 		merged.Merge(st)
@@ -90,15 +92,11 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 // (identical across strategies for identical results).
 func Gather(ctx *Context, rel *Relation) []types.Tuple {
 	acct := ctx.Accounting()
-	var out []types.Tuple
+	out := make([]types.Tuple, 0, rel.RowCount())
 	for _, p := range rel.Parts {
 		out = append(out, p...)
 	}
-	var bytes int64
-	for _, t := range out {
-		bytes += int64(t.EncodedSize())
-	}
 	acct.ShuffleRows.Add(int64(len(out)))
-	acct.ShuffleBytes.Add(bytes)
+	acct.ShuffleBytes.Add(rel.ByteSize())
 	return out
 }

@@ -408,16 +408,16 @@ func (a *Arith) Eval(t types.Tuple, env *Env) (types.Value, error) {
 	if lv.K == types.KindInt && rv.K == types.KindInt {
 		switch a.Op {
 		case ArithAdd:
-			return types.Int(lv.I + rv.I), nil
+			return types.Int(lv.I() + rv.I()), nil
 		case ArithSub:
-			return types.Int(lv.I - rv.I), nil
+			return types.Int(lv.I() - rv.I()), nil
 		case ArithMul:
-			return types.Int(lv.I * rv.I), nil
+			return types.Int(lv.I() * rv.I()), nil
 		case ArithDiv:
-			if rv.I == 0 {
+			if rv.I() == 0 {
 				return types.Null(), fmt.Errorf("expr: division by zero")
 			}
-			return types.Int(lv.I / rv.I), nil
+			return types.Int(lv.I() / rv.I()), nil
 		}
 	}
 	lf, lok := lv.AsFloat()

@@ -33,7 +33,7 @@ func eval(t *testing.T, e Expr) types.Value {
 }
 
 func TestColumnEval(t *testing.T) {
-	if v := eval(t, &Column{Qualifier: "o", Name: "k"}); v.I != 10 {
+	if v := eval(t, &Column{Qualifier: "o", Name: "k"}); v.I() != 10 {
 		t.Errorf("o.k = %v", v)
 	}
 	// Bare name resolution.
@@ -47,10 +47,10 @@ func TestColumnEval(t *testing.T) {
 }
 
 func TestLiteralParam(t *testing.T) {
-	if v := eval(t, &Literal{Val: types.Int(7)}); v.I != 7 {
+	if v := eval(t, &Literal{Val: types.Int(7)}); v.I() != 7 {
 		t.Errorf("literal = %v", v)
 	}
-	if v := eval(t, &Param{Name: "year"}); v.I != 1998 {
+	if v := eval(t, &Param{Name: "year"}); v.I() != 1998 {
 		t.Errorf("param = %v", v)
 	}
 	if _, err := (&Param{Name: "missing"}).Eval(testTuple(), testEnv()); err == nil {
@@ -157,7 +157,7 @@ func TestArith(t *testing.T) {
 
 func TestCallBuiltins(t *testing.T) {
 	y := &Call{Name: "myyear", Args: []Expr{&Column{Name: "d"}}}
-	if v := eval(t, y); v.I != 1998 {
+	if v := eval(t, y); v.I() != 1998 {
 		t.Errorf("myyear = %v", v)
 	}
 	s := &Call{Name: "mysub", Args: []Expr{&Literal{Val: types.Str("Brand#32")}}}
@@ -167,10 +167,10 @@ func TestCallBuiltins(t *testing.T) {
 	r := &Call{Name: "myrand", Args: []Expr{&Literal{Val: types.Int(1998)}, &Literal{Val: types.Int(2000)}}}
 	v1 := eval(t, r)
 	v2 := eval(t, r)
-	if v1.I < 1998 || v1.I > 2000 {
+	if v1.I() < 1998 || v1.I() > 2000 {
 		t.Errorf("myrand out of range: %v", v1)
 	}
-	if v1.I != v2.I {
+	if v1.I() != v2.I() {
 		t.Error("myrand not deterministic per bounds")
 	}
 	if _, err := (&Call{Name: "nope"}).Eval(testTuple(), testEnv()); err == nil {
@@ -184,7 +184,7 @@ func TestUDFRegistry(t *testing.T) {
 		t.Error("empty UDF registered")
 	}
 	err := r.Register(UDF{Name: "Twice", Fn: func(a []types.Value) (types.Value, error) {
-		return types.Int(a[0].I * 2), nil
+		return types.Int(a[0].I() * 2), nil
 	}})
 	if err != nil {
 		t.Fatal(err)

@@ -97,7 +97,7 @@ func expectedRows() []int64 {
 func resultInts(res *engine.Result) []int64 {
 	out := make([]int64, 0, len(res.Rows))
 	for _, r := range res.Rows {
-		out = append(out, r[0].I)
+		out = append(out, r[0].I())
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 	return out

@@ -363,9 +363,9 @@ func (p *parser) parseUnary() (expr.Expr, error) {
 		if lit, ok := kid.(*expr.Literal); ok {
 			switch lit.Val.K {
 			case types.KindInt:
-				return &expr.Literal{Val: types.Int(-lit.Val.I)}, nil
+				return &expr.Literal{Val: types.Int(-lit.Val.I())}, nil
 			case types.KindFloat:
-				return &expr.Literal{Val: types.Float(-lit.Val.F)}, nil
+				return &expr.Literal{Val: types.Float(-lit.Val.F())}, nil
 			}
 		}
 		return &expr.Arith{Op: expr.ArithSub, L: &expr.Literal{Val: types.Int(0)}, R: kid}, nil

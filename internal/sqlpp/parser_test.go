@@ -75,7 +75,7 @@ func TestParseLiteralsAndParams(t *testing.T) {
 	if lit := w[0].(*expr.Compare).R.(*expr.Literal); lit.Val.S != "str'esc" {
 		t.Errorf("string literal = %v", lit.Val)
 	}
-	if lit := w[1].(*expr.Compare).R.(*expr.Literal); lit.Val.F != 1.5 {
+	if lit := w[1].(*expr.Compare).R.(*expr.Literal); lit.Val.F() != 1.5 {
 		t.Errorf("float literal = %v", lit.Val)
 	}
 	if lit := w[2].(*expr.Compare).R.(*expr.Literal); !lit.Val.IsTrue() {
@@ -90,7 +90,7 @@ func TestParseLiteralsAndParams(t *testing.T) {
 	if lit := w[5].(*expr.Compare).R.(*expr.Literal); lit.Val.S != "1995-01-01" {
 		t.Errorf("date literal = %v", lit.Val)
 	}
-	if lit := w[6].(*expr.Compare).R.(*expr.Literal); lit.Val.I != -7 {
+	if lit := w[6].(*expr.Compare).R.(*expr.Literal); lit.Val.I() != -7 {
 		t.Errorf("negative literal = %v", lit.Val)
 	}
 }
@@ -139,7 +139,7 @@ func TestParseArithmeticPrecedence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.I != 7 {
+	if v.I() != 7 {
 		t.Errorf("1+2*3 = %v", v)
 	}
 }

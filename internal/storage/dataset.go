@@ -24,6 +24,11 @@ type Dataset struct {
 	Parts      [][]types.Tuple
 	Indexes    map[string]*Index // secondary indexes by field name
 	Temp       bool              // materialized intermediate (no indexes survive)
+
+	// sizes caches encoded byte sizes: datasets are immutable once loaded,
+	// so the sizes the scan and spill metering need are computed once per
+	// dataset, not once per scan.
+	sizes types.SizeCache
 }
 
 // RowCount returns the total number of rows across partitions.
@@ -35,15 +40,19 @@ func (d *Dataset) RowCount() int64 {
 	return n
 }
 
-// ByteSize returns the total encoded size across partitions.
-func (d *Dataset) ByteSize() int64 {
-	var n int64
-	for _, p := range d.Parts {
-		for _, t := range p {
-			n += int64(t.EncodedSize())
-		}
-	}
-	return n
+// ByteSize returns the total encoded size across partitions, computed once
+// and cached. Callers must not mutate Parts after the first call.
+func (d *Dataset) ByteSize() int64 { return d.sizes.Total(d.Parts) }
+
+// PartBytes returns the encoded size of partition p, cached like ByteSize.
+func (d *Dataset) PartBytes(p int) int64 { return d.sizes.Part(d.Parts, p) }
+
+// SeedSizes installs encoded sizes the caller already computed (the engine's
+// sink materializes a relation whose sizes are known), so the lazy pass in
+// ByteSize/PartBytes never runs. Must be called before the dataset is shared
+// across goroutines.
+func (d *Dataset) SeedSizes(partBytes []int64, total int64) {
+	d.sizes.Seed(partBytes, total)
 }
 
 // PartitionFields returns the fields the dataset is hash-partitioned on
@@ -79,17 +88,34 @@ func Build(name string, schema *types.Schema, pk []string, rows []types.Tuple, n
 		}
 		pkIdx = append(pkIdx, i)
 	}
-	st := stats.NewDatasetStats(name)
 	for i, row := range rows {
 		if len(row) != schema.Len() {
 			return nil, nil, fmt.Errorf("storage: row %d has %d values, schema has %d", i, len(row), schema.Len())
 		}
-		var p int
-		if len(pkIdx) > 0 {
-			p = int(row.HashKeys(pkIdx) % uint64(nparts))
-		} else {
-			p = i % nparts
+	}
+	// Bulk-prehash the primary key once per row, count occupancy, and
+	// presize the partitions — the same prehash-then-fill shape as the
+	// engine's exchange, so bulk loads stay allocation-lean too.
+	var hashes []uint64
+	if len(pkIdx) > 0 {
+		hashes = types.HashKeysInto(rows, pkIdx, nil)
+	}
+	partOf := func(i int) int {
+		if hashes != nil {
+			return int(hashes[i] % uint64(nparts))
 		}
+		return i % nparts
+	}
+	counts := make([]int, nparts)
+	for i := range rows {
+		counts[partOf(i)]++
+	}
+	for p := range ds.Parts {
+		ds.Parts[p] = make([]types.Tuple, 0, counts[p])
+	}
+	st := stats.NewDatasetStats(name)
+	for i, row := range rows {
+		p := partOf(i)
 		ds.Parts[p] = append(ds.Parts[p], row)
 		st.ObserveTuple(schema, row, nil)
 	}
@@ -137,6 +163,13 @@ type Index struct {
 type indexPart struct {
 	keys []types.Value // sorted
 	rows []int         // parallel to keys: row offset within the partition
+
+	// ikeys mirrors keys as raw int64s when every key is KindInt (the
+	// common case for FK indexes): binary search then compares 8-byte
+	// machine ints on a dense array instead of calling Value.Compare across
+	// 32-byte elements. Compare orders ints numerically, so the orders
+	// agree exactly.
+	ikeys []int64
 }
 
 // BuildIndex creates (and attaches) a secondary index on the field.
@@ -158,9 +191,19 @@ func BuildIndex(ds *Dataset, field string) (*Index, error) {
 		sort.SliceStable(order, func(a, b int) bool {
 			return part[order[a]][fi].Compare(part[order[b]][fi]) < 0
 		})
+		allInt := true
 		for i, r := range order {
 			ip.keys[i] = part[r][fi]
 			ip.rows[i] = r
+			if ip.keys[i].K != types.KindInt {
+				allInt = false
+			}
+		}
+		if allInt {
+			ip.ikeys = make([]int64, len(ip.keys))
+			for i, k := range ip.keys {
+				ip.ikeys[i] = k.I()
+			}
 		}
 		idx.parts[p] = ip
 	}
@@ -168,20 +211,38 @@ func BuildIndex(ds *Dataset, field string) (*Index, error) {
 	return idx, nil
 }
 
-// Lookup returns the row offsets within partition p whose indexed field
-// equals key.
-func (ix *Index) Lookup(p int, key types.Value) []int {
+// Lookup returns the half-open range [lo, hi) of positions in partition p's
+// sorted key order whose indexed field equals key; Row maps a position back
+// to the row offset within the partition. Returning a range instead of a
+// materialized []int keeps index probes allocation-free — IndexNLJoin issues
+// one Lookup per outer row per partition.
+func (ix *Index) Lookup(p int, key types.Value) (lo, hi int) {
 	if p < 0 || p >= len(ix.parts) {
-		return nil
+		return 0, 0
 	}
 	ip := &ix.parts[p]
-	lo := sort.Search(len(ip.keys), func(i int) bool { return ip.keys[i].Compare(key) >= 0 })
-	var out []int
-	for i := lo; i < len(ip.keys) && ip.keys[i].Equal(key); i++ {
-		out = append(out, ip.rows[i])
+	if ip.ikeys != nil && key.K == types.KindInt {
+		k := key.I()
+		lo = sort.Search(len(ip.ikeys), func(i int) bool { return ip.ikeys[i] >= k })
+		hi = lo
+		for hi < len(ip.ikeys) && ip.ikeys[hi] == k {
+			hi++
+		}
+		return lo, hi
 	}
-	return out
+	lo = sort.Search(len(ip.keys), func(i int) bool { return ip.keys[i].Compare(key) >= 0 })
+	hi = lo + sort.Search(len(ip.keys)-lo, func(i int) bool { return ip.keys[lo+i].Compare(key) > 0 })
+	return lo, hi
 }
+
+// Row returns the partition-local row offset stored at index position i of
+// partition p (i must come from a Lookup range on the same partition).
+func (ix *Index) Row(p, i int) int { return ix.parts[p].rows[i] }
+
+// Rows returns partition p's full position→row-offset mapping in sorted key
+// order. Callers must treat it as read-only; tight fetch loops index it
+// directly instead of calling Row per position.
+func (ix *Index) Rows(p int) []int { return ix.parts[p].rows }
 
 // Partitions returns the number of partitions the index covers.
 func (ix *Index) Partitions() int { return len(ix.parts) }

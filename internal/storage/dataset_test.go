@@ -159,8 +159,10 @@ func TestIndexLookup(t *testing.T) {
 	total := 0
 	fi := ds.Schema.MustIndex("grp")
 	for p := range ds.Parts {
-		for _, row := range idx.Lookup(p, types.Int(3)) {
-			if ds.Parts[p][row][fi].I != 3 {
+		lo, hi := idx.Lookup(p, types.Int(3))
+		for i := lo; i < hi; i++ {
+			row := idx.Row(p, i)
+			if ds.Parts[p][row][fi].I() != 3 {
 				t.Fatalf("index returned wrong row: %v", ds.Parts[p][row])
 			}
 			total++
@@ -171,13 +173,16 @@ func TestIndexLookup(t *testing.T) {
 	}
 	// Missing key.
 	for p := range ds.Parts {
-		if got := idx.Lookup(p, types.Int(999999)); got != nil {
-			t.Errorf("missing key returned %v", got)
+		if lo, hi := idx.Lookup(p, types.Int(999999)); lo != hi {
+			t.Errorf("missing key returned range [%d, %d)", lo, hi)
 		}
 	}
 	// Out-of-range partition.
-	if idx.Lookup(-1, types.Int(1)) != nil || idx.Lookup(99, types.Int(1)) != nil {
-		t.Error("out-of-range partition lookup not nil")
+	if lo, hi := idx.Lookup(-1, types.Int(1)); lo != hi {
+		t.Error("out-of-range partition lookup not empty")
+	}
+	if lo, hi := idx.Lookup(99, types.Int(1)); lo != hi {
+		t.Error("out-of-range partition lookup not empty")
 	}
 }
 
@@ -217,7 +222,8 @@ func TestIndexAgreesWithScanProperty(t *testing.T) {
 		}
 		viaIdx := 0
 		for p := range ds.Parts {
-			viaIdx += len(idx.Lookup(p, key))
+			lo, hi := idx.Lookup(p, key)
+			viaIdx += hi - lo
 		}
 		return scan == viaIdx
 	}

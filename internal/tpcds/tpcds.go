@@ -169,12 +169,12 @@ func Load(ctx *engine.Context, sf int) (Sizes, error) {
 		var day, cust, item int
 		if rng.Intn(100) < 40 && len(srRows) > 0 {
 			r := srRows[rng.Intn(len(srRows))]
-			day = int(r[0].I) + rng.Intn(31)
+			day = int(r[0].I()) + rng.Intn(31)
 			if day >= sz.DateDim {
 				day = sz.DateDim - 1
 			}
-			cust = int(r[1].I)
-			item = int(r[2].I)
+			cust = int(r[1].I())
+			item = int(r[2].I())
 		} else {
 			day = rng.Intn(sz.DateDim)
 			cust = rng.Zipf(sz.Customer)

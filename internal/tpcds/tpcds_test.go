@@ -60,7 +60,7 @@ func TestReturnsReferenceSales(t *testing.T) {
 	di := ss.Schema.MustIndex("ss_sold_date_sk")
 	for _, part := range ss.Parts {
 		for _, row := range part {
-			sales[key{row[ci].I, row[ii].I, row[ti].I}] = row[di].I
+			sales[key{row[ci].I(), row[ii].I(), row[ti].I()}] = row[di].I()
 		}
 	}
 	rci := sr.Schema.MustIndex("sr_customer_sk")
@@ -69,11 +69,11 @@ func TestReturnsReferenceSales(t *testing.T) {
 	rdi := sr.Schema.MustIndex("sr_returned_date_sk")
 	for _, part := range sr.Parts {
 		for _, row := range part {
-			sold, ok := sales[key{row[rci].I, row[rii].I, row[rti].I}]
+			sold, ok := sales[key{row[rci].I(), row[rii].I(), row[rti].I()}]
 			if !ok {
 				t.Fatal("return references a non-existent sale")
 			}
-			if row[rdi].I < sold {
+			if row[rdi].I() < sold {
 				t.Fatal("return dated before its sale")
 			}
 		}
@@ -88,9 +88,9 @@ func TestDateDimCalendar(t *testing.T) {
 	years := map[int64]int{}
 	for _, part := range dd.Parts {
 		for _, row := range part {
-			years[row[yi].I]++
-			if row[mi].I < 1 || row[mi].I > 12 {
-				t.Fatalf("bad moy %d", row[mi].I)
+			years[row[yi].I()]++
+			if row[mi].I() < 1 || row[mi].I() > 12 {
+				t.Fatalf("bad moy %d", row[mi].I())
 			}
 		}
 	}

@@ -1,0 +1,69 @@
+package types
+
+// Arena chunks grow geometrically from arenaMinChunk to arenaMaxChunk
+// Values: small outputs (a selective scan keeping a handful of rows) waste
+// at most a few KB, while large outputs amortize one allocation over
+// thousands of tuples within a handful of chunks.
+const (
+	arenaMinChunk = 256
+	arenaMaxChunk = 16384
+)
+
+// Arena carves Tuples out of large shared chunks so hot loops (join output
+// building, projection) stop paying one heap allocation per row. Tuples
+// returned by an Arena are full-sliced ([lo:hi:hi]) so appends to them can
+// never clobber a neighbor, and they stay valid for the life of the chunk
+// they came from — the arena never reuses or frees space, it only moves on
+// to a fresh chunk when the current one is full.
+//
+// An Arena is not safe for concurrent use; operators keep one per partition
+// goroutine.
+type Arena struct {
+	chunk []Value
+	next  int // capacity of the next chunk (geometric growth)
+}
+
+// alloc returns a capacity-clamped slice of n fresh Value slots.
+func (a *Arena) alloc(n int) []Value {
+	if cap(a.chunk)-len(a.chunk) < n {
+		c := a.next
+		if c < arenaMinChunk {
+			c = arenaMinChunk
+		}
+		if c > arenaMaxChunk {
+			c = arenaMaxChunk
+		}
+		if n > c {
+			c = n
+		}
+		a.next = 2 * c
+		a.chunk = make([]Value, 0, c)
+	}
+	lo := len(a.chunk)
+	a.chunk = a.chunk[:lo+n]
+	return a.chunk[lo : lo+n : lo+n]
+}
+
+// Reserve ensures capacity for n more Values in the current chunk, so a
+// caller that knows its output size up front (e.g. a join that precounted
+// matches) gets exactly one chunk with no slack chunks in between.
+func (a *Arena) Reserve(n int) {
+	if cap(a.chunk)-len(a.chunk) < n {
+		a.chunk = make([]Value, 0, n)
+	}
+}
+
+// Concat returns l⧺r carved from the arena — the allocation-free equivalent
+// of Tuple.Concat for join output rows.
+func (a *Arena) Concat(l, r Tuple) Tuple {
+	out := a.alloc(len(l) + len(r))
+	copy(out, l)
+	copy(out[len(l):], r)
+	return out
+}
+
+// Make returns an uninitialized tuple of width n carved from the arena, for
+// projection-style operators that fill columns one by one.
+func (a *Arena) Make(n int) Tuple {
+	return Tuple(a.alloc(n))
+}

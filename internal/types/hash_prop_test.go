@@ -1,0 +1,177 @@
+package types
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randValue draws a value covering every kind, with integral floats and
+// collision-prone small payloads overrepresented.
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Null()
+	case 1:
+		return Int(r.Int63n(1000) - 500)
+	case 2:
+		return Float(float64(r.Int63n(1000) - 500)) // integral float
+	case 3:
+		return Float(r.NormFloat64() * 100)
+	case 4:
+		buf := make([]byte, r.Intn(12))
+		for i := range buf {
+			buf[i] = byte('a' + r.Intn(26))
+		}
+		return Str(string(buf))
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+// referenceHash is the previous implementation: hash/fnv over the value's
+// tagged-union encoding. The inline hash must stay bit-identical to it —
+// hash values decide data placement, so drift silently changes the metered
+// shuffle counters of every benchmark.
+func referenceHash(v Value) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	put := func(b []byte, u uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+	}
+	switch v.K {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt:
+		buf[0] = 1
+		put(buf[1:], uint64(v.I()))
+		h.Write(buf[:9])
+	case KindFloat:
+		if v.F() == math.Trunc(v.F()) && v.F() >= math.MinInt64 && v.F() <= math.MaxInt64 {
+			buf[0] = 1
+			put(buf[1:], uint64(int64(v.F())))
+		} else {
+			buf[0] = 2
+			put(buf[1:], math.Float64bits(v.F()))
+		}
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 3
+		h.Write(buf[:1])
+		h.Write([]byte(v.S))
+	case KindBool:
+		buf[0] = 4
+		if v.B {
+			buf[1] = 1
+		}
+		h.Write(buf[:2])
+	}
+	return h.Sum64()
+}
+
+func TestHashMatchesReferenceFNV(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := randValue(r)
+		if got, want := v.Hash(), referenceHash(v); got != want {
+			t.Fatalf("Hash(%v) = %#x, reference FNV = %#x", v, got, want)
+		}
+	}
+	// Boundary payloads the random draw is unlikely to hit.
+	for _, v := range []Value{
+		Int(math.MaxInt64), Int(math.MinInt64), Float(math.Inf(1)),
+		Float(math.Inf(-1)), Float(math.NaN()), Float(-0.0), Str(""),
+	} {
+		if got, want := v.Hash(), referenceHash(v); got != want {
+			t.Fatalf("Hash(%v) = %#x, reference FNV = %#x", v, got, want)
+		}
+	}
+}
+
+// Property: the int/float hash-equivalence contract (3 == 3.0 must land in
+// the same partition and hash-join bucket) holds for every integral float.
+func TestHashIntFloatEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		k := r.Int63n(1 << 40)
+		if r.Intn(2) == 0 {
+			k = -k
+		}
+		if Int(k).Hash() != Float(float64(k)).Hash() {
+			t.Fatalf("Int(%d) and Float(%d) hash differently", k, k)
+		}
+	}
+}
+
+// Kind discrimination: payloads that collide byte-wise across kinds must
+// still hash apart, because the kind tag is part of the encoding.
+func TestHashKindDiscrimination(t *testing.T) {
+	vs := []Value{
+		Null(), Bool(false), Bool(true), Int(0), Int(1),
+		Str(""), Str("0"), Str("\x00"), Float(0.5),
+	}
+	seen := map[uint64]Value{}
+	for _, v := range vs {
+		h := v.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("%v and %v share hash %#x", prev, v, h)
+		}
+		seen[h] = v
+	}
+}
+
+func TestHashKeysIntoMatchesHashKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	rows := make([]Tuple, 200)
+	for i := range rows {
+		rows[i] = Tuple{randValue(r), randValue(r), randValue(r)}
+	}
+	idxs := []int{2, 0}
+	var dst []uint64
+	dst = HashKeysInto(rows, idxs, dst)
+	if len(dst) != len(rows) {
+		t.Fatalf("len = %d, want %d", len(dst), len(rows))
+	}
+	for i, tu := range rows {
+		if dst[i] != tu.HashKeys(idxs) {
+			t.Fatalf("row %d: bulk hash %#x != HashKeys %#x", i, dst[i], tu.HashKeys(idxs))
+		}
+	}
+	// Reuse path: a big-enough dst must be reused, not reallocated.
+	prev := &dst[0]
+	dst = HashKeysInto(rows[:50], idxs, dst)
+	if &dst[0] != prev {
+		t.Error("HashKeysInto reallocated a sufficient dst")
+	}
+}
+
+func TestArenaConcatMatchesTupleConcat(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	var arena Arena
+	type pair struct{ got, want Tuple }
+	var pairs []pair
+	for i := 0; i < 3000; i++ {
+		l := Tuple{randValue(r), randValue(r)}
+		rr := Tuple{randValue(r), randValue(r), randValue(r)}
+		pairs = append(pairs, pair{arena.Concat(l, rr), l.Concat(rr)})
+	}
+	// Verify after all concats: later arena writes must not clobber earlier
+	// tuples, across chunk boundaries included.
+	for i, p := range pairs {
+		if len(p.got) != len(p.want) {
+			t.Fatalf("pair %d: len %d != %d", i, len(p.got), len(p.want))
+		}
+		for k := range p.got {
+			if !p.got[k].Equal(p.want[k]) || p.got[k].K != p.want[k].K {
+				t.Fatalf("pair %d col %d: %v != %v", i, k, p.got[k], p.want[k])
+			}
+		}
+		if cap(p.got) != len(p.got) {
+			t.Fatalf("pair %d: arena tuple not capacity-clamped", i)
+		}
+	}
+}

@@ -202,6 +202,23 @@ func (t Tuple) HashKeys(idxs []int) uint64 {
 	return h
 }
 
+// HashKeysInto computes HashKeys for every row, writing the results into dst
+// (reused when its capacity suffices, else reallocated) and returning it.
+// This is the bulk prehash path: exchanges, build tables, probes, and bulk
+// loads hash each row exactly once and hand the hashes downstream instead of
+// rehashing at every consumer.
+func HashKeysInto(rows []Tuple, idxs []int, dst []uint64) []uint64 {
+	if cap(dst) < len(rows) {
+		dst = make([]uint64, len(rows))
+	} else {
+		dst = dst[:len(rows)]
+	}
+	for r, t := range rows {
+		dst[r] = t.HashKeys(idxs)
+	}
+	return dst
+}
+
 // KeysEqual reports whether the values of t at ti equal the values of o at
 // oi, positionally.
 func (t Tuple) KeysEqual(ti []int, o Tuple, oi []int) bool {

@@ -112,7 +112,7 @@ func TestTupleCloneConcat(t *testing.T) {
 	tu := Tuple{Int(1), Str("a")}
 	cl := tu.Clone()
 	cl[0] = Int(9)
-	if tu[0].I != 1 {
+	if tu[0].I() != 1 {
 		t.Error("Clone aliased backing array")
 	}
 	cat := tu.Concat(Tuple{Bool(true)})

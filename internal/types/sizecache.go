@@ -1,0 +1,57 @@
+package types
+
+import "sync"
+
+// SizeCache memoizes the encoded byte sizes of a partitioned tuple set, so
+// metering sites (spill checks, broadcast accounting, gather) walk
+// EncodedSize at most once per relation or dataset instead of once per
+// site. Owners embed one cache next to their partitions and must not mutate
+// the partitions after the first read. The zero value is ready to use.
+type SizeCache struct {
+	once  sync.Once
+	part  []int64
+	total int64
+}
+
+// Total returns the summed encoded size of all partitions, computing and
+// caching it on first use.
+func (c *SizeCache) Total(parts [][]Tuple) int64 {
+	c.ensure(parts)
+	return c.total
+}
+
+// Part returns the encoded size of partition p, cached like Total.
+func (c *SizeCache) Part(parts [][]Tuple, p int) int64 {
+	c.ensure(parts)
+	return c.part[p]
+}
+
+// Seed installs sizes the owner already computed while building the
+// partitions (pass-through scans, exchanges, sinks), so the lazy pass never
+// runs. Must be called before the owner escapes its constructing goroutine.
+func (c *SizeCache) Seed(part []int64, total int64) {
+	c.part = part
+	c.total = total
+	c.once.Do(func() {})
+}
+
+// Parts returns the cached per-partition sizes as a read-only slice, e.g.
+// to hand to another owner's Seed when the partitions are shared.
+func (c *SizeCache) Parts(parts [][]Tuple) []int64 {
+	c.ensure(parts)
+	return c.part
+}
+
+func (c *SizeCache) ensure(parts [][]Tuple) {
+	c.once.Do(func() {
+		c.part = make([]int64, len(parts))
+		for p, part := range parts {
+			var n int64
+			for _, t := range part {
+				n += int64(t.EncodedSize())
+			}
+			c.part[p] = n
+			c.total += n
+		}
+	})
+}

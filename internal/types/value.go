@@ -9,7 +9,6 @@ package types
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 )
@@ -45,28 +44,50 @@ func (k Kind) String() string {
 }
 
 // Value is a tagged union holding one SQL value. The zero Value is NULL.
+//
+// The int and float payloads share one uint64 slot (read them through the I
+// and F methods): numeric values never carry both, and the overlap keeps
+// Value at 32 bytes instead of 40 — a fifth off every tuple copy, arena
+// chunk, and GC scan on the join hot paths. S, K, and B stay exported
+// fields on purpose: they are stored directly (nothing to decode), whereas
+// I and F must be accessor methods because they decode the shared slot.
 type Value struct {
-	S string
-	I int64
-	F float64
-	K Kind
-	B bool
+	S   string
+	num uint64 // KindInt: int64 bits; KindFloat: math.Float64bits
+	K   Kind
+	B   bool
 }
 
 // Null returns the NULL value.
 func Null() Value { return Value{K: KindNull} }
 
 // Int returns an integer value.
-func Int(i int64) Value { return Value{K: KindInt, I: i} }
+func Int(i int64) Value { return Value{K: KindInt, num: uint64(i)} }
 
 // Float returns a floating-point value.
-func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+func Float(f float64) Value { return Value{K: KindFloat, num: math.Float64bits(f)} }
 
 // Str returns a string value.
 func Str(s string) Value { return Value{K: KindString, S: s} }
 
 // Bool returns a boolean value.
 func Bool(b bool) Value { return Value{K: KindBool, B: b} }
+
+// I returns the integer payload, or 0 when the value is not an int.
+func (v Value) I() int64 {
+	if v.K == KindInt {
+		return int64(v.num)
+	}
+	return 0
+}
+
+// F returns the float payload, or 0 when the value is not a float.
+func (v Value) F() float64 {
+	if v.K == KindFloat {
+		return math.Float64frombits(v.num)
+	}
+	return 0
+}
 
 // IsNull reports whether v is NULL.
 func (v Value) IsNull() bool { return v.K == KindNull }
@@ -81,9 +102,9 @@ func (v Value) IsTrue() bool { return v.K == KindBool && v.B }
 func (v Value) AsFloat() (f float64, ok bool) {
 	switch v.K {
 	case KindInt:
-		return float64(v.I), true
+		return float64(int64(v.num)), true
 	case KindFloat:
-		return v.F, true
+		return math.Float64frombits(v.num), true
 	default:
 		return 0, false
 	}
@@ -93,9 +114,9 @@ func (v Value) AsFloat() (f float64, ok bool) {
 func (v Value) AsInt() (i int64, ok bool) {
 	switch v.K {
 	case KindInt:
-		return v.I, true
+		return int64(v.num), true
 	case KindFloat:
-		return int64(v.F), true
+		return int64(math.Float64frombits(v.num)), true
 	default:
 		return 0, false
 	}
@@ -106,6 +127,19 @@ func (v Value) AsInt() (i int64, ok bool) {
 // compare by kind tag (stable but arbitrary), and same-kind values compare
 // naturally. Returns -1, 0, or +1.
 func (v Value) Compare(o Value) int {
+	if v.K == KindInt && o.K == KindInt {
+		// Fast path for the dominant case; also exact for int64s beyond
+		// float64's 2^53 integer range, unlike the float route below.
+		a, b := int64(v.num), int64(o.num)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
 	if v.K == KindNull || o.K == KindNull {
 		switch {
 		case v.K == o.K:
@@ -158,76 +192,99 @@ func (v Value) Compare(o Value) int {
 	}
 }
 
-// Equal reports whether two values are equal under Compare semantics.
-func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+// Equal reports whether two values are equal under Compare semantics. The
+// int/int case — nearly every join key — short-circuits the Compare ladder.
+func (v Value) Equal(o Value) bool {
+	if v.K == KindInt && o.K == KindInt {
+		return v.num == o.num
+	}
+	return v.Compare(o) == 0
+}
 
 func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
 
+// FNV-1a parameters. The hash below is the seeded multiply-xor recurrence
+// h = (h ^ byte) * prime, computed inline over the tagged union instead of
+// through a heap-allocated hash.Hash64.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // Hash returns a 64-bit hash of the value, suitable for hash partitioning
 // and hash-join tables. Numerically equal int/float values hash identically.
+//
+// The implementation is an inline, allocation-free FNV-1a over the value's
+// tagged-union encoding (kind tag byte, then the payload bytes little-
+// endian). It is bit-identical to hashing the same encoding through
+// hash/fnv, which the previous implementation did: keeping the values stable
+// keeps hash partitioning — and therefore every placement-dependent metered
+// counter (shuffle rows/bytes) — unchanged across the rewrite.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
+	h := fnvOffset64
 	switch v.K {
 	case KindNull:
-		buf[0] = 0
-		h.Write(buf[:1])
+		h = (h ^ 0) * fnvPrime64
 	case KindInt:
-		buf[0] = 1
-		putUint64(buf[1:], uint64(v.I))
-		h.Write(buf[:9])
+		h = (h ^ 1) * fnvPrime64
+		h = hashUint64(h, v.num)
 	case KindFloat:
-		if v.F == math.Trunc(v.F) && v.F >= math.MinInt64 && v.F <= math.MaxInt64 {
+		f := math.Float64frombits(v.num)
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
 			// Hash integral floats as ints so 3 and 3.0 join.
-			buf[0] = 1
-			putUint64(buf[1:], uint64(int64(v.F)))
+			h = (h ^ 1) * fnvPrime64
+			h = hashUint64(h, uint64(int64(f)))
 		} else {
-			buf[0] = 2
-			putUint64(buf[1:], math.Float64bits(v.F))
+			h = (h ^ 2) * fnvPrime64
+			h = hashUint64(h, v.num)
 		}
-		h.Write(buf[:9])
 	case KindString:
-		buf[0] = 3
-		h.Write(buf[:1])
-		h.Write([]byte(v.S))
-	case KindBool:
-		buf[0] = 4
-		if v.B {
-			buf[1] = 1
+		h = (h ^ 3) * fnvPrime64
+		for i := 0; i < len(v.S); i++ {
+			h = (h ^ uint64(v.S[i])) * fnvPrime64
 		}
-		h.Write(buf[:2])
+	case KindBool:
+		h = (h ^ 4) * fnvPrime64
+		var b uint64
+		if v.B {
+			b = 1
+		}
+		h = (h ^ b) * fnvPrime64
 	}
-	return h.Sum64()
+	return h
 }
 
-func putUint64(b []byte, v uint64) {
-	_ = b[7]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
+// hashUint64 folds the eight little-endian bytes of v into the running
+// FNV-1a state h. Unrolled: this chain is on every hash of every numeric
+// value, and the multiply chain is serial — the loop bookkeeping was pure
+// overhead on top of it.
+func hashUint64(h, v uint64) uint64 {
+	h = (h ^ (v & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 8) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 16) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 24) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 32) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 40) & 0xff)) * fnvPrime64
+	h = (h ^ ((v >> 48) & 0xff)) * fnvPrime64
+	h = (h ^ (v >> 56)) * fnvPrime64
+	return h
 }
+
+// kindEncodedSize maps fixed-width kinds to their encoded size (tag byte +
+// payload); strings are the one variable-width kind.
+var kindEncodedSize = [...]int{KindNull: 1, KindInt: 9, KindFloat: 9, KindString: 0, KindBool: 2}
 
 // EncodedSize returns the number of bytes this value occupies in the
 // simulated on-disk / on-wire representation. The cluster cost accountant
 // uses it to meter shuffles, broadcasts, and materialization.
 func (v Value) EncodedSize() int {
-	switch v.K {
-	case KindNull:
-		return 1
-	case KindInt, KindFloat:
-		return 9
-	case KindString:
+	if v.K == KindString {
 		return 1 + len(v.S)
-	case KindBool:
-		return 2
-	default:
-		return 1
 	}
+	if int(v.K) < len(kindEncodedSize) {
+		return kindEncodedSize[v.K]
+	}
+	return 1
 }
 
 // String renders the value in SQL-literal-ish form for plan and result
@@ -237,9 +294,9 @@ func (v Value) String() string {
 	case KindNull:
 		return "NULL"
 	case KindInt:
-		return strconv.FormatInt(v.I, 10)
+		return strconv.FormatInt(int64(v.num), 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.F, 'g', -1, 64)
+		return strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64)
 	case KindString:
 		return "'" + v.S + "'"
 	case KindBool:
