@@ -6,6 +6,9 @@
 //	joinbench -table 1          Table 1 (average improvement ratios)
 //	joinbench -joinjson FILE    join micro-benchmark snapshot (ns/op,
 //	                            allocs/op for repartition/hash/broadcast/INLJ)
+//	joinbench -spilljson FILE   memory-governed join sweep: per-node budget
+//	                            from ample down to 1/8 of the build side,
+//	                            real disk spilling, invariants checked
 //	joinbench -all              everything
 //
 // Flags -sf (comma-separated scale factors, default 1,5,25 standing in for
@@ -29,7 +32,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	ablation := flag.Bool("ablation", false, "broadcast-threshold ablation sweep")
 	joinJSON := flag.String("joinjson", "", "write a join micro-benchmark snapshot (ns/op, allocs/op) to this file")
-	joinRows := flag.Int("joinrows", 50000, "fact rows for the -joinjson micro-benchmarks")
+	spillJSON := flag.String("spilljson", "", "write a memory-budget spill sweep snapshot to this file")
+	joinRows := flag.Int("joinrows", 50000, "fact rows for the -joinjson and -spilljson benchmarks")
 	sfFlag := flag.String("sf", "1,5,25", "comma-separated scale factors")
 	nodes := flag.Int("nodes", 10, "simulated cluster nodes")
 	flag.Parse()
@@ -81,6 +85,20 @@ func main() {
 		for _, r := range res {
 			fmt.Printf("  %-14s %12.0f ns/op %8d allocs/op %10d B/op\n",
 				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	if *spillJSON != "" {
+		ran = true
+		fmt.Printf("== Memory-governed join sweep (%d fact rows, %d nodes) -> %s ==\n",
+			*joinRows, *nodes, *spillJSON)
+		pts, err := bench.WriteSpillJSON(*spillJSON, *joinRows, *nodes)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range pts {
+			fmt.Printf("  %-6s budget %8d B/node  spill %9d B %7d rows  peak %8d/%8d B  sim %7.3fs wall %6.3fs\n",
+				p.Name, p.BudgetBytes, p.SpillBytes, p.SpillRows,
+				p.PeakGrantBytes, p.GrantCapacity, p.SimSeconds, p.WallSeconds)
 		}
 	}
 	if !ran {

@@ -127,6 +127,17 @@ type Config struct {
 	// early when their context is cancelled while waiting. 0 means
 	// unlimited.
 	MaxConcurrentQueries int
+	// SpillDir enables real memory governance: hash joins hold at most
+	// MemoryPerNodeBytes of build rows resident per node, evicting overflow
+	// partitions to run files under this directory (one temp subdirectory
+	// per query, created lazily on first spill and removed on every query
+	// exit path), and SpillBytes/SpillRows meter the actual run-file I/O.
+	// Empty (the default) keeps the simulated spill model: counters are
+	// charged from byte arithmetic and nothing touches the filesystem.
+	SpillDir string
+	// MemoryPerNodeBytes overrides the per-node join-memory budget
+	// (default 512 KiB; negative disables the budget entirely).
+	MemoryPerNodeBytes int64
 }
 
 // DB is one simulated BDMS instance: a cluster, a catalog, and a UDF
@@ -143,6 +154,7 @@ type DB struct {
 	ctx         *engine.Context // loading-phase context (shared cluster/catalog/UDFs)
 	algo        core.AlgoConfig
 	reoptBudget int
+	spillDir    string
 
 	pmu    sync.RWMutex // guards ctx.Params against SetParam during serving
 	admit  chan struct{}
@@ -168,6 +180,10 @@ func Open(cfg Config) *DB {
 		},
 		algo:        algo,
 		reoptBudget: cfg.ReoptBudget,
+		spillDir:    cfg.SpillDir,
+	}
+	if cfg.MemoryPerNodeBytes != 0 {
+		db.ctx.Cluster.SetMemoryPerNodeBytes(cfg.MemoryPerNodeBytes)
 	}
 	if cfg.MaxConcurrentQueries > 0 {
 		db.admit = make(chan struct{}, cfg.MaxConcurrentQueries)
@@ -342,6 +358,13 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Re
 	// cleanup, the query's unique namespace guarantees nothing survives.
 	defer db.ctx.Catalog.DropPrefix("tmp_" + scope)
 
+	// Per-query memory grant against the cluster governor: every join build
+	// table, aggregate table, and resident intermediate is reserved through
+	// it, and whatever a failed or cancelled query still holds is released
+	// here.
+	grant := db.ctx.Cluster.Governor().Grant()
+	defer grant.Close()
+
 	qctx := &engine.Context{
 		Cluster: db.ctx.Cluster,
 		Catalog: db.ctx.Catalog,
@@ -350,6 +373,15 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Re
 		Acct:    &cluster.Accounting{},
 		Scope:   scope,
 		Cancel:  ctx,
+		Grant:   grant,
+	}
+	if db.spillDir != "" {
+		// Disk half of the query's execution scope: run files live in a
+		// lazily created per-query directory, swept on every exit path like
+		// the catalog temp namespace above.
+		sm := storage.NewSpillManager(db.spillDir, scope)
+		defer sm.Sweep()
+		qctx.Spill = sm
 	}
 	res, rep, err := s.Run(qctx, sql)
 	if err != nil {

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dynopt/internal/engine"
+	"dynopt/internal/storage"
+)
+
+// SpillPoint is one budget step of the memory-governed join sweep: the same
+// fact⋈dim join (build side = fact) executed under a shrinking per-node
+// memory budget, with real disk spilling.
+type SpillPoint struct {
+	Name              string  `json:"name"`             // "ample", "1x", "1/2x", ...
+	Rows              int     `json:"rows"`             // fact rows
+	Nodes             int     `json:"nodes"`            // partitions
+	BudgetBytes       int64   `json:"budget_bytes"`     // per-node budget
+	BudgetFracOfBuild float64 `json:"budget_frac"`      // budget / per-node build bytes
+	OutRows           int64   `json:"out_rows"`         // join output rows (identical across the sweep)
+	SpillBytes        int64   `json:"spill_bytes"`      // metered run-file I/O
+	SpillRows         int64   `json:"spill_rows"`       // metered run-file rows
+	RunFileBytes      int64   `json:"run_file_bytes"`   // actual bytes written on disk
+	PeakGrantBytes    int64   `json:"peak_grant_bytes"` // high-water mark of the query's grant
+	GrantCapacity     int64   `json:"grant_capacity"`   // governor capacity (budget × nodes)
+	SimSeconds        float64 `json:"sim_seconds"`      // metered work priced by the cost model
+	WallSeconds       float64 `json:"wall_seconds"`     // host time
+}
+
+// spillSweepFracs are the budget steps: ample (everything resident), then
+// the per-node build bytes shrinking to 1/8 of them.
+var spillSweepFracs = []struct {
+	name string
+	num  int64
+	den  int64
+}{
+	{"ample", 4, 1},
+	{"1x", 1, 1},
+	{"1/2x", 1, 2},
+	{"1/4x", 1, 4},
+	{"1/8x", 1, 8},
+}
+
+// SpillSweep runs the memory-governed join bench: the NewMicroCtx fact⋈dim
+// join with the fact table on the build side, swept from an ample budget
+// down to 1/8 of the build side's per-node bytes. Every step must produce
+// the same output rows, keep peak grant usage within capacity, and meter
+// SpillBytes equal to the run-file bytes actually written; a violation is
+// an error, so the sweep doubles as an acceptance check in CI.
+func SpillSweep(rows, nodes int, spillRoot string) ([]SpillPoint, error) {
+	out := make([]SpillPoint, 0, len(spillSweepFracs))
+	var wantRows int64 = -1
+	for i, f := range spillSweepFracs {
+		ctx, err := NewMicroCtx(rows, nodes)
+		if err != nil {
+			return nil, err
+		}
+		fact, _ := ctx.Catalog.Get("fact")
+		perNodeBuild := fact.ByteSize() / int64(nodes)
+		budget := perNodeBuild * f.num / f.den
+		ctx.Cluster.SetMemoryPerNodeBytes(budget)
+		sm := storage.NewSpillManager(spillRoot, fmt.Sprintf("sweep%d_", i))
+		grant := ctx.Cluster.Governor().Grant()
+		ctx.Spill = sm
+		ctx.Grant = grant
+
+		frel, err := engine.ScanByName(ctx, "fact", "f", nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		drel, err := engine.ScanByName(ctx, "dim", "d", nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		before := ctx.Cluster.Acct().Snapshot()
+		start := time.Now()
+		rel, err := engine.HashJoin(ctx, frel, drel, []string{"f.fk"}, []string{"d.id"}, true)
+		wall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spill sweep %s: %w", f.name, err)
+		}
+		diff := ctx.Cluster.Acct().Snapshot().Sub(before)
+		pt := SpillPoint{
+			Name:              f.name,
+			Rows:              rows,
+			Nodes:             nodes,
+			BudgetBytes:       budget,
+			BudgetFracOfBuild: float64(f.num) / float64(f.den),
+			OutRows:           rel.RowCount(),
+			SpillBytes:        diff.SpillBytes,
+			SpillRows:         diff.SpillRows,
+			RunFileBytes:      sm.BytesWritten(),
+			PeakGrantBytes:    grant.Peak(),
+			GrantCapacity:     ctx.Cluster.Governor().Capacity(),
+			SimSeconds:        ctx.Cluster.Model().SimSeconds(diff, nodes),
+			WallSeconds:       wall.Seconds(),
+		}
+		grant.Close()
+		if err := sm.Sweep(); err != nil {
+			return nil, err
+		}
+		if wantRows < 0 {
+			wantRows = pt.OutRows
+		} else if pt.OutRows != wantRows {
+			return nil, fmt.Errorf("bench: spill sweep %s returned %d rows, ample run returned %d",
+				f.name, pt.OutRows, wantRows)
+		}
+		if pt.SpillBytes != pt.RunFileBytes {
+			return nil, fmt.Errorf("bench: spill sweep %s metered %d spill bytes but wrote %d",
+				f.name, pt.SpillBytes, pt.RunFileBytes)
+		}
+		if pt.GrantCapacity > 0 && pt.PeakGrantBytes > pt.GrantCapacity {
+			return nil, fmt.Errorf("bench: spill sweep %s peak grant %d exceeded capacity %d",
+				f.name, pt.PeakGrantBytes, pt.GrantCapacity)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// WriteSpillJSON runs SpillSweep (spilling under a temp directory) and
+// writes the BENCH_spill.json snapshot to path.
+func WriteSpillJSON(path string, rows, nodes int) ([]SpillPoint, error) {
+	root, err := os.MkdirTemp("", "dynopt_spill_bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	res, err := SpillSweep(rows, nodes, root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return res, os.WriteFile(path, append(data, '\n'), 0o644)
+}

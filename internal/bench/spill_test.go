@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestSpillSweepInvariants runs a small sweep end to end: SpillSweep itself
+// errors on any violated invariant (row drift, metering mismatch, grant
+// overrun), so this asserts shape on top — the ample budget stays on the
+// resident path and the 1/8 budget actually spills.
+func TestSpillSweepInvariants(t *testing.T) {
+	pts, err := SpillSweep(8000, 4, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+	if pts[0].SpillBytes != 0 {
+		t.Errorf("ample budget spilled %d bytes", pts[0].SpillBytes)
+	}
+	last := pts[len(pts)-1]
+	if last.SpillBytes == 0 || last.SpillRows == 0 {
+		t.Errorf("1/8 budget did not spill: %+v", last)
+	}
+	if last.OutRows != pts[0].OutRows {
+		t.Errorf("rows drifted across the sweep: %d vs %d", last.OutRows, pts[0].OutRows)
+	}
+	// Tighter budgets never spill less than ampler ones.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SpillBytes < pts[i-1].SpillBytes {
+			t.Errorf("%s spilled %d bytes, less than %s's %d",
+				pts[i].Name, pts[i].SpillBytes, pts[i-1].Name, pts[i-1].SpillBytes)
+		}
+	}
+	// Spill I/O costs simulated time: the tightest budget cannot be cheaper.
+	if last.SimSeconds <= pts[0].SimSeconds {
+		t.Errorf("spilling run (%v sim s) not more expensive than resident run (%v sim s)",
+			last.SimSeconds, pts[0].SimSeconds)
+	}
+}

@@ -30,6 +30,7 @@ type Cluster struct {
 	nodes    int
 	memBytes atomic.Int64
 	acct     Accounting
+	gov      *Governor
 	mu       sync.RWMutex // guards model
 	model    CostModel
 }
@@ -41,9 +42,14 @@ func New(nodes int) *Cluster {
 		nodes = 1
 	}
 	c := &Cluster{nodes: nodes, model: DefaultCostModel()}
+	c.gov = &Governor{c: c}
 	c.memBytes.Store(DefaultMemoryPerNodeBytes)
 	return c
 }
+
+// Governor returns the cluster's memory governor, against which queries hold
+// per-query grants.
+func (c *Cluster) Governor() *Governor { return c.gov }
 
 // MemoryPerNodeBytes returns the per-node join-memory budget.
 func (c *Cluster) MemoryPerNodeBytes() int64 { return c.memBytes.Load() }

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Governor arbitrates query memory across everything a cluster serves
+// concurrently. Its capacity is the cluster's aggregate join-memory budget —
+// MemoryPerNodeBytes × nodes, tracking budget changes live — and every
+// query's working memory (hash-join build tables, group-by state, resident
+// materialized intermediates) is reserved against it through a per-query
+// Grant.
+//
+// The governor is a meter with a pressure signal, not a blocking allocator:
+// Reserve always records the bytes (so releases always balance) and reports
+// whether the cluster is now over capacity. Operators that can shed memory —
+// the dynamic hybrid hash join — respond to pressure by evicting build
+// partitions to disk; operators that cannot (aggregation state) keep their
+// reservation and let the joins around them spill harder instead.
+type Governor struct {
+	c    *Cluster
+	used atomic.Int64
+}
+
+// Capacity returns the current grantable byte total, or 0 when memory
+// governance is disabled (MemoryPerNodeBytes <= 0).
+func (g *Governor) Capacity() int64 {
+	per := g.c.MemoryPerNodeBytes()
+	if per <= 0 {
+		return 0
+	}
+	return per * int64(g.c.Nodes())
+}
+
+// Used returns the bytes currently reserved across all grants.
+func (g *Governor) Used() int64 { return g.used.Load() }
+
+// Grant opens a per-query reservation scope. Close it on every query exit
+// path; any bytes still held are released then.
+func (g *Governor) Grant() *Grant {
+	return &Grant{gov: g}
+}
+
+// Grant is one query's memory reservation against the governor. Safe for
+// concurrent use by the query's partition goroutines.
+type Grant struct {
+	gov *Governor
+
+	mu     sync.Mutex
+	used   int64
+	peak   int64
+	closed bool
+}
+
+// Reserve records n more bytes held by this query and reports whether the
+// cluster is still within its aggregate capacity. A false return is the
+// spill signal: the bytes are charged either way (call Release when the
+// memory is let go), but the caller should shed memory if it can.
+func (gr *Grant) Reserve(n int64) bool {
+	if gr == nil || n <= 0 {
+		return true
+	}
+	total := gr.gov.used.Add(n)
+	gr.mu.Lock()
+	gr.used += n
+	if gr.used > gr.peak {
+		gr.peak = gr.used
+	}
+	gr.mu.Unlock()
+	capacity := gr.gov.Capacity()
+	return capacity == 0 || total <= capacity
+}
+
+// Release returns n bytes to the governor.
+func (gr *Grant) Release(n int64) {
+	if gr == nil || n <= 0 {
+		return
+	}
+	gr.gov.used.Add(-n)
+	gr.mu.Lock()
+	gr.used -= n
+	gr.mu.Unlock()
+}
+
+// Used returns the bytes this query currently holds.
+func (gr *Grant) Used() int64 {
+	if gr == nil {
+		return 0
+	}
+	gr.mu.Lock()
+	defer gr.mu.Unlock()
+	return gr.used
+}
+
+// Peak returns the high-water mark of this query's held bytes.
+func (gr *Grant) Peak() int64 {
+	if gr == nil {
+		return 0
+	}
+	gr.mu.Lock()
+	defer gr.mu.Unlock()
+	return gr.peak
+}
+
+// Close releases whatever the query still holds (materialized intermediates
+// and aggregate state are freed at query end, not per operator). Idempotent.
+func (gr *Grant) Close() {
+	if gr == nil {
+		return
+	}
+	gr.mu.Lock()
+	if gr.closed {
+		gr.mu.Unlock()
+		return
+	}
+	gr.closed = true
+	held := gr.used
+	gr.used = 0
+	gr.mu.Unlock()
+	if held != 0 {
+		gr.gov.used.Add(-held)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGovernorCapacityTracksBudget(t *testing.T) {
+	c := New(4)
+	g := c.Governor()
+	if got := g.Capacity(); got != 4*DefaultMemoryPerNodeBytes {
+		t.Errorf("capacity = %d, want %d", got, 4*DefaultMemoryPerNodeBytes)
+	}
+	c.SetMemoryPerNodeBytes(1000)
+	if got := g.Capacity(); got != 4000 {
+		t.Errorf("capacity after budget change = %d, want 4000", got)
+	}
+	c.SetMemoryPerNodeBytes(0)
+	if got := g.Capacity(); got != 0 {
+		t.Errorf("capacity with governance disabled = %d, want 0", got)
+	}
+}
+
+func TestGrantReserveReleasePressure(t *testing.T) {
+	c := New(2)
+	c.SetMemoryPerNodeBytes(100) // capacity 200
+	gr := c.Governor().Grant()
+	if !gr.Reserve(150) {
+		t.Error("reserve within capacity reported pressure")
+	}
+	if gr.Reserve(100) {
+		t.Error("reserve past capacity reported no pressure")
+	}
+	// Over-capacity bytes are still charged: the meter never lies.
+	if got := c.Governor().Used(); got != 250 {
+		t.Errorf("governor used = %d, want 250", got)
+	}
+	gr.Release(100)
+	if !gr.Reserve(1) {
+		t.Error("reserve after release reported pressure at 151/200")
+	}
+	if got := gr.Peak(); got != 250 {
+		t.Errorf("peak = %d, want 250", got)
+	}
+	gr.Close()
+	if got := c.Governor().Used(); got != 0 {
+		t.Errorf("governor used after close = %d, want 0", got)
+	}
+	gr.Close() // idempotent
+	if got := c.Governor().Used(); got != 0 {
+		t.Errorf("governor used after double close = %d", got)
+	}
+}
+
+func TestGrantsContend(t *testing.T) {
+	c := New(1)
+	c.SetMemoryPerNodeBytes(100)
+	a := c.Governor().Grant()
+	b := c.Governor().Grant()
+	if !a.Reserve(90) {
+		t.Error("first query pressured alone")
+	}
+	if b.Reserve(50) {
+		t.Error("second query saw no pressure with the cluster over capacity")
+	}
+	a.Close()
+	if !b.Reserve(10) {
+		t.Error("second query still pressured after first closed")
+	}
+	b.Close()
+}
+
+func TestNilGrantIsNoOp(t *testing.T) {
+	var gr *Grant
+	if !gr.Reserve(100) {
+		t.Error("nil grant reported pressure")
+	}
+	gr.Release(100)
+	gr.Close()
+	if gr.Used() != 0 || gr.Peak() != 0 {
+		t.Error("nil grant reported usage")
+	}
+}
+
+func TestGrantConcurrent(t *testing.T) {
+	c := New(4)
+	c.SetMemoryPerNodeBytes(1 << 20)
+	gr := c.Governor().Grant()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				gr.Reserve(64)
+				gr.Release(64)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := gr.Used(); got != 0 {
+		t.Errorf("used after balanced reserve/release = %d", got)
+	}
+	if got := c.Governor().Used(); got != 0 {
+		t.Errorf("governor used = %d", got)
+	}
+}

@@ -16,6 +16,14 @@ type AlgoConfig struct {
 	// EnableINLJ allows the indexed nested-loop join to be considered
 	// (Figure 8's experiments); off for the Figure 7 runs.
 	EnableINLJ bool
+	// SpillBudgetBytes, when positive, is the per-node memory budget of a
+	// real-spilling execution (Config.SpillDir): a broadcast whose build
+	// side is estimated over it is downgraded to a partitioned hash join —
+	// replicated copies cannot spill without losing matches, and the engine
+	// would fall back at runtime anyway; deciding here keeps every
+	// planner's reported plan honest. Zero (simulated mode) keeps the rule
+	// unchanged.
+	SpillBudgetBytes int64
 }
 
 // DefaultAlgoConfig mirrors the evaluation setup: broadcasts allowed up to a
@@ -69,7 +77,17 @@ func ChooseAlgo(cfg AlgoConfig, left, right algoInput) (plan.Algo, bool) {
 		}
 	}
 	if left.estBytes <= cfg.BroadcastThresholdBytes || right.estBytes <= cfg.BroadcastThresholdBytes {
-		return plan.AlgoBroadcast, left.estBytes <= right.estBytes
+		buildLeft := left.estBytes <= right.estBytes
+		bb := right.estBytes
+		if buildLeft {
+			bb = left.estBytes
+		}
+		if cfg.SpillBudgetBytes > 0 && bb > cfg.SpillBudgetBytes {
+			// Real memory governance: the build copy would not stay
+			// resident on any node; join partitioned instead.
+			return plan.AlgoHash, left.estRows <= right.estRows
+		}
+		return plan.AlgoBroadcast, buildLeft
 	}
 	return plan.AlgoHash, left.estRows <= right.estRows
 }

@@ -88,10 +88,16 @@ func (d *Dynamic) Body(ctx *engine.Context, sql string, r *Report) (*engine.Resu
 	if reg == nil {
 		reg = ctx.Catalog.Stats()
 	}
+	cfg := d.Cfg.Algo
+	if ctx.Spill != nil && cfg.SpillBudgetBytes == 0 {
+		// Real-spill execution: let the join-algorithm rule see the memory
+		// budget so planned broadcasts match what the engine will run.
+		cfg.SpillBudgetBytes = ctx.Cluster.MemoryPerNodeBytes()
+	}
 	rs := &runState{
 		ctx:         ctx,
 		est:         &Estimator{Cat: ctx.Catalog, Reg: reg, FiltersPreApplied: d.FiltersPreApplied},
-		cfg:         d.Cfg.Algo,
+		cfg:         cfg,
 		report:      r,
 		sql:         sql,
 		naive:       d.Cfg.CardinalityOnly,

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"dynopt/internal/catalog"
+	"dynopt/internal/cluster"
+	"dynopt/internal/engine"
+	"dynopt/internal/plan"
+	"dynopt/internal/sqlpp"
+	"dynopt/internal/stats"
+	"dynopt/internal/storage"
+)
+
+// spillAwareState builds a minimal runState in real-spill mode: a 4-node
+// cluster at a 25 KiB per-node budget (100 KiB cluster-resident capacity)
+// with a spill manager attached.
+func spillAwareState(t *testing.T) *runState {
+	t.Helper()
+	ctx := &engine.Context{
+		Cluster: cluster.New(4),
+		Catalog: catalog.New(),
+		Spill:   storage.NewSpillManager(t.TempDir(), "t_"),
+	}
+	ctx.Cluster.SetMemoryPerNodeBytes(25 << 10)
+	return &runState{
+		ctx: ctx,
+		est: &Estimator{Cat: ctx.Catalog, Reg: stats.NewRegistry()},
+	}
+}
+
+func edge(l, r string) *sqlpp.JoinEdge {
+	return &sqlpp.JoinEdge{LeftAlias: l, RightAlias: r, LeftFields: []string{"k"}, RightFields: []string{"k"}}
+}
+
+// TestSpillPenaltyGating: the penalty exists only in real-spill mode, only
+// after a stage actually spilled, and only for build sides that exceed the
+// cluster-resident capacity.
+func TestSpillPenaltyGating(t *testing.T) {
+	rs := spillAwareState(t)
+	tables := Tables{
+		"a": {Alias: "a", EstRows: 9000, EstBytes: 360 << 10},
+		"b": {Alias: "b", EstRows: 10000, EstBytes: 400 << 10},
+		"d": {Alias: "d", EstRows: 500, EstBytes: 20 << 10},
+	}
+	over := edge("a", "b")
+
+	if pen := rs.spillPenalty(over, tables); pen != 0 {
+		t.Errorf("penalty before any observed spill = %d, want 0", pen)
+	}
+	rs.observedSpillBytes = 1 << 20
+	if pen := rs.spillPenalty(over, tables); pen <= 0 {
+		t.Error("no penalty for an over-budget build side after observed spill")
+	}
+	if pen := rs.spillPenalty(edge("b", "d"), tables); pen != 0 {
+		t.Errorf("penalty for a resident build side = %d, want 0", pen)
+	}
+	rs.ctx.Spill = nil // simulated mode: the signal must be inert
+	if pen := rs.spillPenalty(over, tables); pen != 0 {
+		t.Errorf("penalty in simulated mode = %d, want 0", pen)
+	}
+}
+
+// TestPickCheapestJoinPrefersResidentBuildAfterSpill: once a stage spills,
+// the Planner passes over a slightly cheaper join whose build side cannot
+// stay resident, in favor of one that avoids the disk round trip.
+func TestPickCheapestJoinPrefersResidentBuildAfterSpill(t *testing.T) {
+	rs := spillAwareState(t)
+	overBudget := edge("big1", "big2") // card 9000, build 360KB ≫ 100KB resident
+	resident := edge("big1", "dim")    // card 9500, build 40KB — stays resident
+	rs.g = &sqlpp.Graph{Joins: []*sqlpp.JoinEdge{overBudget, resident}}
+	tables := Tables{
+		"big1": {Alias: "big1", Dataset: "big1", EstRows: 10000, EstBytes: 400 << 10},
+		"big2": {Alias: "big2", Dataset: "big2", EstRows: 9000, EstBytes: 360 << 10},
+		"dim":  {Alias: "dim", Dataset: "dim", EstRows: 9500, EstBytes: 40 << 10},
+	}
+
+	got, _, err := rs.pickCheapestJoin(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != overBudget {
+		t.Fatalf("without observed spill the cheapest-cardinality join must win")
+	}
+	rs.observedSpillBytes = 64 << 10
+	got, _, err = rs.pickCheapestJoin(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != resident {
+		t.Fatalf("after observed spill the resident-build join must win")
+	}
+}
+
+// TestChooseAlgoSpillBudgetDowngradesBroadcast: with a positive spill
+// budget in the algorithm config (real-spill mode), a broadcast whose
+// build side exceeds it becomes a partitioned hash join — for every
+// planner, since they all route through ChooseAlgo. With the budget unset
+// (simulated mode) the rule is unchanged.
+func TestChooseAlgoSpillBudgetDowngradesBroadcast(t *testing.T) {
+	big := algoInput{estRows: 10000, estBytes: 400 << 10}
+	overDim := algoInput{estRows: 800, estBytes: 50 << 10}  // fits the 128KB broadcast threshold
+	smallDim := algoInput{estRows: 800, estBytes: 20 << 10} // fits the 25KB budget too
+
+	cfg := DefaultAlgoConfig()
+	cfg.SpillBudgetBytes = 25 << 10
+	algo, buildLeft := ChooseAlgo(cfg, big, overDim)
+	if algo != plan.AlgoHash {
+		t.Errorf("over-budget broadcast not downgraded: %v", algo)
+	}
+	if buildLeft {
+		t.Error("downgraded hash join must build on the smaller-cardinality side")
+	}
+	if algo, _ := ChooseAlgo(cfg, big, smallDim); algo != plan.AlgoBroadcast {
+		t.Errorf("within-budget broadcast downgraded: %v", algo)
+	}
+	// Simulated mode (no budget): untouched.
+	if algo, _ := ChooseAlgo(DefaultAlgoConfig(), big, overDim); algo != plan.AlgoBroadcast {
+		t.Errorf("simulated-mode broadcast downgraded: %v", algo)
+	}
+}

@@ -35,6 +35,13 @@ type runState struct {
 
 	tempNames []string // temps registered by this run, dropped at the end
 	stage     int
+	// observedSpillBytes is the run-file I/O the previous join stage metered
+	// (real-spill mode only). It is the runtime signal the paper's Figure-2
+	// loop feeds back: once a stage has actually spilled, the Planner's next
+	// pick charges candidate joins for the disk round trips their build
+	// sides would pay under the current memory budget, preferring orders
+	// that keep the next build side resident.
+	observedSpillBytes int64
 	// naive makes the Planner choose joins by raw input cardinalities
 	// (INGRES-like baseline) instead of formula (1).
 	naive bool
@@ -246,7 +253,7 @@ func (rs *runState) pickCheapestJoin(tables Tables) (*sqlpp.JoinEdge, int64, err
 			if err != nil {
 				return nil, 0, err
 			}
-			score = card
+			score = card + rs.spillPenalty(edge, tables)
 		}
 		if best == nil || score < bestScore {
 			best, bestScore, bestCard = edge, score, card
@@ -256,6 +263,40 @@ func (rs *runState) pickCheapestJoin(tables Tables) (*sqlpp.JoinEdge, int64, err
 		return nil, 0, fmt.Errorf("core: no joins left to pick")
 	}
 	return best, bestCard, nil
+}
+
+// spillPenalty prices the run-file round trip a candidate join's build side
+// would pay under the real memory budget, in formula-(1) cardinality units:
+// build rows beyond the cluster-resident capacity are written once and read
+// once. It activates only in real-spill mode and only after a stage has
+// actually spilled (observedSpillBytes is the runtime feedback signal), so
+// simulated-mode plans — and the Figure 7 golden counters — never move.
+func (rs *runState) spillPenalty(edge *sqlpp.JoinEdge, tables Tables) int64 {
+	if rs.ctx.Spill == nil || rs.observedSpillBytes == 0 {
+		return 0
+	}
+	budget := rs.ctx.Cluster.MemoryPerNodeBytes()
+	if budget <= 0 {
+		return 0
+	}
+	lt, rt := tables[edge.LeftAlias], tables[edge.RightAlias]
+	if lt == nil || rt == nil {
+		return 0
+	}
+	// The join-algorithm rule builds on the smaller-cardinality side.
+	bRows, bBytes := lt.EstRows, lt.EstBytes
+	if rt.EstRows < lt.EstRows {
+		bRows, bBytes = rt.EstRows, rt.EstBytes
+	}
+	resident := budget * int64(rs.ctx.Cluster.Nodes())
+	if bBytes <= resident || bRows <= 0 {
+		return 0
+	}
+	width := bBytes / bRows
+	if width < 1 {
+		width = 1
+	}
+	return 2 * (bBytes - resident) / width
 }
 
 // executeJoinStage runs one iteration of the loop (lines 12–15): build the
@@ -269,11 +310,14 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 	if err != nil {
 		return err
 	}
-
+	spillBefore := rs.ctx.Accounting().SpillBytes.Load()
 	rel, err := rs.runJoinJob(edge, lt, rt, algo, buildLeft)
 	if err != nil {
 		return err
 	}
+	// Figure-2 feedback: what this stage actually spilled informs the next
+	// stage's join pick.
+	rs.observedSpillBytes = rs.ctx.Accounting().SpillBytes.Load() - spillBefore
 
 	rs.stage++
 	newAlias := fmt.Sprintf("ij%d", rs.stage)

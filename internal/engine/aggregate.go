@@ -145,6 +145,13 @@ func finishAggregate(ctx *Context, q *sqlpp.Query, rel *Relation, rows []types.T
 	}
 	groups := map[string]*group{}
 	var order []string
+	// Hash-aggregate state grows one entry per distinct group; meter that
+	// growth against the query's memory grant so unbounded GROUP BYs are
+	// visible to the governor (released when aggregation completes — the
+	// grouped output replaces the table).
+	const aggStateBytes = 48 // approximate per-aggregate accumulator footprint
+	var groupBytes int64
+	defer func() { ctx.Grant.Release(groupBytes) }()
 	for _, row := range rows {
 		var key strings.Builder
 		for _, g := range q.GroupBy {
@@ -161,6 +168,9 @@ func finishAggregate(ctx *Context, q *sqlpp.Query, rel *Relation, rows []types.T
 			grp = &group{first: row, aggs: make([]aggState, len(sels))}
 			groups[k] = grp
 			order = append(order, k)
+			sz := int64(row.EncodedSize()) + int64(len(k)) + int64(len(sels))*aggStateBytes
+			groupBytes += sz
+			ctx.Grant.Reserve(sz)
 		}
 		for i, s := range sels {
 			if s.kind == aggNone {

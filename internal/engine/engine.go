@@ -14,6 +14,7 @@ import (
 	"dynopt/internal/catalog"
 	"dynopt/internal/cluster"
 	"dynopt/internal/expr"
+	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
 
@@ -35,6 +36,16 @@ type Context struct {
 	// Cancel carries the caller's cancellation signal; nil never cancels.
 	// Operators check it at stage boundaries.
 	Cancel context.Context
+	// Spill manages this query's on-disk run files. When set (and the memory
+	// budget is positive) the hash joins run the real dynamic hybrid hash
+	// join — evicting build partitions to disk under memory pressure — and
+	// SpillBytes/SpillRows meter actual run-file I/O. Nil keeps the simulated
+	// spill model: counters are charged from the byte arithmetic of
+	// meterSpill and nothing touches the filesystem.
+	Spill *storage.SpillManager
+	// Grant is this query's reservation against the cluster memory governor.
+	// Nil (single-client and test contexts) disables governance metering.
+	Grant *cluster.Grant
 }
 
 // Env builds an expression environment against a schema.
@@ -64,6 +75,12 @@ func (c *Context) Err() error {
 		return nil
 	}
 	return c.Cancel.Err()
+}
+
+// RealSpill reports whether this query runs the real disk-spilling join
+// path: a spill manager is attached and the memory budget is positive.
+func (c *Context) RealSpill() bool {
+	return c.Spill != nil && c.Cluster.MemoryPerNodeBytes() > 0
 }
 
 // Relation is a partitioned intermediate result flowing between operators.

@@ -233,7 +233,11 @@ func Finish(ctx *Context, q *sqlpp.Query, rel *Relation) (*Result, error) {
 		orderKeys types.Tuple
 	}
 	var outRows []finished
+	// The duplicate-elimination table grows one key per distinct group;
+	// meter it against the grant like the hash-aggregate table.
 	seen := map[string]bool{}
+	var seenBytes int64
+	defer func() { ctx.Grant.Release(seenBytes) }()
 	for _, row := range rows {
 		var projected types.Tuple
 		if q.SelectStar {
@@ -264,6 +268,9 @@ func Finish(ctx *Context, q *sqlpp.Query, rel *Relation) (*Result, error) {
 				continue
 			}
 			seen[f.groupKey] = true
+			sz := int64(len(f.groupKey))
+			seenBytes += sz
+			ctx.Grant.Reserve(sz)
 		}
 		if len(q.OrderBy) > 0 {
 			f.orderKeys = make(types.Tuple, len(q.OrderBy))

@@ -25,6 +25,15 @@ func checkPartRows(parts [][]types.Tuple) error {
 	return nil
 }
 
+// partSizes indexes an optional per-partition size table (nil when the
+// exchange was skipped or sizes were not requested).
+func partSizes(sizes [][]int64, p int) []int64 {
+	if sizes == nil {
+		return nil
+	}
+	return sizes[p]
+}
+
 // prehashParts bulk-hashes the key columns of every partition in parallel —
 // the one hash pass each relation side pays per join.
 func prehashParts(parts [][]types.Tuple, keyCols []int) [][]uint64 {
@@ -44,10 +53,12 @@ func prehashParts(parts [][]types.Tuple, keyCols []int) [][]uint64 {
 // Alongside the exchanged relation it returns the key hashes aligned with
 // each output partition's rows: every row is hashed exactly once here and
 // the prehashes travel with the rows, so the downstream build and probe
-// never rehash.
-func repartition(ctx *Context, rel *Relation, keyCols []int) (*Relation, [][]uint64, error) {
+// never rehash. With wantSizes (the real-spill join's build side) the
+// per-row encoded sizes pass one computes anyway travel the same way, so
+// the spill path's budget accounting never re-walks EncodedSize.
+func repartition(ctx *Context, rel *Relation, keyCols []int, wantSizes bool) (*Relation, [][]uint64, [][]int64, error) {
 	if rel.PartitionedOn(keyCols) {
-		return rel, prehashParts(rel.Parts, keyCols), nil
+		return rel, prehashParts(rel.Parts, keyCols), nil, nil
 	}
 	n := len(rel.Parts)
 	out := &Relation{
@@ -57,7 +68,7 @@ func repartition(ctx *Context, rel *Relation, keyCols []int) (*Relation, [][]uin
 	}
 	if n == 1 {
 		out.Parts[0] = rel.Parts[0]
-		return out, prehashParts(out.Parts, keyCols), nil
+		return out, prehashParts(out.Parts, keyCols), nil, nil
 	}
 	acct := ctx.Accounting()
 	// Two-pass partition-parallel exchange: pass one hashes every row once,
@@ -71,24 +82,39 @@ func repartition(ctx *Context, rel *Relation, keyCols []int) (*Relation, [][]uin
 	srcDst := make([][]int32, n)      // [src] per-row destination (hash mod n, computed once)
 	srcCount := make([][]int32, n)    // [src] dst -> rows routed there
 	srcDstBytes := make([][]int64, n) // [src] dst -> encoded bytes routed there
+	var srcSize [][]int64             // [src] per-row encoded sizes (wantSizes only)
+	if wantSizes {
+		srcSize = make([][]int64, n)
+	}
 	_ = forEachPart(n, func(src int) error {
 		part := rel.Parts[src]
 		hashes := types.HashKeysInto(part, keyCols, nil)
 		dsts := make([]int32, len(part))
 		counts := make([]int32, n)
 		dstBytes := make([]int64, n)
+		var sizes []int64
+		if wantSizes {
+			sizes = make([]int64, len(part))
+		}
 		var totalBytes int64
 		for r, t := range part {
 			dst := int32(hashes[r] % uint64(n))
 			dsts[r] = dst
 			counts[dst]++
-			// One EncodedSize walk per row covers both the shuffle metering
-			// (bytes leaving src) and the output partitions' size cache.
+			// One EncodedSize walk per row covers the shuffle metering
+			// (bytes leaving src), the output partitions' size cache, and
+			// (when requested) the spill join's per-row budget accounting.
 			sz := int64(t.EncodedSize())
 			dstBytes[dst] += sz
 			totalBytes += sz
+			if sizes != nil {
+				sizes[r] = sz
+			}
 		}
 		srcHash[src], srcDst[src], srcCount[src], srcDstBytes[src] = hashes, dsts, counts, dstBytes
+		if wantSizes {
+			srcSize[src] = sizes
+		}
 		acct.ShuffleRows.Add(int64(len(part)) - int64(counts[src]))
 		acct.ShuffleBytes.Add(totalBytes - dstBytes[src])
 		return nil
@@ -99,6 +125,10 @@ func repartition(ctx *Context, rel *Relation, keyCols []int) (*Relation, [][]uin
 		srcStart[src] = make([]int32, n)
 	}
 	outHashes := make([][]uint64, n)
+	var outSizes [][]int64
+	if wantSizes {
+		outSizes = make([][]int64, n)
+	}
 	outBytes := make([]int64, n)
 	var outTotal int64
 	for dst := 0; dst < n; dst++ {
@@ -109,27 +139,34 @@ func repartition(ctx *Context, rel *Relation, keyCols []int) (*Relation, [][]uin
 			outBytes[dst] += srcDstBytes[src][dst]
 		}
 		if total > maxPartRows {
-			return nil, nil, fmt.Errorf("engine: exchange destination %d would hold %d rows, exceeding the %d-row limit of int32 row indexing", dst, total, maxPartRows)
+			return nil, nil, nil, fmt.Errorf("engine: exchange destination %d would hold %d rows, exceeding the %d-row limit of int32 row indexing", dst, total, maxPartRows)
 		}
 		out.Parts[dst] = make([]types.Tuple, total)
 		outHashes[dst] = make([]uint64, total)
+		if wantSizes {
+			outSizes[dst] = make([]int64, total)
+		}
 		outTotal += outBytes[dst]
 	}
 	_ = forEachPart(n, func(src int) error {
 		next := srcStart[src] // disjoint write ranges per src; safe to share dst arrays
 		dsts := srcDst[src]
 		hashes := srcHash[src]
+		sizes := srcSize // nil unless wantSizes
 		for r, t := range rel.Parts[src] {
 			dst := dsts[r]
 			i := next[dst]
 			next[dst]++
 			out.Parts[dst][i] = t
 			outHashes[dst][i] = hashes[r]
+			if sizes != nil {
+				outSizes[dst][i] = sizes[src][r]
+			}
 		}
 		return nil
 	})
 	out.seedSizes(outBytes, outTotal)
-	return out, outHashes, nil
+	return out, outHashes, outSizes, nil
 }
 
 // Repartition hash-exchanges a relation onto the named key columns. It is
@@ -148,14 +185,19 @@ func Repartition(ctx *Context, rel *Relation, keys []string) (*Relation, error) 
 	if err := checkPartRows(rel.Parts); err != nil {
 		return nil, err
 	}
-	out, _, err := repartition(ctx, rel, cols)
+	out, _, _, err := repartition(ctx, rel, cols, false)
 	return out, err
 }
 
-// meterSpill models §3's overflow partitions: when a partition's build side
-// exceeds the per-node memory budget, the excess build bytes and the
-// matching fraction of probe bytes take a write+read round trip through
-// disk (the grace hash join's recursive passes are approximated by one).
+// meterSpill models §3's overflow partitions in simulated mode (no
+// Context.Spill attached): when a partition's build side exceeds the
+// per-node memory budget, the excess build bytes and the matching fraction
+// of probe bytes take a write+read round trip through disk (the grace hash
+// join's recursive passes are approximated by one). All byte figures come
+// from the callers' SizeCache-backed PartBytes/ByteSize — never from a
+// fresh EncodedSize walk. In real-spill mode the dynamic hybrid hash join
+// in spilljoin.go meters actual run-file I/O instead and this model is
+// bypassed.
 func meterSpill(ctx *Context, buildBytes, probeBytes, buildRows, probeRows int64) {
 	budget := ctx.Cluster.MemoryPerNodeBytes()
 	if budget <= 0 || buildBytes <= budget {
@@ -300,11 +342,15 @@ func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string,
 	if err := checkPartRows(right.Parts); err != nil {
 		return nil, err
 	}
-	left, lHash, err := repartition(ctx, left, lCols)
+	realSpill := ctx.RealSpill()
+	// In real-spill mode the exchange also hands the build side's per-row
+	// encoded sizes downstream, so the spill join's budget accounting never
+	// re-walks EncodedSize.
+	left, lHash, lSize, err := repartition(ctx, left, lCols, realSpill && buildLeft)
 	if err != nil {
 		return nil, err
 	}
-	right, rHash, err := repartition(ctx, right, rCols)
+	right, rHash, rSize, err := repartition(ctx, right, rCols, realSpill && !buildLeft)
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +360,24 @@ func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string,
 	outSchema := left.Schema.Concat(right.Schema)
 	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, n)}
 	err = forEachPart(n, func(p int) error {
+		if realSpill {
+			// Real memory governance: the dynamic hybrid hash join holds at
+			// most the per-node budget of build rows resident, evicting
+			// overflow sub-partitions to run files (spilljoin.go).
+			var rows []types.Tuple
+			var err error
+			if buildLeft {
+				rows, err = spillJoinPartition(ctx, p, outSchema.Len(),
+					left.Parts[p], lHash[p], partSizes(lSize, p), lCols, left.PartBytes(p),
+					right.Parts[p], rHash[p], rCols, true)
+			} else {
+				rows, err = spillJoinPartition(ctx, p, outSchema.Len(),
+					right.Parts[p], rHash[p], partSizes(rSize, p), rCols, right.PartBytes(p),
+					left.Parts[p], lHash[p], lCols, false)
+			}
+			out.Parts[p] = rows
+			return err
+		}
 		// Output building is arena-backed and sized from the match count:
 		// one header slice and one Value chunk per partition, allocated
 		// exactly, replacing a Concat allocation per output row.
@@ -382,6 +446,25 @@ func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []st
 	if !buildLeft {
 		build, probe = right, left
 		bCols, pCols = rCols, lCols
+	}
+	if ctx.RealSpill() {
+		// Under real memory governance an over-budget build side may not be
+		// copied to every node: every copy would blow the per-node grant at
+		// once, with nothing to evict (broadcast tables cannot spill without
+		// losing matches). Fall back to the partitioned hybrid hash join,
+		// which spills gracefully. The same fallback fires when the
+		// governor is out of aggregate capacity.
+		budget := ctx.Cluster.MemoryPerNodeBytes()
+		bb := build.ByteSize()
+		hold := bb * int64(len(probe.Parts))
+		if bb > budget {
+			return HashJoin(ctx, left, right, leftKeys, rightKeys, buildLeft)
+		}
+		if !ctx.Grant.Reserve(hold) {
+			ctx.Grant.Release(hold)
+			return HashJoin(ctx, left, right, leftKeys, rightKeys, buildLeft)
+		}
+		defer ctx.Grant.Release(hold)
 	}
 
 	n := len(probe.Parts)

@@ -80,6 +80,11 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 		pb[p] = rel.PartBytes(p)
 	}
 	ds.SeedSizes(pb, rel.ByteSize())
+	// No grant reservation here: materialized intermediates model on-disk
+	// temps (their write and read-back I/O is metered as MatWriteBytes /
+	// MatReadBytes above and in Scan), not resident query memory — holding
+	// them on the grant would double-count the next stage's build side,
+	// whose tuples share backing with this relation.
 	merged := stats.NewDatasetStats(name)
 	for _, st := range partStats {
 		merged.Merge(st)

@@ -1,0 +1,477 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"dynopt/internal/cluster"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// This file is the real dynamic hybrid hash join behind Context.RealSpill:
+// the disk-backed counterpart of meterSpill's byte arithmetic, modeled on
+// the AsterixDB join of "Design Trade-offs for a Robust Dynamic Hybrid Hash
+// Join" (PAPERS.md). Per partition (node), build rows scatter into
+// spillFanout sub-partitions; when the resident set would exceed the
+// per-node memory budget — or the cluster governor signals cross-query
+// pressure — the largest resident sub-partition is evicted to an on-disk
+// run file. Probe rows for resident sub-partitions stream through the
+// in-memory table immediately; the rest are deferred to probe run files,
+// and every spilled (build, probe) pair is joined recursively on read-back
+// with a different hash salt per level. SpillBytes/SpillRows meter the
+// actual run-file bytes and rows written.
+
+const (
+	// spillFanout is the sub-partition count per recursion level. With the
+	// budget at 1/k of the build side, k < spillFanout sub-partitions stay
+	// resident and the rest take exactly one extra disk round trip.
+	spillFanout = 16
+	// spillMaxDepth bounds recursion: past it (pathological skew — e.g. one
+	// join key holding over-budget row counts) the remaining pair is joined
+	// in memory, over budget, rather than recursing forever.
+	spillMaxDepth = 6
+)
+
+// spillSeeds salt the sub-partition hash per recursion level; reusing the
+// level-0 bits would send every spilled row back to one sub-partition.
+var spillSeeds = [spillMaxDepth + 1]uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb,
+	0x2545f4914f6cdd1d, 0xd6e8feb86659fd93, 0xca6b5c2f4f5dd0e9,
+	0xaf36d01ef7518dbb,
+}
+
+// spillSub maps a join-key prehash to a sub-partition at a recursion level,
+// remixing the hash so levels (and the node-routing h mod n) see
+// independent bits.
+func spillSub(h uint64, level int) int {
+	x := h ^ spillSeeds[level]
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % spillFanout)
+}
+
+// rowSeq streams (tuple, key prehash, encoded size) triples: in-memory
+// partitions at level 0, run-file read-backs below. A size of -1 means
+// unknown (the consumer walks EncodedSize itself); the level-0 build side
+// carries the exact sizes the exchange already computed. next returns
+// io.EOF at a clean end.
+type rowSeq interface {
+	next() (types.Tuple, uint64, int64, error)
+}
+
+// memSeq streams an in-memory partition with its prehash array and
+// (optionally) its per-row encoded sizes.
+type memSeq struct {
+	rows   []types.Tuple
+	hashes []uint64
+	sizes  []int64 // nil: sizes unknown
+	i      int
+}
+
+func (s *memSeq) next() (types.Tuple, uint64, int64, error) {
+	if s.i >= len(s.rows) {
+		return nil, 0, 0, io.EOF
+	}
+	t, h := s.rows[s.i], s.hashes[s.i]
+	sz := int64(-1)
+	if s.sizes != nil {
+		sz = s.sizes[s.i]
+	}
+	s.i++
+	return t, h, sz, nil
+}
+
+// fileSeq streams a run file, recomputing each row's key prehash (run
+// records store the tuple only).
+type fileSeq struct {
+	r       *storage.SpillReader
+	keyCols []int
+}
+
+func (s *fileSeq) next() (types.Tuple, uint64, int64, error) {
+	t, err := s.r.Next()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return t, t.HashKeys(s.keyCols), -1, nil
+}
+
+// spillJoin carries one partition's join through its recursion levels.
+type spillJoin struct {
+	ctx        *Context
+	acct       *cluster.Accounting
+	grant      *cluster.Grant
+	part       int   // partition index, for run-file labels
+	budget     int64 // per-node resident build budget
+	bCols      []int // build-side key columns
+	pCols      []int // probe-side key columns
+	buildFirst bool
+	outWidth   int
+
+	arena types.Arena
+	out   []types.Tuple
+}
+
+// spillJoinPartition joins one partition under the real memory budget,
+// returning the output rows. Falls to the plain in-memory join when the
+// build side fits the grant; otherwise runs the dynamic hybrid hash join.
+func spillJoinPartition(ctx *Context, p int, outWidth int,
+	bRows []types.Tuple, bHash []uint64, bSize []int64, bCols []int, buildBytes int64,
+	pRows []types.Tuple, pHash []uint64, pCols []int, buildFirst bool) ([]types.Tuple, error) {
+
+	budget := ctx.Cluster.MemoryPerNodeBytes()
+	acct := ctx.Accounting()
+	gr := ctx.Grant
+	if buildBytes <= budget {
+		if gr.Reserve(buildBytes) {
+			// Resident fast path: the whole build side fits the per-node
+			// budget and the governor has room.
+			defer gr.Release(buildBytes)
+			ht := buildTable(bRows, bHash, bCols)
+			acct.BuildRows.Add(int64(len(bRows)))
+			acct.ProbeRows.Add(int64(len(pRows)))
+			cnt := ht.countMatches(pHash)
+			var arena types.Arena
+			arena.Reserve(cnt * outWidth)
+			rows := make([]types.Tuple, 0, cnt)
+			return ht.joinInto(rows, &arena, pRows, pHash, pCols, buildFirst), nil
+		}
+		// Cross-query pressure: the bytes were charged by the failed
+		// Reserve, so undo before taking the spilling path (which holds
+		// only its resident set).
+		gr.Release(buildBytes)
+	}
+	j := &spillJoin{
+		ctx: ctx, acct: acct, grant: gr, part: p, budget: budget,
+		bCols: bCols, pCols: pCols, buildFirst: buildFirst, outWidth: outWidth,
+	}
+	err := j.run(0, &memSeq{rows: bRows, hashes: bHash, sizes: bSize}, &memSeq{rows: pRows, hashes: pHash})
+	return j.out, err
+}
+
+// run executes one recursion level of the dynamic hybrid hash join.
+func (j *spillJoin) run(level int, build, probe rowSeq) error {
+	if err := j.ctx.Err(); err != nil {
+		return err
+	}
+	if level > spillMaxDepth {
+		// Pathological skew: the same keys refuse to split any further.
+		// Join the pair in memory, over budget, rather than recurse forever.
+		return j.inMemory(build, probe)
+	}
+
+	var (
+		rows     [spillFanout][]types.Tuple
+		hashes   [spillFanout][]uint64
+		bytes    [spillFanout]int64
+		bFile    [spillFanout]*storage.SpillFile
+		resident int64
+	)
+	largest := func() int {
+		v, best := -1, int64(0)
+		for s := 0; s < spillFanout; s++ {
+			if bFile[s] == nil && bytes[s] > best {
+				v, best = s, bytes[s]
+			}
+		}
+		return v
+	}
+	evict := func(s int) error {
+		f, err := j.newFile(level, s, "build")
+		if err != nil {
+			return err
+		}
+		for _, t := range rows[s] {
+			if err := f.Append(t); err != nil {
+				return err
+			}
+		}
+		j.grant.Release(bytes[s])
+		resident -= bytes[s]
+		rows[s], hashes[s], bytes[s] = nil, nil, 0
+		bFile[s] = f
+		return nil
+	}
+
+	// Build phase: scatter into sub-partitions, evicting the largest
+	// resident victim whenever the next row would push the resident set
+	// over the per-node budget (so peak resident build memory never
+	// exceeds it), and shedding one victim on governor pressure.
+	n := 0
+	for {
+		t, h, sz, err := build.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n++; n&0xfff == 0 {
+			if err := j.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s := spillSub(h, level)
+		if bFile[s] != nil {
+			if err := bFile[s].Append(t); err != nil {
+				return err
+			}
+			continue
+		}
+		if sz < 0 {
+			sz = int64(t.EncodedSize())
+		}
+		for resident+sz > j.budget {
+			v := largest()
+			if v < 0 {
+				break
+			}
+			if err := evict(v); err != nil {
+				return err
+			}
+		}
+		if bFile[s] == nil && resident+sz > j.budget {
+			// Everything else is already on disk and this row alone breaks
+			// the budget: spill its own (empty or not) sub-partition.
+			if err := evict(s); err != nil {
+				return err
+			}
+		}
+		if bFile[s] != nil {
+			if err := bFile[s].Append(t); err != nil {
+				return err
+			}
+			continue
+		}
+		rows[s] = append(rows[s], t)
+		hashes[s] = append(hashes[s], h)
+		bytes[s] += sz
+		resident += sz
+		if !j.grant.Reserve(sz) {
+			if v := largest(); v >= 0 {
+				if err := evict(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Seal the build run files: spill accounting charges the actual bytes
+	// and rows written.
+	for s := 0; s < spillFanout; s++ {
+		if bFile[s] == nil {
+			continue
+		}
+		nb, err := bFile[s].Finish()
+		if err != nil {
+			return err
+		}
+		j.acct.SpillBytes.Add(nb)
+		j.acct.SpillRows.Add(bFile[s].Rows())
+	}
+
+	// Hybrid probe phase: resident sub-partitions are probed through one
+	// in-memory table as probe rows arrive; rows belonging to spilled
+	// sub-partitions are deferred to probe run files.
+	var resRows []types.Tuple
+	var resHashes []uint64
+	for s := 0; s < spillFanout; s++ {
+		resRows = append(resRows, rows[s]...)
+		resHashes = append(resHashes, hashes[s]...)
+	}
+	ht := buildTable(resRows, resHashes, j.bCols)
+	j.acct.BuildRows.Add(int64(len(resRows)))
+
+	var pFile [spillFanout]*storage.SpillFile
+	var probed int64
+	n = 0
+	for {
+		t, h, _, err := probe.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n++; n&0xfff == 0 {
+			if err := j.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s := spillSub(h, level)
+		if bFile[s] != nil {
+			if pFile[s] == nil {
+				pFile[s], err = j.newFile(level, s, "probe")
+				if err != nil {
+					return err
+				}
+			}
+			if err := pFile[s].Append(t); err != nil {
+				return err
+			}
+			continue
+		}
+		probed++
+		j.out = ht.probeInto(j.out, &j.arena, t, h, j.pCols, j.buildFirst)
+	}
+	j.acct.ProbeRows.Add(probed)
+
+	// The resident set is done; return its memory before recursing so the
+	// read-back levels can use the budget.
+	j.grant.Release(resident)
+	resRows, resHashes, ht = nil, nil, nil
+	for s := 0; s < spillFanout; s++ {
+		rows[s], hashes[s] = nil, nil
+	}
+	for s := 0; s < spillFanout; s++ {
+		if pFile[s] == nil {
+			continue
+		}
+		nb, err := pFile[s].Finish()
+		if err != nil {
+			return err
+		}
+		j.acct.SpillBytes.Add(nb)
+		j.acct.SpillRows.Add(pFile[s].Rows())
+	}
+
+	// Recursive pass: join every spilled (build, probe) pair on read-back.
+	for s := 0; s < spillFanout; s++ {
+		if bFile[s] == nil {
+			continue
+		}
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		if pFile[s] == nil || pFile[s].Rows() == 0 || bFile[s].Rows() == 0 {
+			// No rows on one side: the pair cannot produce matches.
+			bFile[s].Remove()
+			if pFile[s] != nil {
+				pFile[s].Remove()
+			}
+			continue
+		}
+		if err := j.joinSpilledPair(level, bFile[s], pFile[s]); err != nil {
+			return err
+		}
+		bFile[s].Remove()
+		pFile[s].Remove()
+	}
+	return nil
+}
+
+// joinSpilledPair reads one spilled (build, probe) run pair back and joins
+// it: in memory when the build run now fits the budget (the common case —
+// each level splits the data spillFanout ways), else one level deeper.
+func (j *spillJoin) joinSpilledPair(level int, bf, pf *storage.SpillFile) error {
+	br, err := bf.Reader()
+	if err != nil {
+		return err
+	}
+	defer br.Close()
+	pr, err := pf.Reader()
+	if err != nil {
+		return err
+	}
+	defer pr.Close()
+	build := &fileSeq{r: br, keyCols: j.bCols}
+	probe := &fileSeq{r: pr, keyCols: j.pCols}
+	if bf.Bytes() <= j.budget {
+		return j.inMemory(build, probe)
+	}
+	return j.run(level+1, build, probe)
+}
+
+// inMemory joins a (build, probe) pair with the whole build side resident:
+// the recursion leaf, and the over-budget fallback past spillMaxDepth.
+func (j *spillJoin) inMemory(build, probe rowSeq) error {
+	var bRows []types.Tuple
+	var bHashes []uint64
+	var bBytes int64
+	n := 0
+	for {
+		t, h, sz, err := build.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n++; n&0xfff == 0 {
+			if err := j.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if sz < 0 {
+			sz = int64(t.EncodedSize())
+		}
+		bRows = append(bRows, t)
+		bHashes = append(bHashes, h)
+		bBytes += sz
+	}
+	j.grant.Reserve(bBytes)
+	defer j.grant.Release(bBytes)
+	ht := buildTable(bRows, bHashes, j.bCols)
+	j.acct.BuildRows.Add(int64(len(bRows)))
+	var probed int64
+	n = 0
+	for {
+		t, h, _, err := probe.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n++; n&0xfff == 0 {
+			if err := j.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		probed++
+		j.out = ht.probeInto(j.out, &j.arena, t, h, j.pCols, j.buildFirst)
+	}
+	j.acct.ProbeRows.Add(probed)
+	return nil
+}
+
+// newFile opens a run file labeled with this partition, level, and
+// sub-partition.
+func (j *spillJoin) newFile(level, sub int, side string) (*storage.SpillFile, error) {
+	return j.ctx.Spill.Create(fmt.Sprintf("p%d_l%d_s%d_%s", j.part, level, sub, side))
+}
+
+// probeInto streams one probe row through the table, appending one arena
+// tuple per match to out — the single-row counterpart of joinInto for the
+// spill path, where probe rows arrive from a stream instead of a slice.
+func (ht *hashTable) probeInto(out []types.Tuple, arena *types.Arena, pt types.Tuple, h uint64, probeCols []int, buildFirst bool) []types.Tuple {
+	starts, idx, hs, bRows := ht.starts, ht.idx, ht.hashes, ht.rows
+	singleKey := len(probeCols) == 1 && len(ht.keyCols) == 1
+	var bCol0, pCol0 int
+	if singleKey {
+		bCol0, pCol0 = ht.keyCols[0], probeCols[0]
+	}
+	b := h & ht.mask
+	for _, ri := range idx[starts[b]:starts[b+1]] {
+		if hs[ri] != h {
+			continue
+		}
+		bt := bRows[ri]
+		if singleKey {
+			if !bt[bCol0].Equal(pt[pCol0]) {
+				continue
+			}
+		} else if !bt.KeysEqual(ht.keyCols, pt, probeCols) {
+			continue
+		}
+		if buildFirst {
+			out = append(out, arena.Concat(bt, pt))
+		} else {
+			out = append(out, arena.Concat(pt, bt))
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"os"
+	"sort"
+	"testing"
+
+	"dynopt/internal/storage"
+)
+
+// realSpillCtx attaches a spill manager and a governor grant to a test
+// context — the execution scope DB.QueryCtx builds when Config.SpillDir is
+// set. Cleanup sweeps the spill dir and closes the grant like every query
+// exit path does.
+func realSpillCtx(t *testing.T, ctx *Context) (*storage.SpillManager, string) {
+	t.Helper()
+	root := t.TempDir()
+	sm := storage.NewSpillManager(root, "qt_")
+	ctx.Spill = sm
+	ctx.Grant = ctx.Cluster.Governor().Grant()
+	t.Cleanup(func() {
+		sm.Sweep()
+		ctx.Grant.Close()
+	})
+	return sm, root
+}
+
+func sortedRows(rel *Relation) []string {
+	out := make([]string, 0, rel.RowCount())
+	for _, p := range rel.Parts {
+		for _, t := range p {
+			out = append(out, t.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rowsEqual(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRealSpillJoin50kIdenticalResults is the acceptance bench: a 50k-row
+// build side joined under a budget of 1/8 of its per-node bytes must spill
+// for real and produce exactly the rows of the in-memory join, with
+// SpillBytes equal to the actual run-file bytes written and peak resident
+// build memory within the grant.
+func TestRealSpillJoin50kIdenticalResults(t *testing.T) {
+	const nodes = 4
+	build := func(ctx *Context) (*Relation, *Relation) {
+		register(t, ctx, "fact", []string{"id"}, []string{"id", "k", "pay"}, seqTable(50000, 997))
+		register(t, ctx, "dim", []string{"id"}, []string{"id", "k", "pay"}, seqTable(2000, 997))
+		f, err := ScanByName(ctx, "fact", "f", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := ScanByName(ctx, "dim", "d", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, d
+	}
+
+	// Reference: ample memory, no spill manager.
+	memCtx := testCtx(t, nodes)
+	mf, md := build(memCtx)
+	memCtx.Cluster.SetMemoryPerNodeBytes(1 << 30)
+	memRel, err := HashJoin(memCtx, mf, md, joinKeys("f", "k"), joinKeys("d", "k"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedRows(memRel)
+
+	// Real spill: budget 1/8 of the per-node build-side bytes.
+	ctx := testCtx(t, nodes)
+	f, d := build(ctx)
+	buildDS, _ := ctx.Catalog.Get("fact")
+	budget := buildDS.ByteSize() / nodes / 8
+	ctx.Cluster.SetMemoryPerNodeBytes(budget)
+	sm, _ := realSpillCtx(t, ctx)
+
+	before := ctx.Cluster.Acct().Snapshot()
+	rel, err := HashJoin(ctx, f, d, joinKeys("f", "k"), joinKeys("d", "k"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := ctx.Cluster.Acct().Snapshot().Sub(before)
+
+	rowsEqual(t, sortedRows(rel), want)
+	if d1.SpillBytes == 0 || d1.SpillRows == 0 {
+		t.Fatalf("1/8 budget did not spill: %+v", d1)
+	}
+	if got := sm.BytesWritten(); d1.SpillBytes != got {
+		t.Errorf("SpillBytes = %d, actual run-file bytes written = %d", d1.SpillBytes, got)
+	}
+	capacity := ctx.Cluster.Governor().Capacity()
+	if peak := ctx.Grant.Peak(); peak > capacity {
+		t.Errorf("peak resident build memory %d exceeded the grant capacity %d", peak, capacity)
+	}
+	if held := ctx.Grant.Used(); held != 0 {
+		t.Errorf("join left %d bytes held on the grant", held)
+	}
+}
+
+// TestRealSpillSweepLeavesDirEmpty checks the disk side of the lifecycle:
+// run files are consumed and removed by the join itself, and the sweep
+// removes the per-query directory.
+func TestRealSpillSweepLeavesDirEmpty(t *testing.T) {
+	ctx := testCtx(t, 2)
+	register(t, ctx, "a", []string{"id"}, []string{"id", "k", "pay"}, seqTable(20000, 499))
+	register(t, ctx, "b", []string{"id"}, []string{"id", "k", "pay"}, seqTable(1000, 499))
+	ctx.Cluster.SetMemoryPerNodeBytes(8 << 10)
+	sm, root := realSpillCtx(t, ctx)
+	ra, _ := ScanByName(ctx, "a", "a", nil, nil)
+	rb, _ := ScanByName(ctx, "b", "b", nil, nil)
+	if _, err := HashJoin(ctx, ra, rb, joinKeys("a", "k"), joinKeys("b", "k"), true); err != nil {
+		t.Fatal(err)
+	}
+	if sm.BytesWritten() == 0 {
+		t.Fatal("join under an 8KB budget did not spill")
+	}
+	// The join consumed and removed every run file it wrote.
+	if dir := sm.Dir(); dir != "" {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Errorf("run files left behind after the join: %d", len(entries))
+		}
+	}
+	if err := sm.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spill root not empty after sweep: %v", entries)
+	}
+}
+
+// TestRealSpillSkewFallsBackInMemory drives the recursion pathology: every
+// row shares one join key, so no amount of re-partitioning splits the
+// spilled pair, and the depth-capped fallback joins it in memory — with
+// correct results.
+func TestRealSpillSkewFallsBackInMemory(t *testing.T) {
+	ctx := testCtx(t, 2)
+	rows := make([][]int64, 3000)
+	for i := range rows {
+		rows[i] = []int64{int64(i), 7, int64(i)}
+	}
+	small := make([][]int64, 5)
+	for i := range small {
+		small[i] = []int64{int64(i), 7, int64(i)}
+	}
+	register(t, ctx, "skew", []string{"id"}, []string{"id", "k", "pay"}, rows)
+	register(t, ctx, "tiny", []string{"id"}, []string{"id", "k", "pay"}, small)
+	ctx.Cluster.SetMemoryPerNodeBytes(2 << 10) // far below the one hot key's rows
+	realSpillCtx(t, ctx)
+	rs, _ := ScanByName(ctx, "skew", "s", nil, nil)
+	rt, _ := ScanByName(ctx, "tiny", "t", nil, nil)
+	rel, err := HashJoin(ctx, rs, rt, joinKeys("s", "k"), joinKeys("t", "k"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rel.RowCount(), int64(3000*5); got != want {
+		t.Errorf("skewed spill join produced %d rows, want %d", got, want)
+	}
+}
+
+// TestBroadcastFallsBackToPartitionedWhenOverBudget: in real-spill mode an
+// over-budget build side is not replicated; the join runs partitioned (no
+// broadcast traffic) and still returns identical rows.
+func TestBroadcastFallsBackToPartitionedWhenOverBudget(t *testing.T) {
+	const nodes = 4
+	load := func(ctx *Context) (*Relation, *Relation) {
+		register(t, ctx, "fact", []string{"id"}, []string{"id", "k", "pay"}, seqTable(5000, 200))
+		register(t, ctx, "dim", []string{"id"}, []string{"id", "k", "pay"}, seqTable(1000, 200))
+		f, _ := ScanByName(ctx, "fact", "f", nil, nil)
+		d, _ := ScanByName(ctx, "dim", "d", nil, nil)
+		return f, d
+	}
+	memCtx := testCtx(t, nodes)
+	mf, md := load(memCtx)
+	memCtx.Cluster.SetMemoryPerNodeBytes(1 << 30)
+	memRel, err := BroadcastJoin(memCtx, mf, md, joinKeys("f", "k"), joinKeys("d", "k"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedRows(memRel)
+
+	ctx := testCtx(t, nodes)
+	f, d := load(ctx)
+	ctx.Cluster.SetMemoryPerNodeBytes(4 << 10) // dim copy (~27KB) over budget
+	realSpillCtx(t, ctx)
+	before := ctx.Cluster.Acct().Snapshot()
+	rel, err := BroadcastJoin(ctx, f, d, joinKeys("f", "k"), joinKeys("d", "k"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := ctx.Cluster.Acct().Snapshot().Sub(before)
+	if diff.BroadcastBytes != 0 || diff.BroadcastRows != 0 {
+		t.Errorf("over-budget broadcast still replicated: %+v", diff)
+	}
+	if diff.ShuffleRows == 0 {
+		t.Error("fallback did not run the partitioned join")
+	}
+	rowsEqual(t, sortedRows(rel), want)
+}
+
+// TestBroadcastWithinBudgetStillBroadcasts: real-spill mode leaves
+// within-budget broadcasts alone (and holds the replicated copies on the
+// grant while the join runs).
+func TestBroadcastWithinBudgetStillBroadcasts(t *testing.T) {
+	ctx := testCtx(t, 4)
+	register(t, ctx, "fact", []string{"id"}, []string{"id", "k", "pay"}, seqTable(5000, 50))
+	register(t, ctx, "dim", []string{"id"}, []string{"id", "k", "pay"}, seqTable(50, 50))
+	ctx.Cluster.SetMemoryPerNodeBytes(256 << 10)
+	realSpillCtx(t, ctx)
+	f, _ := ScanByName(ctx, "fact", "f", nil, nil)
+	d, _ := ScanByName(ctx, "dim", "d", nil, nil)
+	before := ctx.Cluster.Acct().Snapshot()
+	if _, err := BroadcastJoin(ctx, f, d, joinKeys("f", "k"), joinKeys("d", "k"), false); err != nil {
+		t.Fatal(err)
+	}
+	diff := ctx.Cluster.Acct().Snapshot().Sub(before)
+	if diff.BroadcastBytes == 0 {
+		t.Error("within-budget broadcast did not broadcast")
+	}
+	if diff.SpillBytes != 0 {
+		t.Errorf("within-budget broadcast spilled %d bytes", diff.SpillBytes)
+	}
+	if held := ctx.Grant.Used(); held != 0 {
+		t.Errorf("broadcast left %d bytes held on the grant", held)
+	}
+}
+
+// TestSimulatedModeUntouchedBySpillSupport pins the opt-in contract: with
+// no spill manager attached, a tight budget still meters the simulated
+// model and writes nothing.
+func TestSimulatedModeUntouchedBySpillSupport(t *testing.T) {
+	ctx := testCtx(t, 2)
+	register(t, ctx, "a", []string{"id"}, []string{"id", "k", "pay"}, seqTable(5000, 100))
+	register(t, ctx, "b", []string{"id"}, []string{"id", "k", "pay"}, seqTable(5000, 100))
+	ctx.Cluster.SetMemoryPerNodeBytes(4 << 10)
+	ra, _ := ScanByName(ctx, "a", "a", nil, nil)
+	rb, _ := ScanByName(ctx, "b", "b", nil, nil)
+	if _, err := HashJoin(ctx, ra, rb, joinKeys("a", "k"), joinKeys("b", "k"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Cluster.Acct().SpillBytes.Load(); got == 0 {
+		t.Error("simulated spill model stopped metering")
+	}
+}
+
+// TestRealSpillGovernorPressureSheds: a second query hogging the governor
+// forces an otherwise-fitting join to spill — heavy traffic degrades to
+// disk instead of over-committing memory.
+func TestRealSpillGovernorPressureSheds(t *testing.T) {
+	ctx := testCtx(t, 2)
+	register(t, ctx, "a", []string{"id"}, []string{"id", "k", "pay"}, seqTable(5000, 100))
+	register(t, ctx, "b", []string{"id"}, []string{"id", "k", "pay"}, seqTable(1000, 100))
+	ctx.Cluster.SetMemoryPerNodeBytes(256 << 10) // ample for this build side
+	sm, _ := realSpillCtx(t, ctx)
+
+	// Another query holds the whole cluster budget.
+	hog := ctx.Cluster.Governor().Grant()
+	hog.Reserve(ctx.Cluster.Governor().Capacity())
+	defer hog.Close()
+
+	ra, _ := ScanByName(ctx, "a", "a", nil, nil)
+	rb, _ := ScanByName(ctx, "b", "b", nil, nil)
+	rel, err := HashJoin(ctx, ra, rb, joinKeys("a", "k"), joinKeys("b", "k"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.RowCount() == 0 {
+		t.Fatal("join under pressure produced no rows")
+	}
+	if sm.BytesWritten() == 0 {
+		t.Error("governor pressure did not push the join to disk")
+	}
+}

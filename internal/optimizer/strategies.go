@@ -57,7 +57,13 @@ func (s *CostBased) Run(ctx *engine.Context, sql string) (*engine.Result, *core.
 		if err != nil {
 			return nil, err
 		}
-		tree, err := core.PlanFull(est, g, tables, s.Cfg)
+		cfg := s.Cfg
+		if ctx.Spill != nil && cfg.SpillBudgetBytes == 0 {
+			// Real-spill execution: plan broadcasts against the memory
+			// budget the engine will enforce.
+			cfg.SpillBudgetBytes = ctx.Cluster.MemoryPerNodeBytes()
+		}
+		tree, err := core.PlanFull(est, g, tables, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +96,14 @@ func (s *BestOrder) Name() string { return "best-order" }
 
 // Run implements core.Strategy.
 func (s *BestOrder) Run(ctx *engine.Context, sql string) (*engine.Result, *core.Report, error) {
-	tree, err := shadowDynamicPlan(ctx, sql, s.Cfg)
+	cfg := s.Cfg
+	if ctx.Spill != nil && cfg.Algo.SpillBudgetBytes == 0 {
+		// The shadow run plans on a scratch context with no spill manager;
+		// hand it the budget explicitly so the plan the Oracle executes
+		// matches the real-spill engine's broadcast rule.
+		cfg.Algo.SpillBudgetBytes = ctx.Cluster.MemoryPerNodeBytes()
+	}
+	tree, err := shadowDynamicPlan(ctx, sql, cfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("optimizer: best-order shadow run: %w", err)
 	}

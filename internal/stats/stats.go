@@ -116,8 +116,15 @@ func (d *DatasetStats) Field(name string) *FieldStats {
 // restricted to the supplied fields (nil means all fields of the schema).
 // It also accumulates record count and encoded byte size.
 func (d *DatasetStats) ObserveTuple(sch *types.Schema, t types.Tuple, only map[string]bool) {
+	d.ObserveTupleSized(sch, t, only, int64(t.EncodedSize()))
+}
+
+// ObserveTupleSized is ObserveTuple for callers that already computed the
+// tuple's encoded size (bulk loads size rows once for both the partition
+// size cache and statistics, instead of walking EncodedSize twice).
+func (d *DatasetStats) ObserveTupleSized(sch *types.Schema, t types.Tuple, only map[string]bool, encSize int64) {
 	d.RecordCount++
-	d.ByteSize += int64(t.EncodedSize())
+	d.ByteSize += encSize
 	for i, f := range sch.Fields {
 		if only != nil && !only[f.Name] {
 			continue

@@ -70,6 +70,14 @@ func (d *Dataset) HasIndex(field string) bool {
 // field is fed through the statistics collectors during the load — the
 // "upfront statistics gained during loading" of §7 that seed the first plan.
 func Build(name string, schema *types.Schema, pk []string, rows []types.Tuple, nparts int) (*Dataset, *stats.DatasetStats, error) {
+	return build(name, schema, pk, rows, nparts, true)
+}
+
+// build is Build with the statistics pass optional: BuildParallel skips the
+// serial sketch collection here and runs its own partition-parallel one
+// (the size cache is always seeded either way). With collectStats false the
+// returned stats carry only the row/byte totals.
+func build(name string, schema *types.Schema, pk []string, rows []types.Tuple, nparts int, collectStats bool) (*Dataset, *stats.DatasetStats, error) {
 	if nparts < 1 {
 		nparts = 1
 	}
@@ -113,12 +121,27 @@ func Build(name string, schema *types.Schema, pk []string, rows []types.Tuple, n
 	for p := range ds.Parts {
 		ds.Parts[p] = make([]types.Tuple, 0, counts[p])
 	}
+	// One EncodedSize walk per row covers both the statistics byte totals and
+	// the dataset's partition size cache — ByteSize/PartBytes never re-walk
+	// the tuples afterwards.
 	st := stats.NewDatasetStats(name)
+	partBytes := make([]int64, nparts)
+	var totalBytes int64
 	for i, row := range rows {
 		p := partOf(i)
 		ds.Parts[p] = append(ds.Parts[p], row)
-		st.ObserveTuple(schema, row, nil)
+		sz := int64(row.EncodedSize())
+		partBytes[p] += sz
+		totalBytes += sz
+		if collectStats {
+			st.ObserveTupleSized(schema, row, nil, sz)
+		}
 	}
+	if !collectStats {
+		st.RecordCount = int64(len(rows))
+		st.ByteSize = totalBytes
+	}
+	ds.SeedSizes(partBytes, totalBytes)
 	return ds, st, nil
 }
 
@@ -127,7 +150,9 @@ func Build(name string, schema *types.Schema, pk []string, rows []types.Tuple, n
 // identical to Build; used by large ingests and exercised by tests to verify
 // sketch mergeability.
 func BuildParallel(name string, schema *types.Schema, pk []string, rows []types.Tuple, nparts int) (*Dataset, *stats.DatasetStats, error) {
-	ds, _, err := Build(name, schema, pk, rows, nparts)
+	// Skip the serial sketch pass: the per-partition goroutines below are
+	// the only ones feeding the collectors, so no row is observed twice.
+	ds, _, err := build(name, schema, pk, rows, nparts, false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,8 +164,11 @@ func BuildParallel(name string, schema *types.Schema, pk []string, rows []types.
 			defer wg.Done()
 			st := stats.NewDatasetStats(name)
 			for _, row := range ds.Parts[p] {
-				st.ObserveTuple(schema, row, nil)
+				st.ObserveTupleSized(schema, row, nil, 0)
 			}
+			// Byte totals come from the size cache Build already seeded; the
+			// per-partition observation loop only feeds the sketches.
+			st.ByteSize = ds.PartBytes(p)
 			partStats[p] = st
 		}(p)
 	}

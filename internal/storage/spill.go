@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dynopt/internal/types"
+)
+
+// SpillManager owns one query's run files: the on-disk overflow partitions
+// of the dynamic hybrid hash join. It mirrors the catalog's per-query temp
+// namespace — a directory created lazily on the first spill, uniquely named
+// under the configured spill root, and swept on every query exit path (the
+// disk counterpart of catalog.DropPrefix). A query that never spills never
+// touches the filesystem.
+//
+// Create is safe to call from concurrent partition goroutines; each returned
+// SpillFile is then owned by a single goroutine.
+type SpillManager struct {
+	root  string
+	scope string
+
+	mu      sync.Mutex
+	dir     string // created lazily by the first Create
+	seq     int
+	open    map[*SpillFile]struct{} // files not yet closed (swept on exit)
+	written int64                   // actual bytes on disk across finished files
+}
+
+// NewSpillManager returns a manager writing under root for one query scope
+// (e.g. "q12_"). Nothing is created until the first spill.
+func NewSpillManager(root, scope string) *SpillManager {
+	return &SpillManager{root: root, scope: scope, open: map[*SpillFile]struct{}{}}
+}
+
+// Dir returns the query's spill directory, or "" when nothing spilled yet.
+func (m *SpillManager) Dir() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dir
+}
+
+// BytesWritten returns the actual on-disk bytes (from os.Stat, framing
+// included) across all finished run files, including ones already removed.
+func (m *SpillManager) BytesWritten() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
+}
+
+// Create opens a fresh append-only run file. label names the file for
+// debugging (partition/level/sub-partition of the join that spilled it).
+func (m *SpillManager) Create(label string) (*SpillFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dir == "" {
+		if err := os.MkdirAll(m.root, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: spill root: %w", err)
+		}
+		dir, err := os.MkdirTemp(m.root, "spill_"+m.scope)
+		if err != nil {
+			return nil, fmt.Errorf("storage: spill dir: %w", err)
+		}
+		m.dir = dir
+	}
+	m.seq++
+	path := filepath.Join(m.dir, fmt.Sprintf("run%04d_%s", m.seq, label))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: spill file: %w", err)
+	}
+	sf := &SpillFile{m: m, path: path, f: f, w: types.NewRunWriter(f)}
+	m.open[sf] = struct{}{}
+	return sf, nil
+}
+
+// Sweep removes the query's spill directory and everything in it, closing
+// any file a failed join left open. Safe to call when nothing spilled, and
+// on every exit path (success, error, panic, cancellation).
+func (m *SpillManager) Sweep() error {
+	m.mu.Lock()
+	open := make([]*SpillFile, 0, len(m.open))
+	for sf := range m.open {
+		open = append(open, sf)
+	}
+	dir := m.dir
+	m.dir = ""
+	m.mu.Unlock()
+	for _, sf := range open {
+		sf.close()
+	}
+	if dir == "" {
+		return nil
+	}
+	return os.RemoveAll(dir)
+}
+
+// SpillFile is one append-only run file: written once by its owning
+// partition goroutine, sealed with Finish, read back with Reader, removed
+// when its sub-join completes.
+type SpillFile struct {
+	m     *SpillManager
+	path  string
+	f     *os.File
+	w     *types.RunWriter
+	bytes int64 // on-disk size, set by Finish
+}
+
+// Append writes one tuple to the run.
+func (s *SpillFile) Append(t types.Tuple) error {
+	return s.w.Append(t)
+}
+
+// Rows returns the number of tuples appended so far.
+func (s *SpillFile) Rows() int64 { return s.w.Rows() }
+
+// Finish flushes and closes the write side, returning the file's actual
+// on-disk byte size — the figure spill accounting charges.
+func (s *SpillFile) Finish() (int64, error) {
+	if err := s.w.Flush(); err != nil {
+		s.close()
+		return 0, err
+	}
+	info, err := s.f.Stat()
+	if err != nil {
+		s.close()
+		return 0, err
+	}
+	s.bytes = info.Size()
+	if err := s.close(); err != nil {
+		return 0, err
+	}
+	s.m.mu.Lock()
+	s.m.written += s.bytes
+	s.m.mu.Unlock()
+	return s.bytes, nil
+}
+
+// Bytes returns the on-disk size recorded by Finish.
+func (s *SpillFile) Bytes() int64 { return s.bytes }
+
+// close closes the write handle and deregisters from the manager's sweep
+// set. Idempotent.
+func (s *SpillFile) close() error {
+	s.m.mu.Lock()
+	delete(s.m.open, s)
+	s.m.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	f := s.f
+	s.f = nil
+	return f.Close()
+}
+
+// Reader opens the finished run for sequential read-back.
+func (s *SpillFile) Reader() (*SpillReader, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	return &SpillReader{f: f, r: types.NewRunReader(f)}, nil
+}
+
+// Remove deletes the run file from disk (after its sub-join consumed it).
+func (s *SpillFile) Remove() error {
+	s.close()
+	return os.Remove(s.path)
+}
+
+// SpillReader streams tuples back out of a run file.
+type SpillReader struct {
+	f *os.File
+	r *types.RunReader
+}
+
+// Next returns the next tuple, io.EOF at the end of the run.
+func (r *SpillReader) Next() (types.Tuple, error) {
+	return r.r.Next()
+}
+
+// Close releases the read handle.
+func (r *SpillReader) Close() error { return r.f.Close() }

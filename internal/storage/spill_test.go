@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dynopt/internal/types"
+)
+
+func TestSpillManagerLazyCreation(t *testing.T) {
+	root := t.TempDir()
+	m := NewSpillManager(root, "q1_")
+	if m.Dir() != "" {
+		t.Error("spill dir created before first spill")
+	}
+	if err := m.Sweep(); err != nil {
+		t.Errorf("sweep with no spills: %v", err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spill root not empty after no-spill query: %v", entries)
+	}
+}
+
+func TestSpillFileRoundTripAndSweep(t *testing.T) {
+	root := t.TempDir()
+	m := NewSpillManager(root, "q2_")
+	sf, err := m.Create("p0_l0_s3_build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]types.Tuple, 100)
+	for i := range want {
+		want[i] = types.Tuple{types.Int(int64(i)), types.Str("spilled-row")}
+		if err := sf.Append(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := sf.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(filepath.Join(m.Dir(), filepath.Base(sfPath(sf))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != info.Size() {
+		t.Errorf("Finish reported %d bytes, file has %d", n, info.Size())
+	}
+	if m.BytesWritten() != n {
+		t.Errorf("manager counted %d bytes, file has %d", m.BytesWritten(), n)
+	}
+	r, err := sf.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if got.String() != want[i].String() {
+			t.Fatalf("row %d: got %s want %s", i, got, want[i])
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after last row: %v", err)
+	}
+	r.Close()
+
+	if err := m.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spill root not empty after sweep: %v", entries)
+	}
+}
+
+// TestSweepClosesUnfinishedFiles models a failed query: files that were
+// never Finished (the join errored mid-write) are closed and removed.
+func TestSweepClosesUnfinishedFiles(t *testing.T) {
+	root := t.TempDir()
+	m := NewSpillManager(root, "q3_")
+	for i := 0; i < 3; i++ {
+		sf, err := m.Create("unfinished")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sf.Append(types.Tuple{types.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		// No Finish: the query died here.
+	}
+	if err := m.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("unfinished spill files survived sweep: %v", entries)
+	}
+}
+
+func TestSpillFileRemove(t *testing.T) {
+	root := t.TempDir()
+	m := NewSpillManager(root, "q4_")
+	sf, err := m.Create("pair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Append(types.Tuple{types.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(m.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("run file survived Remove: %v", entries)
+	}
+}
+
+// TestSpillManagerConcurrentCreate exercises Create from many goroutines,
+// as partition goroutines do mid-join.
+func TestSpillManagerConcurrentCreate(t *testing.T) {
+	root := t.TempDir()
+	m := NewSpillManager(root, "q5_")
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sf, err := m.Create("c")
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if err := sf.Append(types.Tuple{types.Int(int64(g))}); err != nil {
+				errs[g] = err
+				return
+			}
+			_, errs[g] = sf.Finish()
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(m.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 16 {
+		t.Errorf("expected 16 run files, found %d", len(entries))
+	}
+	if err := m.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sfPath exposes the file path for the stat cross-check above.
+func sfPath(s *SpillFile) string { return s.path }

@@ -1,0 +1,194 @@
+package types
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+)
+
+// codecCases covers every kind, including the tricky payloads: negative and
+// extreme ints, NaN/Inf/negative-zero floats, empty and multi-byte strings.
+func codecCases() []Tuple {
+	return []Tuple{
+		{},
+		{Null()},
+		{Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64)},
+		{Float(0), Float(math.Copysign(0, -1)), Float(math.NaN()), Float(math.Inf(1)), Float(3.25)},
+		{Str(""), Str("a"), Str("héllo, wörld"), Str(string(make([]byte, 1000)))},
+		{Bool(true), Bool(false)},
+		{Null(), Int(42), Float(-7.5), Str("mixed"), Bool(true), Null()},
+	}
+}
+
+func tuplesEqual(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].K != b[i].K {
+			return false
+		}
+		// Compare raw payloads (NaN != NaN under Compare semantics).
+		if a[i].num != b[i].num || a[i].S != b[i].S || a[i].B != b[i].B {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodeTupleRoundTrip(t *testing.T) {
+	for _, tu := range codecCases() {
+		enc := EncodeTuple(nil, tu)
+		got, n, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", tu, err)
+		}
+		if n != len(enc) {
+			t.Errorf("decode %s consumed %d of %d bytes", tu, n, len(enc))
+		}
+		if !tuplesEqual(tu, got) {
+			t.Errorf("round trip changed tuple: %s -> %s", tu, got)
+		}
+	}
+}
+
+func TestDecodeTupleTruncated(t *testing.T) {
+	full := EncodeTuple(nil, Tuple{Int(7), Str("hello"), Bool(true)})
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeTuple(full[:cut]); err == nil {
+			t.Errorf("truncation at %d of %d decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestRunWriterReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRunWriter(&buf)
+	var want []Tuple
+	for i := 0; i < 500; i++ {
+		tu := Tuple{Int(int64(i)), Str("row"), Float(float64(i) / 3), Bool(i%2 == 0), Null()}
+		want = append(want, tu)
+		if err := w.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows() != 500 {
+		t.Errorf("rows = %d", w.Rows())
+	}
+	if w.Bytes() != int64(buf.Len()) {
+		t.Errorf("writer counted %d bytes, stream has %d", w.Bytes(), buf.Len())
+	}
+	r := NewRunReader(&buf)
+	for i, tu := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if !tuplesEqual(tu, got) {
+			t.Fatalf("row %d: got %s want %s", i, got, tu)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after last row: err = %v, want io.EOF", err)
+	}
+}
+
+// TestRunReaderLargeRecord exercises the scratch path for records bigger
+// than the reader's internal buffer.
+func TestRunReaderLargeRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRunWriter(&buf)
+	big := Tuple{Str(string(bytes.Repeat([]byte("x"), 2*runWriterBufSize)))}
+	if err := w.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Tuple{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunReader(&buf)
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuplesEqual(big, got) {
+		t.Error("large record did not round trip")
+	}
+	if got, err := r.Next(); err != nil || !tuplesEqual(got, Tuple{Int(1)}) {
+		t.Errorf("record after large one: %s, %v", got, err)
+	}
+}
+
+func TestRunReaderTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRunWriter(&buf)
+	if err := w.Append(Tuple{Int(1), Str("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 1; cut < len(data); cut++ {
+		r := NewRunReader(bytes.NewReader(data[:cut]))
+		if _, err := r.Next(); err == nil {
+			t.Errorf("truncation at %d of %d read without error", cut, len(data))
+		}
+	}
+}
+
+// FuzzTupleCodecRoundTrip drives EncodeTuple/DecodeTuple over arbitrary
+// tuples spanning every Value kind, checking the round trip is exact and the
+// consumed byte count matches the encoding length.
+func FuzzTupleCodecRoundTrip(f *testing.F) {
+	f.Add(int64(42), 3.14, "seed", true, uint8(7))
+	f.Add(int64(math.MinInt64), math.Inf(-1), "", false, uint8(0))
+	f.Add(int64(0), math.NaN(), "\x00\xff\xfe", true, uint8(31))
+	f.Fuzz(func(t *testing.T, i int64, fl float64, s string, b bool, shape uint8) {
+		// shape's bits select which of five values appear, in order.
+		all := Tuple{Int(i), Float(fl), Str(s), Bool(b), Null()}
+		var tu Tuple
+		for k, v := range all {
+			if shape&(1<<k) != 0 {
+				tu = append(tu, v)
+			}
+		}
+		enc := EncodeTuple(nil, tu)
+		got, n, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", n, len(enc))
+		}
+		if !tuplesEqual(tu, got) {
+			t.Fatalf("round trip changed tuple: %s -> %s", tu, got)
+		}
+	})
+}
+
+// FuzzDecodeTupleArbitrary feeds arbitrary bytes to the decoder: it must
+// error or succeed, never panic or over-read.
+func FuzzDecodeTupleArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeTuple(nil, Tuple{Int(1), Str("x"), Bool(true), Null(), Float(2)}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tu, n, err := DecodeTuple(data)
+		if err == nil {
+			if n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			reenc := EncodeTuple(nil, tu)
+			back, _, err := DecodeTuple(reenc)
+			if err != nil || !tuplesEqual(tu, back) {
+				t.Fatalf("re-encode of decoded tuple did not round trip: %v", err)
+			}
+		}
+	})
+}
