@@ -9,17 +9,24 @@
 //	joinbench -spilljson FILE   memory-governed join sweep: per-node budget
 //	                            from ample down to 1/8 of the build side,
 //	                            real disk spilling, invariants checked
+//	joinbench -pipejson FILE    streaming-pipeline comparison: Figure-7
+//	                            queries end-to-end in batch vs chunked
+//	                            streaming mode, rows+counters equality
+//	                            checked, wall-clock and alloc medians
 //	joinbench -all              everything
 //
 // Flags -sf (comma-separated scale factors, default 1,5,25 standing in for
 // the paper's 10/100/1000 GB) and -nodes (default 10, the paper's cluster
-// size) control the setup.
+// size) control the setup. -cpuprofile/-memprofile write pprof profiles so
+// pipeline regressions are diagnosable straight from the bench harness.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -33,10 +40,34 @@ func main() {
 	ablation := flag.Bool("ablation", false, "broadcast-threshold ablation sweep")
 	joinJSON := flag.String("joinjson", "", "write a join micro-benchmark snapshot (ns/op, allocs/op) to this file")
 	spillJSON := flag.String("spilljson", "", "write a memory-budget spill sweep snapshot to this file")
+	pipeJSON := flag.String("pipejson", "", "write a streaming-vs-batch pipeline comparison snapshot to this file")
+	pipeRuns := flag.Int("runs", 5, "runs per mode for the -pipejson medians")
 	joinRows := flag.Int("joinrows", 50000, "fact rows for the -joinjson and -spilljson benchmarks")
 	sfFlag := flag.String("sf", "1,5,25", "comma-separated scale factors")
 	nodes := flag.Int("nodes", 10, "simulated cluster nodes")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal() exits without unwinding, so flushing is registered with it
+		// too: a failing bench still leaves a usable CPU profile behind.
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			stopCPUProfile = nil
+		}
+		defer func() { flushProfiles(*memProfile) }()
+	} else if *memProfile != "" {
+		defer func() { flushProfiles(*memProfile) }()
+	}
 
 	sfs, err := parseSFs(*sfFlag)
 	if err != nil {
@@ -99,6 +130,20 @@ func main() {
 			fmt.Printf("  %-6s budget %8d B/node  spill %9d B %7d rows  peak %8d/%8d B  sim %7.3fs wall %6.3fs\n",
 				p.Name, p.BudgetBytes, p.SpillBytes, p.SpillRows,
 				p.PeakGrantBytes, p.GrantCapacity, p.SimSeconds, p.WallSeconds)
+		}
+	}
+	if *pipeJSON != "" {
+		ran = true
+		fmt.Printf("== Streaming pipeline vs batch (sf %d, %d nodes, %d runs) -> %s ==\n",
+			sfs[0], *nodes, *pipeRuns, *pipeJSON)
+		pts, err := bench.WritePipelineJSON(*pipeJSON, sfs[0], *nodes, *pipeRuns)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range pts {
+			fmt.Printf("  %-4s batch %8.2f ms  stream %8.2f ms  %+6.1f%%   alloc %10d -> %10d B (%+.1f%%)\n",
+				p.Query, p.BatchMedianMs, p.StreamMedianMs, p.ImprovementPct,
+				p.BatchAllocBytes, p.StreamAllocBytes, p.AllocSavedPct)
 		}
 	}
 	if !ran {
@@ -173,7 +218,36 @@ func parseSFs(s string) ([]int, error) {
 	return out, nil
 }
 
+// stopCPUProfile, when profiling is active, flushes and closes the CPU
+// profile exactly once; nil otherwise.
+var stopCPUProfile func()
+
+// flushProfiles finalizes the CPU profile and, when requested, writes the
+// heap profile. Errors are reported but never fatal: profiles are flushed
+// on the way out of fatal() itself.
+func flushProfiles(memProfile string) {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+	}
+	if memProfile == "" {
+		return
+	}
+	f, err := os.Create(memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench: memprofile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "joinbench: memprofile:", err)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "joinbench:", err)
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+	}
 	os.Exit(1)
 }

@@ -54,6 +54,10 @@ type Env struct {
 	base    *catalog.Catalog
 	udfs    *expr.Registry
 	indexed bool
+	// Batch runs every strategy in whole-relation batch mode instead of the
+	// chunked streaming pipeline — the reference the equivalence tests and
+	// the pipeline benchmark compare against.
+	Batch bool
 }
 
 // NewEnv loads both workloads at sf on an n-node layout. withIndexes adds
@@ -91,6 +95,7 @@ func (e *Env) Fresh() *engine.Context {
 		Catalog: e.base.CloneBases(),
 		UDFs:    e.udfs,
 		Params:  map[string]types.Value{},
+		Batch:   e.Batch,
 	}
 }
 
@@ -121,10 +126,17 @@ func (e *Env) Strategies() []core.Strategy {
 
 // RunOne executes one strategy over a fresh context.
 func (e *Env) RunOne(s core.Strategy, sql string) (*core.Report, error) {
+	_, rep, err := e.RunOneResult(s, sql)
+	return rep, err
+}
+
+// RunOneResult executes one strategy over a fresh context and also returns
+// the query result (the equivalence tests compare rows across modes).
+func (e *Env) RunOneResult(s core.Strategy, sql string) (*engine.Result, *core.Report, error) {
 	ctx := e.Fresh()
-	_, rep, err := s.Run(ctx, sql)
+	res, rep, err := s.Run(ctx, sql)
 	if err != nil {
-		return rep, fmt.Errorf("bench: %s: %w", s.Name(), err)
+		return res, rep, fmt.Errorf("bench: %s: %w", s.Name(), err)
 	}
-	return rep, nil
+	return res, rep, nil
 }

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"dynopt/internal/core"
+)
+
+// PipelinePoint is one query of the streaming-pipeline comparison: the
+// dynamic strategy executed end-to-end in whole-relation batch mode (the
+// pre-pipeline execution spine, kept as the reference implementation) and
+// in chunked streaming mode, on identical data. Both modes must produce
+// identical result rows and identical Metrics.Counters — a divergence is an
+// error, so the bench doubles as an acceptance check in CI. The wall-clock
+// and allocation deltas are the pipeline's win: same metered work, fewer
+// passes over it.
+type PipelinePoint struct {
+	Query            string  `json:"query"`
+	SF               int     `json:"sf"`
+	Nodes            int     `json:"nodes"`
+	Runs             int     `json:"runs"`
+	Rows             int64   `json:"rows"`               // result rows (identical across modes)
+	BatchMedianMs    float64 `json:"batch_median_ms"`    // whole-relation reference
+	StreamMedianMs   float64 `json:"stream_median_ms"`   // chunked pipeline
+	ImprovementPct   float64 `json:"improvement_pct"`    // (batch-stream)/batch × 100
+	BatchAllocBytes  int64   `json:"batch_alloc_bytes"`  // median bytes allocated per run
+	StreamAllocBytes int64   `json:"stream_alloc_bytes"` // median bytes allocated per run
+	AllocSavedPct    float64 `json:"alloc_saved_pct"`
+}
+
+// PipelineCompare runs the Figure-7 evaluation queries through the dynamic
+// strategy in both execution modes, runs times each (alternating modes so
+// neither benefits from cache warm-up order), and reports per-query medians.
+func PipelineCompare(sf, nodes, runs int) ([]PipelinePoint, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	env, err := NewEnv(sf, nodes, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PipelinePoint, 0, 4)
+	for _, q := range Queries() {
+		pt := PipelinePoint{Query: q.Name, SF: sf, Nodes: nodes, Runs: runs}
+		var wall [2][]float64 // [batch, stream] ms per run
+		var alloc [2][]int64
+		var refRows []string
+		var refCounters any
+		for r := -1; r < runs; r++ {
+			for mode := 0; mode < 2; mode++ {
+				env.Batch = mode == 0
+				// A GC barrier before each timed run keeps the previous
+				// run's collection debt from being charged to this one, and
+				// run -1 is an untimed warm-up per mode.
+				runtime.GC()
+				var msBefore, msAfter runtime.MemStats
+				runtime.ReadMemStats(&msBefore)
+				start := time.Now()
+				res, rep, err := env.RunOneResult(core.NewDynamic(), q.SQL)
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&msAfter)
+				if err != nil {
+					return nil, err
+				}
+				if r >= 0 {
+					wall[mode] = append(wall[mode], float64(elapsed.Microseconds())/1000)
+					alloc[mode] = append(alloc[mode], int64(msAfter.TotalAlloc-msBefore.TotalAlloc))
+				}
+				rows := make([]string, len(res.Rows))
+				for i, t := range res.Rows {
+					rows[i] = t.String()
+				}
+				if refRows == nil {
+					refRows, refCounters = rows, rep.Counters
+					pt.Rows = int64(len(rows))
+					continue
+				}
+				if !reflect.DeepEqual(rows, refRows) {
+					return nil, fmt.Errorf("bench: %s rows diverged between execution modes (batch=%v run %d)", q.Name, env.Batch, r)
+				}
+				if !reflect.DeepEqual(rep.Counters, refCounters) {
+					return nil, fmt.Errorf("bench: %s counters diverged between execution modes (batch=%v run %d):\n got %+v\nwant %+v",
+						q.Name, env.Batch, r, rep.Counters, refCounters)
+				}
+			}
+		}
+		pt.BatchMedianMs = medianF(wall[0])
+		pt.StreamMedianMs = medianF(wall[1])
+		pt.BatchAllocBytes = medianI(alloc[0])
+		pt.StreamAllocBytes = medianI(alloc[1])
+		if pt.BatchMedianMs > 0 {
+			pt.ImprovementPct = 100 * (pt.BatchMedianMs - pt.StreamMedianMs) / pt.BatchMedianMs
+		}
+		if pt.BatchAllocBytes > 0 {
+			pt.AllocSavedPct = 100 * float64(pt.BatchAllocBytes-pt.StreamAllocBytes) / float64(pt.BatchAllocBytes)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func medianF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func medianI(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[len(s)/2]
+}
+
+// WritePipelineJSON runs PipelineCompare and writes the BENCH_pipeline.json
+// snapshot to path.
+func WritePipelineJSON(path string, sf, nodes, runs int) ([]PipelinePoint, error) {
+	res, err := PipelineCompare(sf, nodes, runs)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return res, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -8,6 +8,9 @@ import (
 	"dynopt/internal/expr"
 	"dynopt/internal/plan"
 	"dynopt/internal/sqlpp"
+	"dynopt/internal/stats"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
 )
 
 // runState carries everything Algorithm 1 threads through its iterations:
@@ -145,7 +148,9 @@ func (rs *runState) pushDownPredicates(all bool) (int, error) {
 // its full local filter and the needed-column projection, materialize as a
 // temp with statistics on every retained column (they all participate in the
 // remaining query, by construction of the projection list), and reconstruct
-// the query text.
+// the query text. In streaming mode the scan's decode pass feeds the Sink
+// chunk-by-chunk — filter, projection, statistics, and write metering in
+// one pass, with no intermediate relation.
 func (rs *runState) executePushDown(alias string) error {
 	info := rs.currentTable(alias)
 	if info == nil {
@@ -155,24 +160,44 @@ func (rs *runState) executePushDown(alias string) error {
 	if err != nil {
 		return err
 	}
-	rel, err := engine.Scan(rs.ctx, ds, alias, info.Filter, info.Project)
-	if err != nil {
-		return err
-	}
 	tempName := rs.ctx.TempName("pred_" + alias)
 	// Collect statistics on every retained column: the projection is
 	// exactly the set of columns the remaining query touches (§5.1).
 	// Disabled in cardinality-only configurations.
-	var statsFields map[string]bool
-	if rs.onlineStats {
-		statsFields = map[string]bool{}
-		for _, f := range rel.Schema.Fields {
-			statsFields[sqlpp.FlattenName(f.Qualifier, f.Name)] = true
+	statsFor := func(sch *types.Schema) map[string]bool {
+		if !rs.onlineStats {
+			return nil
 		}
+		fields := map[string]bool{}
+		for _, f := range sch.Fields {
+			fields[sqlpp.FlattenName(f.Qualifier, f.Name)] = true
+		}
+		return fields
 	}
-	tds, tst, err := engine.Materialize(rs.ctx, rel, tempName, statsFields)
-	if err != nil {
-		return err
+	var tds *storage.Dataset
+	var tst *stats.DatasetStats
+	if rs.ctx.Batch {
+		rel, err := engine.Scan(rs.ctx, ds, alias, info.Filter, info.Project)
+		if err != nil {
+			return err
+		}
+		tds, tst, err = engine.Materialize(rs.ctx, rel, tempName, statsFor(rel.Schema))
+		if err != nil {
+			return err
+		}
+	} else {
+		src, err := engine.ScanSource(rs.ctx, ds, alias, info.Filter, info.Project)
+		if err != nil {
+			return err
+		}
+		sink := engine.NewStreamSink(rs.ctx, src.Schema(), src.Parts(), tempName, statsFor(src.Schema()), src.PartCols())
+		if err := engine.RunToSink(rs.ctx, src, sink); err != nil {
+			return err
+		}
+		tds, tst, err = sink.Finish()
+		if err != nil {
+			return err
+		}
 	}
 	// The flattened names are alias_col; rename back to bare col so the
 	// reconstructed query's alias.col references still resolve: the
@@ -302,7 +327,9 @@ func (rs *runState) spillPenalty(edge *sqlpp.JoinEdge, tables Tables) int64 {
 // executeJoinStage runs one iteration of the loop (lines 12–15): build the
 // job for the chosen join, execute it, materialize the result with online
 // statistics on the join keys of the remaining query, register the temp,
-// and reconstruct the query text.
+// and reconstruct the query text. In streaming mode the join's output
+// chunks flow straight into the Sink, so the stage's statistics, metering,
+// and temp write happen in the pass that produces each chunk.
 func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables Tables, onlineStats bool) error {
 	lt := tables[edge.LeftAlias]
 	rt := tables[edge.RightAlias]
@@ -310,15 +337,6 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 	if err != nil {
 		return err
 	}
-	spillBefore := rs.ctx.Accounting().SpillBytes.Load()
-	rel, err := rs.runJoinJob(edge, lt, rt, algo, buildLeft)
-	if err != nil {
-		return err
-	}
-	// Figure-2 feedback: what this stage actually spilled informs the next
-	// stage's join pick.
-	rs.observedSpillBytes = rs.ctx.Accounting().SpillBytes.Load() - spillBefore
-
 	rs.stage++
 	newAlias := fmt.Sprintf("ij%d", rs.stage)
 	tempName := rs.ctx.TempName(newAlias)
@@ -347,10 +365,29 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 		}
 	}
 
-	tds, tst, err := engine.Materialize(rs.ctx, rel, tempName, statsFields)
-	if err != nil {
-		return err
+	spillBefore := rs.ctx.Accounting().SpillBytes.Load()
+	var tds *storage.Dataset
+	var tst *stats.DatasetStats
+	var relSchema *types.Schema
+	if rs.ctx.Batch {
+		rel, err := rs.runJoinJob(edge, lt, rt, algo, buildLeft)
+		if err != nil {
+			return err
+		}
+		relSchema = rel.Schema
+		tds, tst, err = engine.Materialize(rs.ctx, rel, tempName, statsFields)
+		if err != nil {
+			return err
+		}
+	} else {
+		tds, tst, relSchema, err = rs.runJoinJobStream(edge, lt, rt, algo, buildLeft, tempName, statsFields)
+		if err != nil {
+			return err
+		}
 	}
+	// Figure-2 feedback: what this stage actually spilled informs the next
+	// stage's join pick.
+	rs.observedSpillBytes = rs.ctx.Accounting().SpillBytes.Load() - spillBefore
 	if err := rs.ctx.Catalog.Register(tds, tst); err != nil {
 		return err
 	}
@@ -381,7 +418,7 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 	rs.fragment[newAlias] = node
 
 	newOrigin := map[string]string{}
-	for _, f := range rel.Schema.Fields {
+	for _, f := range relSchema.Fields {
 		flat := sqlpp.FlattenName(f.Qualifier, f.Name)
 		newOrigin[flat] = rs.originKey(f.Qualifier, f.Name)
 	}
@@ -457,6 +494,109 @@ func (rs *runState) runJoinJob(edge *sqlpp.JoinEdge, lt, rt *TableInfo, algo pla
 		}
 		return engine.HashJoin(rs.ctx, left, right, lkeys, rkeys, buildLeft)
 	}
+}
+
+// runJoinJobStream executes one stage as a single chunked pipeline: the
+// build side scans into a relation (a hash table must hold it anyway), the
+// probe side streams scan→exchange→probe chunk-by-chunk, and the output
+// flows into a StreamSink that observes statistics, meters the temp write,
+// and lands the partitions — the whole stage is one pass over the probe
+// side with no probe relation and no sink re-walk. Metering totals are
+// identical to runJoinJob+Materialize; only the materializations between
+// re-optimization points remain.
+func (rs *runState) runJoinJobStream(edge *sqlpp.JoinEdge, lt, rt *TableInfo, algo plan.Algo, buildLeft bool,
+	tempName string, statsFields map[string]bool) (*storage.Dataset, *stats.DatasetStats, *types.Schema, error) {
+	lkeys := make([]string, len(edge.LeftFields))
+	rkeys := make([]string, len(edge.RightFields))
+	for i := range edge.LeftFields {
+		lkeys[i] = edge.LeftAlias + "." + edge.LeftFields[i]
+		rkeys[i] = edge.RightAlias + "." + edge.RightFields[i]
+	}
+	var sink *engine.StreamSink
+	mkSink := func(nparts int) engine.SinkFactory {
+		return func(sch *types.Schema, partCols []int) (engine.Sink, error) {
+			sink = engine.NewStreamSink(rs.ctx, sch, nparts, tempName, statsFields, partCols)
+			return sink, nil
+		}
+	}
+	switch algo {
+	case plan.AlgoIndexNL:
+		// The broadcast (outer) side streams from its scan; the inner is
+		// probed through its index in place. The result is outer⧺inner; both
+		// halves carry their alias qualifiers, so downstream flattening and
+		// reconstruction are orientation-independent.
+		outerInfo, innerInfo := lt, rt
+		outerKeys, innerFields := lkeys, edge.RightFields
+		if !buildLeft {
+			outerInfo, innerInfo = rt, lt
+			outerKeys, innerFields = rkeys, edge.LeftFields
+		}
+		innerDS, err := datasetOf(rs.ctx.Catalog, innerInfo)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		outerDS, err := datasetOf(rs.ctx.Catalog, outerInfo)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		outer, err := engine.ScanSource(rs.ctx, outerDS, outerInfo.Alias, outerInfo.Filter, outerInfo.Project)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := engine.IndexNLJoinStream(rs.ctx, outer, innerDS, innerInfo.Alias,
+			outerKeys, innerFields, innerInfo.Filter, mkSink(len(innerDS.Parts))); err != nil {
+			return nil, nil, nil, err
+		}
+	default:
+		buildInfo, probeInfo := lt, rt
+		buildKeys, probeKeys := lkeys, rkeys
+		if !buildLeft {
+			buildInfo, probeInfo = rt, lt
+			buildKeys, probeKeys = rkeys, lkeys
+		}
+		buildDS, err := datasetOf(rs.ctx.Catalog, buildInfo)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		probeDS, err := datasetOf(rs.ctx.Catalog, probeInfo)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		probe, err := engine.ScanSource(rs.ctx, probeDS, probeInfo.Alias, probeInfo.Filter, probeInfo.Project)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// buildFirst (== buildLeft here) keeps output tuples left⧺right
+		// regardless of build side.
+		if algo == plan.AlgoBroadcast {
+			// A broadcast build side is replicated whole; scan it into the
+			// relation the shared table is built from.
+			build, err := engine.Scan(rs.ctx, buildDS, buildInfo.Alias, buildInfo.Filter, buildInfo.Project)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			err = engine.BroadcastJoinStream(rs.ctx, build, probe, buildKeys, probeKeys, buildLeft, mkSink(probe.Parts()))
+		} else {
+			// The hash build side streams too: its scan fuses into the
+			// exchange scatter, materializing only the exchanged relation.
+			buildSrc, serr := engine.ScanSource(rs.ctx, buildDS, buildInfo.Alias, buildInfo.Filter, buildInfo.Project)
+			if serr != nil {
+				return nil, nil, nil, serr
+			}
+			err = engine.HashJoinStreamSources(rs.ctx, buildSrc, probe, buildKeys, probeKeys, buildLeft, mkSink(probe.Parts()))
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if sink == nil {
+		return nil, nil, nil, fmt.Errorf("core: stage pipeline finished without creating its sink")
+	}
+	tds, tst, err := sink.Finish()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return tds, tst, sink.RelSchema(), nil
 }
 
 // cleanup drops the temps this run registered.

@@ -113,14 +113,15 @@ func (a *aggState) result(kind aggKind) types.Value {
 	}
 }
 
-// finishAggregate evaluates a SELECT list containing aggregate calls:
-// gathered rows are grouped by the GROUP BY keys (one global group when
-// absent), aggregates accumulate per group, and non-aggregate items are
+// finishAggregate evaluates a SELECT list containing aggregate calls: the
+// relation's partitions stream in order through the grouping table (one
+// global group when GROUP BY is absent — no gathered coordinator copy is
+// built), aggregates accumulate per group, and non-aggregate items are
 // evaluated on the group's first row (they must be functionally dependent
 // on the grouping keys, which the evaluation queries guarantee). ORDER BY
 // and LIMIT then apply to the grouped output, with order keys likewise
 // taken from the group's first row.
-func finishAggregate(ctx *Context, q *sqlpp.Query, rel *Relation, rows []types.Tuple) (*Result, error) {
+func finishAggregate(ctx *Context, q *sqlpp.Query, rel *Relation) (*Result, error) {
 	env := ctx.Env(rel.Schema)
 	res := &Result{}
 	type sel struct {
@@ -152,35 +153,37 @@ func finishAggregate(ctx *Context, q *sqlpp.Query, rel *Relation, rows []types.T
 	const aggStateBytes = 48 // approximate per-aggregate accumulator footprint
 	var groupBytes int64
 	defer func() { ctx.Grant.Release(groupBytes) }()
-	for _, row := range rows {
-		var key strings.Builder
-		for _, g := range q.GroupBy {
-			v, err := g.Eval(row, env)
-			if err != nil {
-				return nil, err
+	for _, part := range rel.Parts {
+		for _, row := range part {
+			var key strings.Builder
+			for _, g := range q.GroupBy {
+				v, err := g.Eval(row, env)
+				if err != nil {
+					return nil, err
+				}
+				key.WriteString(v.String())
+				key.WriteByte('|')
 			}
-			key.WriteString(v.String())
-			key.WriteByte('|')
-		}
-		k := key.String()
-		grp, ok := groups[k]
-		if !ok {
-			grp = &group{first: row, aggs: make([]aggState, len(sels))}
-			groups[k] = grp
-			order = append(order, k)
-			sz := int64(row.EncodedSize()) + int64(len(k)) + int64(len(sels))*aggStateBytes
-			groupBytes += sz
-			ctx.Grant.Reserve(sz)
-		}
-		for i, s := range sels {
-			if s.kind == aggNone {
-				continue
+			k := key.String()
+			grp, ok := groups[k]
+			if !ok {
+				grp = &group{first: row, aggs: make([]aggState, len(sels))}
+				groups[k] = grp
+				order = append(order, k)
+				sz := int64(row.EncodedSize()) + int64(len(k)) + int64(len(sels))*aggStateBytes
+				groupBytes += sz
+				ctx.Grant.Reserve(sz)
 			}
-			v, err := s.arg.Eval(row, env)
-			if err != nil {
-				return nil, err
+			for i, s := range sels {
+				if s.kind == aggNone {
+					continue
+				}
+				v, err := s.arg.Eval(row, env)
+				if err != nil {
+					return nil, err
+				}
+				grp.aggs[i].observe(v)
 			}
-			grp.aggs[i].observe(v)
 		}
 	}
 

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"io"
+
+	"dynopt/internal/types"
+)
+
+// This file defines the chunked streaming contracts of the stage pipeline.
+// A stage runs scan→filter→project→exchange→probe→sink as one pull-driven
+// pass over fixed-capacity tuple batches, so the probe side of a join is
+// never materialized as a whole relation and the Sink never re-walks the
+// join output. The build side of a hash join — and every materialized
+// intermediate between re-optimization points — still lands in a Relation
+// or Dataset: the paper's materialize-between-stages contract is the stage
+// boundary, and streaming applies strictly within it.
+
+// chunkCap is the row capacity of one pipeline chunk. Large enough to
+// amortize per-chunk costs (channel handoff in the exchange, prehash calls)
+// over a thousand rows, small enough that a chunk and its prehash/size
+// sidecars stay cache-resident through the scatter→probe→sink pass. Tests
+// shrink it to exercise chunk-boundary edges.
+var chunkCap = 1024
+
+// Chunk is one batch of tuples flowing through a stage pipeline, with
+// optional sidecars the producer computed anyway: join-key prehashes
+// (exchange scatter) and per-row encoded byte sizes (shuffle metering).
+// A chunk handed out by a Cursor is valid only until the next Next call;
+// consumers that retain rows copy the tuple headers (the values themselves
+// live in arena or dataset storage and stay valid).
+type Chunk struct {
+	Rows   []types.Tuple
+	Hashes []uint64 // key prehashes aligned with Rows, nil when not computed
+	Sizes  []int64  // encoded byte sizes aligned with Rows, nil when not computed
+}
+
+// Cursor streams one partition's chunks. Next returns io.EOF at a clean
+// end. A cursor is single-goroutine; cursors of different partitions may be
+// pulled concurrently.
+type Cursor interface {
+	Next() (*Chunk, error)
+}
+
+// Source is a partitioned pull-based chunk producer — the streaming face of
+// a relation or dataset scan. Schema and partitioning are known before any
+// row is pulled, so joins can plan output shape and exchange skipping up
+// front exactly as they do for materialized relations.
+type Source interface {
+	Schema() *types.Schema
+	Parts() int
+	// PartCols mirrors Relation.PartCols: the column offsets the stream is
+	// hash-partitioned on, nil when unknown.
+	PartCols() []int
+	// PartBytesHint returns partition p's total encoded bytes when the
+	// producer knows them without walking rows (cached dataset sizes), or
+	// -1 when the consumer must sum per-row sizes itself.
+	PartBytesHint(p int) int64
+	// Open starts partition p's cursor. Each partition is opened at most
+	// once per execution.
+	Open(p int) (Cursor, error)
+}
+
+// Sink consumes one stage's output chunk-by-chunk. Emit is called from
+// partition worker goroutines — concurrently across partitions, in output
+// order within one partition — and must not retain rows beyond the call
+// (it copies the tuple headers it keeps). The rows' value storage is
+// arena-backed by the producing operator and stays valid.
+type Sink interface {
+	Emit(p int, rows []types.Tuple) error
+}
+
+// SinkFactory builds the stage's sink once the join has validated its
+// inputs and knows the output schema and partitioning. Streaming joins call
+// it exactly once before the first Emit.
+type SinkFactory func(schema *types.Schema, partCols []int) (Sink, error)
+
+// relationSink collects output chunks into partition slices — the adapter
+// that lets the Relation-in/Relation-out join entry points run the
+// streaming executors underneath.
+type relationSink struct {
+	parts [][]types.Tuple
+}
+
+func newRelationSink(nparts int) *relationSink {
+	return &relationSink{parts: make([][]types.Tuple, nparts)}
+}
+
+func (s *relationSink) Emit(p int, rows []types.Tuple) error {
+	s.parts[p] = append(s.parts[p], rows...)
+	return nil
+}
+
+// RunToSink streams a source straight into a sink, partition-parallel —
+// the fused scan→sink pipeline of a push-down stage: filter, projection,
+// statistics observation, and write metering all happen in the one pass
+// over each chunk.
+func RunToSink(ctx *Context, src Source, sink Sink) error {
+	return forEachPart(src.Parts(), func(p int) error {
+		cur, err := src.Open(p)
+		if err != nil {
+			return err
+		}
+		for {
+			c, err := cur.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := sink.Emit(p, c.Rows); err != nil {
+				return err
+			}
+		}
+	})
+}
+
+// relationSource adapts a materialized Relation to the Source interface:
+// cursors slide fixed-capacity windows over the partition slices, zero-copy.
+type relationSource struct {
+	rel *Relation
+}
+
+// SourceOf returns a streaming view over a materialized relation.
+func SourceOf(rel *Relation) Source { return &relationSource{rel: rel} }
+
+func (s *relationSource) Schema() *types.Schema { return s.rel.Schema }
+func (s *relationSource) Parts() int            { return len(s.rel.Parts) }
+func (s *relationSource) PartCols() []int       { return s.rel.PartCols }
+
+// PartBytesHint reports cached sizes only: forcing the relation's lazy size
+// pass here would re-add the whole-relation walk streaming exists to avoid.
+// Consumers fall back to summing per-row sizes, which costs the same walk
+// the batch path would have paid lazily.
+func (s *relationSource) PartBytesHint(p int) int64 {
+	return s.rel.sizes.PartIfKnown(p)
+}
+
+func (s *relationSource) Open(p int) (Cursor, error) {
+	return &sliceCursor{rows: s.rel.Parts[p]}, nil
+}
+
+// sliceCursor windows an in-memory row slice into chunks.
+type sliceCursor struct {
+	rows []types.Tuple
+	off  int
+	c    Chunk
+}
+
+func (c *sliceCursor) Next() (*Chunk, error) {
+	if c.off >= len(c.rows) {
+		return nil, io.EOF
+	}
+	end := c.off + chunkCap
+	if end > len(c.rows) {
+		end = len(c.rows)
+	}
+	c.c = Chunk{Rows: c.rows[c.off:end]}
+	c.off = end
+	return &c.c, nil
+}

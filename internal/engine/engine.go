@@ -9,7 +9,9 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dynopt/internal/catalog"
 	"dynopt/internal/cluster"
@@ -46,6 +48,12 @@ type Context struct {
 	// Grant is this query's reservation against the cluster memory governor.
 	// Nil (single-client and test contexts) disables governance metering.
 	Grant *cluster.Grant
+	// Batch disables the chunked streaming pipeline and runs every operator
+	// in whole-relation batch mode — the reference implementation the
+	// streaming property tests compare against. Both modes meter identical
+	// counters and produce identical rows; streaming (the default) avoids
+	// materializing probe sides and re-walking sink inputs.
+	Batch bool
 }
 
 // Env builds an expression environment against a schema.
@@ -137,19 +145,43 @@ func (r *Relation) PartitionedOn(cols []int) bool {
 	return true
 }
 
-// forEachPart runs fn for every partition concurrently and returns the first
-// error.
+// forEachPart runs fn for every partition on a worker pool bounded by
+// GOMAXPROCS and returns the lowest-partition error. Workers claim
+// partitions in index order from a shared counter, so the pool is
+// work-conserving under skew — a worker that finishes a small partition
+// immediately claims the next pending one — and a 64-partition layout on a
+// 1-core box runs one goroutine instead of 64. Every partition runs even
+// when an earlier one fails (operators rely on all output slots being
+// filled); the first error by partition index is returned, matching the
+// previous goroutine-per-partition behavior.
 func forEachPart(nparts int, fn func(p int) error) error {
-	var wg sync.WaitGroup
 	errs := make([]error, nparts)
-	for p := 0; p < nparts; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			errs[p] = fn(p)
-		}(p)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nparts {
+		workers = nparts
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for p := 0; p < nparts; p++ {
+			errs[p] = fn(p)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(next.Add(1)) - 1
+					if p >= nparts {
+						return
+					}
+					errs[p] = fn(p)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

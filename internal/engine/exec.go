@@ -16,6 +16,12 @@ import (
 // pipelined job; the dynamic optimizer instead executes one stage at a time
 // and materializes between stages. Interior projections (Join.Keep) are
 // applied in the same pipelined pass as the join that produces them.
+//
+// In streaming mode, leaf probe (and hash-build) sides feed their joins as
+// chunk sources — the scan's decode pass fuses into the exchange and probe
+// loops, so a leaf under a join never materializes as a Relation of its
+// own. Interior join results still materialize: a parent join must hold
+// its build side, and probe-side results window straight out of it.
 func Execute(ctx *Context, n *plan.Node) (*Relation, error) {
 	if n.Leaf != nil {
 		return ScanByName(ctx, n.Leaf.Dataset, n.Leaf.Alias, n.Leaf.Filter, n.Leaf.Project)
@@ -24,18 +30,11 @@ func Execute(ctx *Context, n *plan.Node) (*Relation, error) {
 	var rel *Relation
 	switch j.Algo {
 	case plan.AlgoHash, plan.AlgoBroadcast:
-		left, err := Execute(ctx, j.Left)
-		if err != nil {
-			return nil, err
-		}
-		right, err := Execute(ctx, j.Right)
-		if err != nil {
-			return nil, err
-		}
-		if j.Algo == plan.AlgoHash {
-			rel, err = HashJoin(ctx, left, right, j.LeftKeys, j.RightKeys, j.BuildLeft)
+		var err error
+		if ctx.Batch {
+			rel, err = executeHashLikeBatch(ctx, j)
 		} else {
-			rel, err = BroadcastJoin(ctx, left, right, j.LeftKeys, j.RightKeys, j.BuildLeft)
+			rel, err = executeHashLikeStreamed(ctx, j)
 		}
 		if err != nil {
 			return nil, err
@@ -53,6 +52,90 @@ func Execute(ctx *Context, n *plan.Node) (*Relation, error) {
 		return ProjectColumns(rel, j.Keep)
 	}
 	return rel, nil
+}
+
+// executeHashLikeBatch is the whole-relation reference: both children
+// materialize, then the batch join runs.
+func executeHashLikeBatch(ctx *Context, j *plan.Join) (*Relation, error) {
+	left, err := Execute(ctx, j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Execute(ctx, j.Right)
+	if err != nil {
+		return nil, err
+	}
+	if j.Algo == plan.AlgoHash {
+		return hashJoinBatch(ctx, left, right, j.LeftKeys, j.RightKeys, j.BuildLeft)
+	}
+	return broadcastJoinBatch(ctx, left, right, j.LeftKeys, j.RightKeys, j.BuildLeft)
+}
+
+// sourceForNode turns a plan child into a chunk source: leaves stream
+// straight from storage (fused decode), interior results window out of
+// their materialized relation.
+func sourceForNode(ctx *Context, n *plan.Node) (Source, error) {
+	if n.Leaf != nil {
+		ds, ok := ctx.Catalog.Get(n.Leaf.Dataset)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown dataset %q", n.Leaf.Dataset)
+		}
+		return ScanSource(ctx, ds, n.Leaf.Alias, n.Leaf.Filter, n.Leaf.Project)
+	}
+	rel, err := Execute(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return SourceOf(rel), nil
+}
+
+// executeHashLikeStreamed wires a hash or broadcast join node as a stage
+// pipeline when its probe child is a leaf — the case where streaming wins,
+// because the leaf's scan fuses into the exchange and probe loops instead
+// of materializing. Joins over two interior results fall back to the batch
+// join: both inputs are already materialized, so there is no pass to save
+// and the chunked handoff would be pure overhead.
+func executeHashLikeStreamed(ctx *Context, j *plan.Join) (*Relation, error) {
+	buildNode, probeNode := j.Left, j.Right
+	buildKeys, probeKeys := j.LeftKeys, j.RightKeys
+	if !j.BuildLeft {
+		buildNode, probeNode = j.Right, j.Left
+		buildKeys, probeKeys = j.RightKeys, j.LeftKeys
+	}
+	if probeNode.Leaf == nil {
+		return executeHashLikeBatch(ctx, j)
+	}
+	probe, err := sourceForNode(ctx, probeNode)
+	if err != nil {
+		return nil, err
+	}
+	var rsink *relationSink
+	var outSchema *types.Schema
+	var outPC []int
+	mk := func(sch *types.Schema, partCols []int) (Sink, error) {
+		rsink = newRelationSink(probe.Parts())
+		outSchema, outPC = sch, partCols
+		return rsink, nil
+	}
+	if j.Algo == plan.AlgoHash {
+		buildSrc, err := sourceForNode(ctx, buildNode)
+		if err != nil {
+			return nil, err
+		}
+		err = HashJoinStreamSources(ctx, buildSrc, probe, buildKeys, probeKeys, j.BuildLeft, mk)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		build, err := Execute(ctx, buildNode)
+		if err != nil {
+			return nil, err
+		}
+		if err := BroadcastJoinStream(ctx, build, probe, buildKeys, probeKeys, j.BuildLeft, mk); err != nil {
+			return nil, err
+		}
+	}
+	return &Relation{Schema: outSchema, Parts: rsink.parts, PartCols: outPC}, nil
 }
 
 // ProjectColumns narrows a relation to the named qualified columns, keeping
@@ -129,26 +212,52 @@ func executeIndexNL(ctx *Context, j *plan.Join) (*Relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown dataset %q", leaf.Dataset)
 	}
-	outer, err := Execute(ctx, outerNode)
-	if err != nil {
-		return nil, err
-	}
 	// Inner keys arrive qualified ("alias.field"); the index layer wants the
 	// bare field names of the base dataset.
 	bare := make([]string, len(innerKeys))
 	for i, k := range innerKeys {
 		bare[i] = stripAlias(k, leaf.Alias)
 	}
-	rel, err := IndexNLJoin(ctx, outer, ds, leaf.Alias, outerKeys, bare, leaf.Filter)
-	if err != nil {
-		return nil, err
+	var rel *Relation
+	var outerWidth int
+	if ctx.Batch || outerNode.Leaf == nil {
+		// An interior outer is already materialized: stream nothing.
+		outer, err := Execute(ctx, outerNode)
+		if err != nil {
+			return nil, err
+		}
+		outerWidth = outer.Schema.Len()
+		rel, err = indexNLJoinBatch(ctx, outer, ds, leaf.Alias, outerKeys, bare, leaf.Filter)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// The outer streams: a leaf outer's scan fuses into the replicate
+		// pipeline and is never materialized.
+		outer, err := sourceForNode(ctx, outerNode)
+		if err != nil {
+			return nil, err
+		}
+		outerWidth = outer.Schema().Len()
+		var rsink *relationSink
+		var outSchema *types.Schema
+		var outPC []int
+		mk := func(sch *types.Schema, partCols []int) (Sink, error) {
+			rsink = newRelationSink(len(ds.Parts))
+			outSchema, outPC = sch, partCols
+			return rsink, nil
+		}
+		if err := IndexNLJoinStream(ctx, outer, ds, leaf.Alias, outerKeys, bare, leaf.Filter, mk); err != nil {
+			return nil, err
+		}
+		rel = &Relation{Schema: outSchema, Parts: rsink.parts, PartCols: outPC}
 	}
 	if j.BuildLeft {
 		return rel, nil // already outer⧺inner = left⧺right
 	}
 	// Plan orientation is left⧺right but IndexNLJoin emitted outer⧺inner =
 	// right⧺left; swap the halves to keep downstream key offsets valid.
-	return swapSides(rel, outer.Schema.Len()), nil
+	return swapSides(rel, outerWidth), nil
 }
 
 func stripAlias(qualified, alias string) string {
@@ -206,9 +315,14 @@ func Finish(ctx *Context, q *sqlpp.Query, rel *Relation) (*Result, error) {
 	if err := validateAggregateQuery(q); err != nil {
 		return nil, err
 	}
-	rows := Gather(ctx, rel)
+	// Result rows are metered as coordinator traffic exactly as the gathered
+	// copy was, but the finishing clauses stream the partitions in order
+	// instead of concatenating a coordinator copy first.
+	acct := ctx.Accounting()
+	acct.ShuffleRows.Add(rel.RowCount())
+	acct.ShuffleBytes.Add(rel.ByteSize())
 	if !q.SelectStar && hasAggregates(q.Select) {
-		return finishAggregate(ctx, q, rel, rows)
+		return finishAggregate(ctx, q, rel)
 	}
 	env := ctx.Env(rel.Schema)
 
@@ -238,51 +352,53 @@ func Finish(ctx *Context, q *sqlpp.Query, rel *Relation) (*Result, error) {
 	seen := map[string]bool{}
 	var seenBytes int64
 	defer func() { ctx.Grant.Release(seenBytes) }()
-	for _, row := range rows {
-		var projected types.Tuple
-		if q.SelectStar {
-			projected = row
-		} else {
-			projected = make(types.Tuple, len(q.Select))
-			for i, s := range q.Select {
-				v, err := s.Expr.Eval(row, env)
-				if err != nil {
-					return nil, err
+	for _, part := range rel.Parts {
+		for _, row := range part {
+			var projected types.Tuple
+			if q.SelectStar {
+				projected = row
+			} else {
+				projected = make(types.Tuple, len(q.Select))
+				for i, s := range q.Select {
+					v, err := s.Expr.Eval(row, env)
+					if err != nil {
+						return nil, err
+					}
+					projected[i] = v
 				}
-				projected[i] = v
 			}
-		}
-		f := finished{projected: projected}
-		if len(q.GroupBy) > 0 {
-			var sb strings.Builder
-			for _, g := range q.GroupBy {
-				v, err := g.Eval(row, env)
-				if err != nil {
-					return nil, err
+			f := finished{projected: projected}
+			if len(q.GroupBy) > 0 {
+				var sb strings.Builder
+				for _, g := range q.GroupBy {
+					v, err := g.Eval(row, env)
+					if err != nil {
+						return nil, err
+					}
+					sb.WriteString(v.String())
+					sb.WriteByte('|')
 				}
-				sb.WriteString(v.String())
-				sb.WriteByte('|')
-			}
-			f.groupKey = sb.String()
-			if seen[f.groupKey] {
-				continue
-			}
-			seen[f.groupKey] = true
-			sz := int64(len(f.groupKey))
-			seenBytes += sz
-			ctx.Grant.Reserve(sz)
-		}
-		if len(q.OrderBy) > 0 {
-			f.orderKeys = make(types.Tuple, len(q.OrderBy))
-			for i, o := range q.OrderBy {
-				v, err := o.Expr.Eval(row, env)
-				if err != nil {
-					return nil, err
+				f.groupKey = sb.String()
+				if seen[f.groupKey] {
+					continue
 				}
-				f.orderKeys[i] = v
+				seen[f.groupKey] = true
+				sz := int64(len(f.groupKey))
+				seenBytes += sz
+				ctx.Grant.Reserve(sz)
 			}
+			if len(q.OrderBy) > 0 {
+				f.orderKeys = make(types.Tuple, len(q.OrderBy))
+				for i, o := range q.OrderBy {
+					v, err := o.Expr.Eval(row, env)
+					if err != nil {
+						return nil, err
+					}
+					f.orderKeys[i] = v
+				}
+			}
+			outRows = append(outRows, f)
 		}
-		outRows = append(outRows, f)
 	}
 
 	if len(q.OrderBy) > 0 {

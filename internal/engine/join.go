@@ -318,7 +318,17 @@ func (ht *hashTable) joinInto(out []types.Tuple, arena *types.Arena, probeRows [
 // each partition builds a table over the build side and streams the probe
 // side through it. Output tuples are left⧺right regardless of build side;
 // the output stays partitioned on the join keys.
+//
+// Both inputs arrive materialized here, so there is no scan to fuse into
+// the pipeline and the whole-relation batch implementation is the right
+// one; the chunked streaming executors (HashJoinStream and friends) serve
+// the scan-fed stage pipelines instead, with identical rows, order, and
+// metering.
 func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string, buildLeft bool) (*Relation, error) {
+	return hashJoinBatch(ctx, left, right, leftKeys, rightKeys, buildLeft)
+}
+
+func hashJoinBatch(ctx *Context, left, right *Relation, leftKeys, rightKeys []string, buildLeft bool) (*Relation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -416,8 +426,13 @@ func HashJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string,
 // probe side — metering (n-1)× its bytes as broadcast traffic — then joins
 // locally with no movement of the probe side (§3). buildLeft selects which
 // input is replicated; output tuples remain left⧺right and inherit the probe
-// side's partitioning.
+// side's partitioning. Both inputs arrive materialized, so the batch
+// implementation runs; BroadcastJoinStream serves scan-fed pipelines.
 func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []string, buildLeft bool) (*Relation, error) {
+	return broadcastJoinBatch(ctx, left, right, leftKeys, rightKeys, buildLeft)
+}
+
+func broadcastJoinBatch(ctx *Context, left, right *Relation, leftKeys, rightKeys []string, buildLeft bool) (*Relation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -529,8 +544,15 @@ func BroadcastJoin(ctx *Context, left, right *Relation, leftKeys, rightKeys []st
 // Arriving outer rows immediately probe the partition-local index; residual
 // composite-key fields are checked after the fetch. Output tuples are
 // outer⧺inner and inherit the inner dataset's partitioning only if the inner
-// is scanned unfiltered (it is, per the algorithm's precondition).
+// is scanned unfiltered (it is, per the algorithm's precondition). The
+// materialized-outer form runs batch; IndexNLJoinStream serves scan-fed
+// pipelines, replicating outer chunks as they are produced.
 func IndexNLJoin(ctx *Context, outer *Relation, inner *storage.Dataset, innerAlias string,
+	outerKeys []string, innerKeys []string, innerFilter expr.Expr) (*Relation, error) {
+	return indexNLJoinBatch(ctx, outer, inner, innerAlias, outerKeys, innerKeys, innerFilter)
+}
+
+func indexNLJoinBatch(ctx *Context, outer *Relation, inner *storage.Dataset, innerAlias string,
 	outerKeys []string, innerKeys []string, innerFilter expr.Expr) (*Relation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

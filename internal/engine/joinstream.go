@@ -1,0 +1,494 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"dynopt/internal/expr"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// This file holds the streaming join executors: the build side arrives as a
+// materialized Relation or a Source whose scan fuses into the exchange (a
+// hash table must hold it either way), the probe side as a chunk Source,
+// and the output flows into a Sink chunk-by-chunk — one pass from scan to
+// sink with no probe-side relation and no output re-walk. The
+// Relation-in/Relation-out entry points in join.go stay batch: with both
+// sides already materialized there is nothing left to stream.
+
+// probeState runs one destination partition's probe loop over a hash
+// table: per chunk, join matches into a reusable buffer and emit. One
+// instance per partition worker; buffers are reused across chunks.
+type probeState struct {
+	ht         *hashTable
+	pCols      []int
+	buildFirst bool
+	sink       Sink
+	p          int
+
+	arena      types.Arena
+	rows       []types.Tuple
+	probeRows  int64
+	probeBytes int64
+}
+
+func (w *probeState) consume(c *Chunk) error {
+	w.probeRows += int64(len(c.Rows))
+	if c.Sizes != nil {
+		for _, sz := range c.Sizes {
+			w.probeBytes += sz
+		}
+	}
+	// No counting pre-pass: the batch path pre-counts matches to exactly
+	// size a whole partition's output, but a chunk's output lives in a
+	// reusable buffer whose capacity converges after a few chunks, and the
+	// arena grows geometrically — so the streaming probe pays one pass over
+	// the buckets, not two.
+	w.rows = w.ht.joinInto(w.rows[:0], &w.arena, c.Rows, c.Hashes, w.pCols, w.buildFirst)
+	if len(w.rows) == 0 {
+		return nil
+	}
+	return w.sink.Emit(w.p, w.rows)
+}
+
+func (w *probeState) drain(st probeStream) error {
+	for {
+		c, err := st.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.consume(c); err != nil {
+			return err
+		}
+	}
+}
+
+// HashJoinStream is the streaming repartitioning hash join: the build
+// relation is hash-exchanged (batch — it must materialize under the table
+// anyway), the probe source is scattered chunk-wise to its destination
+// partitions (or piped straight through when already partitioned on the
+// keys), and each destination probes arriving chunks immediately, emitting
+// output chunks into the sink. buildFirst selects whether build columns
+// form the left half of the output schema.
+func HashJoinStream(ctx *Context, build *Relation, probe Source, buildKeys, probeKeys []string, buildFirst bool, mk SinkFactory) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(buildKeys) != len(probeKeys) || len(buildKeys) == 0 {
+		return fmt.Errorf("engine: hash join needs aligned non-empty keys, got %v / %v", buildKeys, probeKeys)
+	}
+	if len(build.Parts) != probe.Parts() {
+		return fmt.Errorf("engine: partition count mismatch %d vs %d", len(build.Parts), probe.Parts())
+	}
+	bCols, err := resolveKeys(build.Schema, buildKeys)
+	if err != nil {
+		return err
+	}
+	pCols, err := resolveKeys(probe.Schema(), probeKeys)
+	if err != nil {
+		return err
+	}
+	if err := checkPartRows(build.Parts); err != nil {
+		return err
+	}
+	realSpill := ctx.RealSpill()
+	build, bHash, bSize, err := repartition(ctx, build, bCols, realSpill)
+	if err != nil {
+		return err
+	}
+	return hashJoinStreamCore(ctx, build, bHash, bSize, bCols, probe, pCols, buildFirst, mk)
+}
+
+// HashJoinStreamSources is HashJoinStream with the build side arriving as a
+// Source too: its scan is fused into the exchange scatter, so the build
+// side is decoded, filtered, hashed, and placed at its destination in one
+// pass, materializing only the exchanged relation the hash tables need.
+// When the build source is already partitioned on the keys it materializes
+// in place (zero-copy for pass-through scans), matching the batch path.
+func HashJoinStreamSources(ctx *Context, buildSrc, probe Source, buildKeys, probeKeys []string, buildFirst bool, mk SinkFactory) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(buildKeys) != len(probeKeys) || len(buildKeys) == 0 {
+		return fmt.Errorf("engine: hash join needs aligned non-empty keys, got %v / %v", buildKeys, probeKeys)
+	}
+	if buildSrc.Parts() != probe.Parts() {
+		return fmt.Errorf("engine: partition count mismatch %d vs %d", buildSrc.Parts(), probe.Parts())
+	}
+	bCols, err := resolveKeys(buildSrc.Schema(), buildKeys)
+	if err != nil {
+		return err
+	}
+	pCols, err := resolveKeys(probe.Schema(), probeKeys)
+	if err != nil {
+		return err
+	}
+	realSpill := ctx.RealSpill()
+	var build *Relation
+	var bHash [][]uint64
+	var bSize [][]int64
+	if colsMatch(buildSrc.PartCols(), bCols) || buildSrc.Parts() == 1 {
+		// Already placed: materialize in place and prehash, like the batch
+		// path's skipped exchange.
+		build, err = materializeSource(ctx, buildSrc)
+		if err != nil {
+			return err
+		}
+		if err := checkPartRows(build.Parts); err != nil {
+			return err
+		}
+		bHash = prehashParts(build.Parts, bCols)
+	} else {
+		build, bHash, bSize, err = collectExchanged(ctx, buildSrc, bCols, realSpill)
+		if err != nil {
+			return err
+		}
+	}
+	return hashJoinStreamCore(ctx, build, bHash, bSize, bCols, probe, pCols, buildFirst, mk)
+}
+
+// hashJoinStreamCore runs the probe phase over an already-exchanged build
+// relation: per destination partition, build the table (or the spilling
+// DHHJ under real memory governance) and stream probe chunks through it
+// into the sink.
+func hashJoinStreamCore(ctx *Context, build *Relation, bHash [][]uint64, bSize [][]int64, bCols []int,
+	probe Source, pCols []int, buildFirst bool, mk SinkFactory) error {
+	realSpill := ctx.RealSpill()
+	var outSchema *types.Schema
+	var outPartCols []int
+	if buildFirst {
+		outSchema = build.Schema.Concat(probe.Schema())
+		outPartCols = append([]int(nil), bCols...)
+	} else {
+		outSchema = probe.Schema().Concat(build.Schema)
+		outPartCols = append([]int(nil), pCols...)
+	}
+	sink, err := mk(outSchema, outPartCols)
+	if err != nil {
+		return err
+	}
+
+	n := len(build.Parts)
+	acct := ctx.Accounting()
+	budget := ctx.Cluster.MemoryPerNodeBytes()
+	// Per-row probe sizes feed the simulated spill model; the real-spill
+	// join meters actual run files instead, and with no budget the model is
+	// inert, so neither needs them.
+	wantSizes := !realSpill && budget > 0
+
+	worker := func(p int, st probeStream, hint int64) error {
+		if realSpill {
+			// Real memory governance: the dynamic hybrid hash join holds at
+			// most the per-node budget of build rows resident, evicting
+			// overflow sub-partitions to run files (spilljoin.go).
+			return spillJoinPartitionStream(ctx, p,
+				build.Parts[p], bHash[p], partSizes(bSize, p), bCols, build.PartBytes(p),
+				st, pCols, buildFirst, sink)
+		}
+		w := &probeState{
+			ht:    buildTable(build.Parts[p], bHash[p], bCols),
+			pCols: pCols, buildFirst: buildFirst,
+			sink: sink, p: p,
+		}
+		acct.BuildRows.Add(int64(len(build.Parts[p])))
+		if err := w.drain(st); err != nil {
+			return err
+		}
+		acct.ProbeRows.Add(w.probeRows)
+		probeBytes := w.probeBytes
+		if hint >= 0 {
+			probeBytes = hint
+		}
+		meterSpill(ctx, build.PartBytes(p), probeBytes,
+			int64(len(build.Parts[p])), w.probeRows)
+		return nil
+	}
+
+	if colsMatch(probe.PartCols(), pCols) || n == 1 {
+		// Exchange skipped (§3's pre-partitioned optimization) or a single
+		// partition: each probe partition pipes straight into its worker.
+		return forEachPart(n, func(p int) error {
+			cur, err := probe.Open(p)
+			if err != nil {
+				return err
+			}
+			hint := probe.PartBytesHint(p)
+			st := &localStream{cur: cur, keyCols: pCols, wantSizes: wantSizes && hint < 0}
+			return worker(p, st, hint)
+		})
+	}
+	return runScatter(ctx, probe, pCols, func(p int, st probeStream) error {
+		return worker(p, st, -1)
+	})
+}
+
+// BroadcastJoinStream replicates the (small, materialized) build relation
+// to every probe partition — metering (n-1)× its bytes as broadcast
+// traffic — then streams each probe partition through the shared table in
+// place, with no probe movement at all (§3).
+func BroadcastJoinStream(ctx *Context, build *Relation, probe Source, buildKeys, probeKeys []string, buildFirst bool, mk SinkFactory) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(buildKeys) != len(probeKeys) || len(buildKeys) == 0 {
+		return fmt.Errorf("engine: broadcast join needs aligned non-empty keys, got %v / %v", buildKeys, probeKeys)
+	}
+	if len(build.Parts) != probe.Parts() {
+		return fmt.Errorf("engine: partition count mismatch %d vs %d", len(build.Parts), probe.Parts())
+	}
+	bCols, err := resolveKeys(build.Schema, buildKeys)
+	if err != nil {
+		return err
+	}
+	pCols, err := resolveKeys(probe.Schema(), probeKeys)
+	if err != nil {
+		return err
+	}
+	if err := checkPartRows(build.Parts); err != nil {
+		return err
+	}
+	n := probe.Parts()
+	if ctx.RealSpill() {
+		// Under real memory governance an over-budget build side may not be
+		// copied to every node: every copy would blow the per-node grant at
+		// once, with nothing to evict (broadcast tables cannot spill without
+		// losing matches). Fall back to the partitioned hybrid hash join,
+		// which spills gracefully. The same fallback fires when the governor
+		// is out of aggregate capacity.
+		budget := ctx.Cluster.MemoryPerNodeBytes()
+		bb := build.ByteSize()
+		hold := bb * int64(n)
+		if bb > budget {
+			return HashJoinStream(ctx, build, probe, buildKeys, probeKeys, buildFirst, mk)
+		}
+		if !ctx.Grant.Reserve(hold) {
+			ctx.Grant.Release(hold)
+			return HashJoinStream(ctx, build, probe, buildKeys, probeKeys, buildFirst, mk)
+		}
+		defer ctx.Grant.Release(hold)
+	}
+
+	acct := ctx.Accounting()
+	all := make([]types.Tuple, 0, build.RowCount())
+	for _, p := range build.Parts {
+		all = append(all, p...)
+	}
+	if len(all) > maxPartRows {
+		return fmt.Errorf("engine: broadcast build side has %d rows, exceeding the %d-row limit of int32 row indexing", len(all), maxPartRows)
+	}
+	buildBytes := build.ByteSize()
+	if n > 1 {
+		acct.BroadcastRows.Add(int64(len(all)) * int64(n-1))
+		acct.BroadcastBytes.Add(buildBytes * int64(n-1))
+	}
+	ht := buildTable(all, types.HashKeysInto(all, bCols, nil), bCols)
+	acct.BuildRows.Add(int64(len(all)) * int64(n)) // each partition builds its copy
+
+	var outSchema *types.Schema
+	if buildFirst {
+		outSchema = build.Schema.Concat(probe.Schema())
+	} else {
+		outSchema = probe.Schema().Concat(build.Schema)
+	}
+	// The probe side never moves; its partitioning columns survive at
+	// shifted offsets when the build side forms the left half.
+	var outPartCols []int
+	if pc := probe.PartCols(); pc != nil {
+		offset := 0
+		if buildFirst {
+			offset = build.Schema.Len()
+		}
+		outPartCols = make([]int, len(pc))
+		for i, c := range pc {
+			outPartCols[i] = c + offset
+		}
+	}
+	sink, err := mk(outSchema, outPartCols)
+	if err != nil {
+		return err
+	}
+
+	budget := ctx.Cluster.MemoryPerNodeBytes()
+	return forEachPart(n, func(p int) error {
+		cur, err := probe.Open(p)
+		if err != nil {
+			return err
+		}
+		hint := probe.PartBytesHint(p)
+		st := &localStream{cur: cur, keyCols: pCols, wantSizes: budget > 0 && hint < 0}
+		w := &probeState{
+			ht:    ht,
+			pCols: pCols, buildFirst: buildFirst,
+			sink: sink, p: p,
+		}
+		if err := w.drain(st); err != nil {
+			return err
+		}
+		acct.ProbeRows.Add(w.probeRows)
+		probeBytes := w.probeBytes
+		if hint >= 0 {
+			probeBytes = hint
+		}
+		// Each partition holds a full copy of the broadcast build side.
+		meterSpill(ctx, buildBytes, probeBytes, int64(len(all)), w.probeRows)
+		return nil
+	})
+}
+
+// IndexNLJoinStream streams the (small, filtered) outer source through the
+// inner dataset's partition-local secondary indexes: outer chunks are
+// replicated to every partition as they are produced and probe the index on
+// arrival, so the outer is never materialized anywhere. Output tuples are
+// outer⧺inner.
+func IndexNLJoinStream(ctx *Context, outer Source, inner *storage.Dataset, innerAlias string,
+	outerKeys, innerKeys []string, innerFilter expr.Expr, mk SinkFactory) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(outerKeys) != len(innerKeys) || len(outerKeys) == 0 {
+		return fmt.Errorf("engine: index join needs aligned non-empty keys")
+	}
+	idx, ok := inner.Indexes[innerKeys[0]]
+	if !ok {
+		return fmt.Errorf("engine: dataset %s has no index on %q", inner.Name, innerKeys[0])
+	}
+	if outer.Parts() != len(inner.Parts) {
+		return fmt.Errorf("engine: partition count mismatch %d vs %d", outer.Parts(), len(inner.Parts))
+	}
+	if err := checkPartRows(inner.Parts); err != nil {
+		return err
+	}
+	oCols, err := resolveKeys(outer.Schema(), outerKeys)
+	if err != nil {
+		return err
+	}
+	innerSchema := inner.Schema.Requalify(innerAlias)
+	iCols := make([]int, len(innerKeys))
+	for i, k := range innerKeys {
+		ci, ok := inner.Schema.Index(k)
+		if !ok {
+			return fmt.Errorf("engine: inner key %q not in %s", k, inner.Schema)
+		}
+		iCols[i] = ci
+	}
+	var pred expr.Compiled
+	if innerFilter != nil {
+		pred, err = expr.Compile(innerFilter, ctx.Env(innerSchema))
+		if err != nil {
+			return err
+		}
+	}
+
+	n := len(inner.Parts)
+	outSchema := outer.Schema().Concat(innerSchema)
+	// Inner partitioning survives (inner rows do not move).
+	var outPartCols []int
+	if pf := inner.PartitionFields(); len(pf) > 0 {
+		cols := make([]int, 0, len(pf))
+		ok := true
+		offset := outer.Schema().Len()
+		for _, f := range pf {
+			ci, found := inner.Schema.Index(f)
+			if !found {
+				ok = false
+				break
+			}
+			cols = append(cols, ci+offset)
+		}
+		if ok {
+			outPartCols = cols
+		}
+	}
+	sink, err := mk(outSchema, outPartCols)
+	if err != nil {
+		return err
+	}
+
+	acct := ctx.Accounting()
+	residual := iCols[1:]
+	oResidual := oCols[1:]
+	key0 := oCols[0]
+	outWidth := outSchema.Len()
+	totalRows, totalBytes, err := runReplicate(ctx, outer, n, func(p int, st probeStream) error {
+		part := inner.Parts[p]
+		rowAt := idx.Rows(p)
+		var arena types.Arena
+		var rows []types.Tuple
+		var ranges []int32
+		for {
+			c, err := st.next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			// Pass 1: resolve every outer row's index range once; the range
+			// widths bound the chunk's output exactly (pre-filter), sizing
+			// the header slice and arena up front.
+			if cap(ranges) < 2*len(c.Rows) {
+				ranges = make([]int32, 0, 2*chunkCap)
+			}
+			ranges = ranges[:2*len(c.Rows)]
+			var fetched int64
+			for o, ot := range c.Rows {
+				lo, hi := idx.Lookup(p, ot[key0])
+				ranges[2*o], ranges[2*o+1] = int32(lo), int32(hi)
+				fetched += int64(hi - lo)
+			}
+			acct.IndexLookups.Add(int64(len(c.Rows)))
+			acct.IndexRows.Add(fetched)
+			if fetched == 0 {
+				continue
+			}
+			if cap(rows) < int(fetched) {
+				rows = make([]types.Tuple, 0, fetched)
+			}
+			rows = rows[:0]
+			if len(residual) == 0 && pred == nil {
+				arena.Reserve(int(fetched) * outWidth)
+				for o, ot := range c.Rows {
+					for i := ranges[2*o]; i < ranges[2*o+1]; i++ {
+						rows = append(rows, arena.Concat(ot, part[rowAt[i]]))
+					}
+				}
+			} else {
+				for o, ot := range c.Rows {
+					for i := ranges[2*o]; i < ranges[2*o+1]; i++ {
+						it := part[rowAt[i]]
+						if len(residual) > 0 && !ot.KeysEqual(oResidual, it, residual) {
+							continue
+						}
+						if pred != nil {
+							v, err := pred(it)
+							if err != nil {
+								return err
+							}
+							if !v.IsTrue() {
+								continue
+							}
+						}
+						rows = append(rows, arena.Concat(ot, it))
+					}
+				}
+			}
+			if len(rows) > 0 {
+				if err := sink.Emit(p, rows); err != nil {
+					return err
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if n > 1 {
+		acct.BroadcastRows.Add(totalRows * int64(n-1))
+		acct.BroadcastBytes.Add(totalBytes * int64(n-1))
+	}
+	return nil
+}

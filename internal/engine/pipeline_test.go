@@ -1,0 +1,461 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynopt/internal/cluster"
+	"dynopt/internal/expr"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// withChunkCap shrinks the pipeline chunk size for the duration of a test
+// so chunk boundaries (size-1 chunks, rows exactly at capacity) are
+// exercised on small inputs.
+func withChunkCap(t *testing.T, n int) {
+	t.Helper()
+	old := chunkCap
+	chunkCap = n
+	t.Cleanup(func() { chunkCap = old })
+}
+
+// relRows flattens a relation partition-by-partition for exact (order
+// included) comparison.
+func relRows(rel *Relation) []string {
+	var out []string
+	for p, part := range rel.Parts {
+		for _, t := range part {
+			out = append(out, fmt.Sprintf("p%d:%s", p, t))
+		}
+	}
+	return out
+}
+
+// collectStream adapts a streaming join entry point back to a Relation for
+// comparison against the batch reference.
+func collectStream(nparts int, run func(mk SinkFactory) error) (*Relation, error) {
+	var rsink *relationSink
+	var schema *types.Schema
+	var pc []int
+	mk := func(s *types.Schema, partCols []int) (Sink, error) {
+		schema, pc = s, partCols
+		rsink = newRelationSink(nparts)
+		return rsink, nil
+	}
+	if err := run(mk); err != nil {
+		return nil, err
+	}
+	return &Relation{Schema: schema, Parts: rsink.parts, PartCols: pc}, nil
+}
+
+// runBothModes executes the batch and streaming forms of the same join job
+// on fresh but identically loaded contexts and requires identical rows
+// (order included), identical schema and partitioning metadata, and
+// identical counters.
+func runBothModes(t *testing.T, nodes int, load func(ctx *Context),
+	batchJob func(ctx *Context) (*Relation, error), streamJob func(ctx *Context) (*Relation, error)) {
+	t.Helper()
+	type res struct {
+		rel  *Relation
+		snap cluster.Snapshot
+	}
+	run := func(batch bool, job func(ctx *Context) (*Relation, error)) res {
+		ctx := testCtx(t, nodes)
+		ctx.Batch = batch
+		load(ctx)
+		rel, err := job(ctx)
+		if err != nil {
+			t.Fatalf("batch=%v: %v", batch, err)
+		}
+		return res{rel: rel, snap: ctx.Cluster.Acct().Snapshot()}
+	}
+	b, s := run(true, batchJob), run(false, streamJob)
+	if b.snap != s.snap {
+		t.Errorf("counters diverged\nbatch:  %+v\nstream: %+v", b.snap, s.snap)
+	}
+	br, sr := relRows(b.rel), relRows(s.rel)
+	if len(br) != len(sr) {
+		t.Fatalf("row count diverged: batch %d, stream %d", len(br), len(sr))
+	}
+	for i := range br {
+		if br[i] != sr[i] {
+			t.Fatalf("row %d diverged:\nbatch:  %s\nstream: %s", i, br[i], sr[i])
+		}
+	}
+	if b.rel.Schema.String() != s.rel.Schema.String() {
+		t.Errorf("schema diverged: %s vs %s", b.rel.Schema, s.rel.Schema)
+	}
+	if fmt.Sprint(b.rel.PartCols) != fmt.Sprint(s.rel.PartCols) {
+		t.Errorf("PartCols diverged: %v vs %v", b.rel.PartCols, s.rel.PartCols)
+	}
+}
+
+// TestStreamMatchesBatchChunkBoundaries sweeps the streaming joins across
+// chunk capacities that land rows exactly at, below, and far beyond chunk
+// boundaries, including empty partitions (more partitions than rows) and
+// selective filters that empty entire scan windows.
+func TestStreamMatchesBatchChunkBoundaries(t *testing.T) {
+	payFilter := func() expr.Expr {
+		return &expr.Compare{Op: expr.CmpGe,
+			L: &expr.Column{Qualifier: "f", Name: "pay"}, R: &expr.Literal{Val: types.Int(900)}}
+	}
+	for _, cc := range []int{1, 3, 25, 1024} {
+		t.Run(fmt.Sprintf("chunkCap=%d", cc), func(t *testing.T) {
+			withChunkCap(t, cc)
+			// 100 rows over 4 nodes: partitions hold ~25 rows, so cc=25 puts
+			// rows exactly at capacity; cc=1 forces a chunk per row. The dim
+			// side holds 3 rows over 4 nodes, leaving at least one partition
+			// empty.
+			load := func(ctx *Context) {
+				register(t, ctx, "fact", []string{"id"}, []string{"id", "fk", "pay"}, seqTable(100, 3))
+				register(t, ctx, "dim", []string{"id"}, []string{"id", "attr"}, [][]int64{{0, 10}, {1, 11}, {2, 12}})
+			}
+			t.Run("hash-scattered", func(t *testing.T) {
+				// Probe (fact) is partitioned on id but joined on fk: the
+				// scatter exchange runs.
+				runBothModes(t, 4, load,
+					func(ctx *Context) (*Relation, error) {
+						f, err := ScanByName(ctx, "fact", "f", nil, nil)
+						if err != nil {
+							return nil, err
+						}
+						d, err := ScanByName(ctx, "dim", "d", nil, nil)
+						if err != nil {
+							return nil, err
+						}
+						return HashJoin(ctx, f, d, []string{"f.fk"}, []string{"d.id"}, false)
+					},
+					func(ctx *Context) (*Relation, error) {
+						fds, _ := ctx.Catalog.Get("fact")
+						dds, _ := ctx.Catalog.Get("dim")
+						return collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+							fsrc, err := ScanSource(ctx, fds, "f", nil, nil)
+							if err != nil {
+								return err
+							}
+							dsrc, err := ScanSource(ctx, dds, "d", nil, nil)
+							if err != nil {
+								return err
+							}
+							// buildLeft=false in the batch call means the dim
+							// (right) side builds; probe columns form the left
+							// half, so buildFirst=false.
+							return HashJoinStreamSources(ctx, dsrc, fsrc, []string{"d.id"}, []string{"f.fk"}, false, mk)
+						})
+					})
+			})
+			t.Run("hash-prepartitioned", func(t *testing.T) {
+				// Probe pre-partitioned on the join key: the exchange is
+				// skipped and the local pipeline runs.
+				runBothModes(t, 4, load,
+					func(ctx *Context) (*Relation, error) {
+						f, err := ScanByName(ctx, "fact", "f", nil, nil)
+						if err != nil {
+							return nil, err
+						}
+						d, err := ScanByName(ctx, "dim", "d", nil, nil)
+						if err != nil {
+							return nil, err
+						}
+						return HashJoin(ctx, f, d, []string{"f.id"}, []string{"d.id"}, false)
+					},
+					func(ctx *Context) (*Relation, error) {
+						fds, _ := ctx.Catalog.Get("fact")
+						dds, _ := ctx.Catalog.Get("dim")
+						return collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+							fsrc, err := ScanSource(ctx, fds, "f", nil, nil)
+							if err != nil {
+								return err
+							}
+							dsrc, err := ScanSource(ctx, dds, "d", nil, nil)
+							if err != nil {
+								return err
+							}
+							return HashJoinStreamSources(ctx, dsrc, fsrc, []string{"d.id"}, []string{"f.id"}, false, mk)
+						})
+					})
+			})
+			t.Run("broadcast", func(t *testing.T) {
+				runBothModes(t, 4, load,
+					func(ctx *Context) (*Relation, error) {
+						f, err := ScanByName(ctx, "fact", "f", nil, nil)
+						if err != nil {
+							return nil, err
+						}
+						d, err := ScanByName(ctx, "dim", "d", nil, nil)
+						if err != nil {
+							return nil, err
+						}
+						return BroadcastJoin(ctx, f, d, []string{"f.fk"}, []string{"d.id"}, false)
+					},
+					func(ctx *Context) (*Relation, error) {
+						fds, _ := ctx.Catalog.Get("fact")
+						dds, _ := ctx.Catalog.Get("dim")
+						return collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+							build, err := Scan(ctx, dds, "d", nil, nil)
+							if err != nil {
+								return err
+							}
+							fsrc, err := ScanSource(ctx, fds, "f", nil, nil)
+							if err != nil {
+								return err
+							}
+							return BroadcastJoinStream(ctx, build, fsrc, []string{"d.id"}, []string{"f.fk"}, false, mk)
+						})
+					})
+			})
+			t.Run("indexnl", func(t *testing.T) {
+				loadIdx := func(ctx *Context) {
+					load(ctx)
+					ds, _ := ctx.Catalog.Get("fact")
+					if _, err := storage.BuildIndex(ds, "fk"); err != nil {
+						t.Fatal(err)
+					}
+				}
+				runBothModes(t, 4, loadIdx,
+					func(ctx *Context) (*Relation, error) {
+						ds, _ := ctx.Catalog.Get("fact")
+						d, err := ScanByName(ctx, "dim", "d", nil, nil)
+						if err != nil {
+							return nil, err
+						}
+						return IndexNLJoin(ctx, d, ds, "f", []string{"d.id"}, []string{"fk"}, nil)
+					},
+					func(ctx *Context) (*Relation, error) {
+						ds, _ := ctx.Catalog.Get("fact")
+						dds, _ := ctx.Catalog.Get("dim")
+						return collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+							dsrc, err := ScanSource(ctx, dds, "d", nil, nil)
+							if err != nil {
+								return err
+							}
+							return IndexNLJoinStream(ctx, dsrc, ds, "f", []string{"d.id"}, []string{"fk"}, nil, mk)
+						})
+					})
+			})
+			t.Run("filtered-scan-join", func(t *testing.T) {
+				// Selective filter empties most scan windows; projection
+				// exercises the arena-backed streaming decode.
+				runBothModes(t, 4, load,
+					func(ctx *Context) (*Relation, error) {
+						f, err := ScanByName(ctx, "fact", "f", payFilter(), []string{"id", "fk"})
+						if err != nil {
+							return nil, err
+						}
+						d, err := ScanByName(ctx, "dim", "d", nil, nil)
+						if err != nil {
+							return nil, err
+						}
+						return HashJoin(ctx, f, d, []string{"f.fk"}, []string{"d.id"}, false)
+					},
+					func(ctx *Context) (*Relation, error) {
+						fds, _ := ctx.Catalog.Get("fact")
+						dds, _ := ctx.Catalog.Get("dim")
+						return collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+							fsrc, err := ScanSource(ctx, fds, "f", payFilter(), []string{"id", "fk"})
+							if err != nil {
+								return err
+							}
+							dsrc, err := ScanSource(ctx, dds, "d", nil, nil)
+							if err != nil {
+								return err
+							}
+							return HashJoinStreamSources(ctx, dsrc, fsrc, []string{"d.id"}, []string{"f.fk"}, false, mk)
+						})
+					})
+			})
+		})
+	}
+}
+
+// TestStreamMatchesBatchEmptyInputs: zero-row probe and build sides flow
+// through the pipeline without emitting chunks.
+func TestStreamMatchesBatchEmptyInputs(t *testing.T) {
+	withChunkCap(t, 2)
+	load := func(ctx *Context) {
+		register(t, ctx, "fact", []string{"id"}, []string{"id", "fk", "pay"}, nil)
+		register(t, ctx, "dim", []string{"id"}, []string{"id", "attr"}, [][]int64{{0, 10}})
+	}
+	runBothModes(t, 4, load,
+		func(ctx *Context) (*Relation, error) {
+			f, err := ScanByName(ctx, "fact", "f", nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			d, err := ScanByName(ctx, "dim", "d", nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			return HashJoin(ctx, f, d, []string{"f.fk"}, []string{"d.id"}, false)
+		},
+		func(ctx *Context) (*Relation, error) {
+			fds, _ := ctx.Catalog.Get("fact")
+			dds, _ := ctx.Catalog.Get("dim")
+			return collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+				fsrc, err := ScanSource(ctx, fds, "f", nil, nil)
+				if err != nil {
+					return err
+				}
+				dsrc, err := ScanSource(ctx, dds, "d", nil, nil)
+				if err != nil {
+					return err
+				}
+				return HashJoinStreamSources(ctx, dsrc, fsrc, []string{"d.id"}, []string{"f.fk"}, false, mk)
+			})
+		})
+}
+
+// TestStreamSpillMatchesBatch runs the real-spill DHHJ in both modes under
+// a budget forcing eviction: identical rows and identical spill metering,
+// with the streaming probe arriving chunk-by-chunk.
+func TestStreamSpillMatchesBatch(t *testing.T) {
+	withChunkCap(t, 7)
+	type res struct {
+		rows []string
+		snap cluster.Snapshot
+	}
+	run := func(batch bool) res {
+		ctx := testCtx(t, 2)
+		ctx.Batch = batch
+		register(t, ctx, "fact", []string{"id"}, []string{"id", "fk", "pay"}, seqTable(4000, 64))
+		dim := make([][]int64, 64)
+		for i := range dim {
+			dim[i] = []int64{int64(i), int64(i * 3)}
+		}
+		register(t, ctx, "dim", []string{"id"}, []string{"id", "attr"}, dim)
+		fact, _ := ctx.Catalog.Get("fact")
+		ctx.Cluster.SetMemoryPerNodeBytes(fact.ByteSize() / int64(2*8)) // 1/8 of per-node build bytes
+		ctx.Spill = storage.NewSpillManager(t.TempDir(), "pipe_")
+		ctx.Grant = ctx.Cluster.Governor().Grant()
+		defer ctx.Grant.Close()
+		var rel *Relation
+		var err error
+		if batch {
+			var f, d *Relation
+			f, err = ScanByName(ctx, "fact", "f", nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err = ScanByName(ctx, "dim", "d", nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err = HashJoin(ctx, f, d, []string{"f.fk"}, []string{"d.id"}, true)
+		} else {
+			fds, _ := ctx.Catalog.Get("fact")
+			dds, _ := ctx.Catalog.Get("dim")
+			rel, err = collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+				fsrc, serr := ScanSource(ctx, fds, "f", nil, nil)
+				if serr != nil {
+					return serr
+				}
+				dsrc, serr := ScanSource(ctx, dds, "d", nil, nil)
+				if serr != nil {
+					return serr
+				}
+				// fact (left) builds and spills; dim probes chunk-by-chunk.
+				return HashJoinStreamSources(ctx, fsrc, dsrc, []string{"f.fk"}, []string{"d.id"}, true, mk)
+			})
+		}
+		if err != nil {
+			t.Fatalf("batch=%v: %v", batch, err)
+		}
+		if err := ctx.Spill.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+		return res{rows: relRows(rel), snap: ctx.Cluster.Acct().Snapshot()}
+	}
+	b, s := run(true), run(false)
+	if b.snap.SpillBytes == 0 {
+		t.Fatal("budget did not force spilling; test is vacuous")
+	}
+	if b.snap != s.snap {
+		t.Errorf("counters diverged\nbatch:  %+v\nstream: %+v", b.snap, s.snap)
+	}
+	if len(b.rows) != len(s.rows) {
+		t.Fatalf("row count diverged: %d vs %d", len(b.rows), len(s.rows))
+	}
+	for i := range b.rows {
+		if b.rows[i] != s.rows[i] {
+			t.Fatalf("row %d diverged: %s vs %s", i, b.rows[i], s.rows[i])
+		}
+	}
+}
+
+// TestForEachPartBoundedWorkers pins the worker-pool contract: concurrency
+// never exceeds GOMAXPROCS, partitions are claimed in index order
+// (work-conserving — a freed worker immediately takes the next pending
+// partition), and a skewed partition set still completes with every
+// partition executed exactly once.
+func TestForEachPartBoundedWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+
+	const nparts = 64
+	var inFlight, peak atomic.Int64
+	var started atomic.Int64
+	ran := make([]atomic.Int64, nparts)
+	starts := make([]int64, nparts) // start sequence per partition
+	err := forEachPart(nparts, func(p int) error {
+		cur := inFlight.Add(1)
+		for {
+			pk := peak.Load()
+			if cur <= pk || peak.CompareAndSwap(pk, cur) {
+				break
+			}
+		}
+		starts[p] = started.Add(1)
+		ran[p].Add(1)
+		if p == 0 {
+			time.Sleep(20 * time.Millisecond) // skew: one giant partition
+		}
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 2 {
+		t.Errorf("peak concurrency %d exceeds GOMAXPROCS=2", got)
+	}
+	for p := range ran {
+		if ran[p].Load() != 1 {
+			t.Errorf("partition %d ran %d times", p, ran[p].Load())
+		}
+	}
+	// Work-conserving index order: partition p's start sequence can trail
+	// its index by at most the pool size (workers claim indices from a
+	// shared counter), so sequence numbers grow with partition index.
+	for p := 1; p < nparts; p++ {
+		if starts[p] < starts[p-1]-2 {
+			t.Errorf("partition %d started at seq %d, before partition %d at %d", p, starts[p], p-1, starts[p-1])
+		}
+	}
+}
+
+// TestForEachPartSerialOnOneProc: a 64-partition layout on a 1-proc box
+// runs serially in the calling goroutine, still completing every partition.
+func TestForEachPartSerialOnOneProc(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	var order []int
+	err := forEachPart(64, func(p int) error {
+		order = append(order, p) // no locking needed: serial path
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 64 {
+		t.Fatalf("ran %d partitions", len(order))
+	}
+	for p, got := range order {
+		if got != p {
+			t.Fatalf("serial path ran partition %d at position %d", got, p)
+		}
+	}
+}

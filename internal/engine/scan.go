@@ -2,63 +2,116 @@ package engine
 
 import (
 	"fmt"
+	"io"
 
 	"dynopt/internal/expr"
 	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
 
-// Scan reads a dataset bound to an alias, applying an optional pushed-down
-// filter and projection in the same partition-parallel pass (the fused
-// scan→select→project pipeline of one Hyracks stage). Base-dataset reads
-// meter scan I/O; temp reads meter materialized-read I/O (the Reader
-// operator of Figure 4).
-func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, project []string) (*Relation, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	qualified := ds.Schema.Requalify(alias)
-	env := ctx.Env(qualified)
+// scanPrep is the per-scan compilation shared by the batch and streaming
+// scan paths: compiled predicate, projection offsets, output schema, and
+// surviving partition columns.
+type scanPrep struct {
+	qualified *types.Schema
+	pred      expr.Compiled
+	projIdx   []int
+	outSchema *types.Schema
+	partCols  []int
+}
 
-	var pred expr.Compiled
+// passThrough reports whether the scan emits stored rows unchanged.
+func (sp *scanPrep) passThrough() bool { return sp.pred == nil && sp.projIdx == nil }
+
+// prepareScan compiles the pushed-down filter and projection against the
+// dataset's alias-qualified schema and resolves which partitioning fields
+// survive the projection.
+func prepareScan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, project []string) (*scanPrep, error) {
+	sp := &scanPrep{qualified: ds.Schema.Requalify(alias)}
+	env := ctx.Env(sp.qualified)
 	if filter != nil {
 		var err error
-		pred, err = expr.Compile(filter, env)
+		sp.pred, err = expr.Compile(filter, env)
 		if err != nil {
 			return nil, err
 		}
 	}
-
-	outSchema := qualified
-	var projIdx []int
+	sp.outSchema = sp.qualified
 	if project != nil {
 		names := make([]string, len(project))
 		for i, p := range project {
 			names[i] = alias + "." + p
 		}
 		var err error
-		outSchema, projIdx, err = qualified.Project(names)
+		sp.outSchema, sp.projIdx, err = sp.qualified.Project(names)
 		if err != nil {
 			return nil, err
 		}
 	}
-
-	acct := ctx.Accounting()
-	out := &Relation{Schema: outSchema, Parts: make([][]types.Tuple, len(ds.Parts))}
-	err := forEachPart(len(ds.Parts), func(p int) error {
-		// Scan I/O is metered for every stored row whether or not the filter
-		// keeps it, so the byte count is the partition's (cached) encoded
-		// size — no per-tuple EncodedSize walk.
-		scannedRows := int64(len(ds.Parts[p]))
-		scannedBytes := ds.PartBytes(p)
-		if ds.Temp {
-			acct.MatReadRows.Add(scannedRows)
-			acct.MatReadBytes.Add(scannedBytes)
-		} else {
-			acct.ScanRows.Add(scannedRows)
-			acct.ScanBytes.Add(scannedBytes)
+	// Partitioning survives the scan when every partitioning field survives
+	// the projection (datasets are loaded hash-partitioned on their
+	// partition fields).
+	if pf := ds.PartitionFields(); len(pf) > 0 {
+		cols := make([]int, 0, len(pf))
+		ok := true
+		for _, f := range pf {
+			idx, found := sp.outSchema.Index(alias + "." + f)
+			if !found {
+				ok = false
+				break
+			}
+			cols = append(cols, idx)
 		}
-		if pred == nil && projIdx == nil {
+		if ok {
+			sp.partCols = cols
+		}
+	}
+	return sp, nil
+}
+
+// meterScanPart charges one partition's read: scan I/O for base datasets,
+// materialized-read I/O for temps (the Reader operator of Figure 4). Scan
+// I/O is metered for every stored row whether or not the filter keeps it,
+// so the byte count is the partition's (cached) encoded size — no
+// per-tuple EncodedSize walk.
+func meterScanPart(ctx *Context, ds *storage.Dataset, p int) {
+	acct := ctx.Accounting()
+	rows := int64(len(ds.Parts[p]))
+	bytes := ds.PartBytes(p)
+	if ds.Temp {
+		acct.MatReadRows.Add(rows)
+		acct.MatReadBytes.Add(bytes)
+	} else {
+		acct.ScanRows.Add(rows)
+		acct.ScanBytes.Add(bytes)
+	}
+}
+
+// Scan reads a dataset bound to an alias, applying an optional pushed-down
+// filter and projection in the same partition-parallel pass (the fused
+// scan→select→project pipeline of one Hyracks stage), materializing the
+// result as a Relation. The streaming pipeline uses ScanSource instead;
+// Scan remains the batch reference and the entry point for build sides,
+// which must materialize.
+func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, project []string) (*Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sp, err := prepareScan(ctx, ds, alias, filter, project)
+	if err != nil {
+		return nil, err
+	}
+	return scanInto(ctx, ds, sp)
+}
+
+// scanInto materializes a prepared scan as a Relation — the batch scan
+// body, also backing a streaming scan source that is asked to materialize
+// in place (pre-partitioned build sides).
+func scanInto(ctx *Context, ds *storage.Dataset, sp *scanPrep) (*Relation, error) {
+	out := &Relation{Schema: sp.outSchema, Parts: make([][]types.Tuple, len(ds.Parts))}
+	err := forEachPart(len(ds.Parts), func(p int) error {
+		meterScanPart(ctx, ds, p)
+		if sp.passThrough() {
 			// Pass-through scan: share the stored rows directly.
 			out.Parts[p] = ds.Parts[p]
 			return nil
@@ -66,8 +119,8 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 		var arena types.Arena
 		var rows []types.Tuple
 		for _, t := range ds.Parts[p] {
-			if pred != nil {
-				v, err := pred(t)
+			if sp.pred != nil {
+				v, err := sp.pred(t)
 				if err != nil {
 					return err
 				}
@@ -75,9 +128,9 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 					continue
 				}
 			}
-			if projIdx != nil {
-				pt := arena.Make(len(projIdx))
-				for i, idx := range projIdx {
+			if sp.projIdx != nil {
+				pt := arena.Make(len(sp.projIdx))
+				for i, idx := range sp.projIdx {
 					pt[i] = t[idx]
 				}
 				rows = append(rows, pt)
@@ -91,7 +144,7 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 	if err != nil {
 		return nil, err
 	}
-	if pred == nil && projIdx == nil {
+	if sp.passThrough() {
 		// The relation's rows are exactly the dataset's; seed its size cache
 		// from the dataset's so downstream metering never re-walks them.
 		pb := make([]int64, len(ds.Parts))
@@ -100,26 +153,111 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 		}
 		out.seedSizes(pb, ds.ByteSize())
 	}
-
-	// Partitioning survives the scan when every partitioning field survives
-	// the projection (datasets are loaded hash-partitioned on their
-	// partition fields).
-	if pf := ds.PartitionFields(); len(pf) > 0 {
-		cols := make([]int, 0, len(pf))
-		ok := true
-		for _, f := range pf {
-			idx, found := outSchema.Index(alias + "." + f)
-			if !found {
-				ok = false
-				break
-			}
-			cols = append(cols, idx)
-		}
-		if ok {
-			out.PartCols = cols
-		}
-	}
+	out.PartCols = sp.partCols
 	return out, nil
+}
+
+// ScanSource returns the streaming scan over a dataset: each partition's
+// cursor decodes, filters, and projects chunk-at-a-time, so a probe side
+// flows into its join without ever materializing as a Relation. Read I/O
+// for a partition is metered in full when its cursor opens — identical
+// totals to the batch Scan.
+func ScanSource(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, project []string) (Source, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sp, err := prepareScan(ctx, ds, alias, filter, project)
+	if err != nil {
+		return nil, err
+	}
+	return &scanSource{ctx: ctx, ds: ds, prep: sp}, nil
+}
+
+type scanSource struct {
+	ctx  *Context
+	ds   *storage.Dataset
+	prep *scanPrep
+}
+
+func (s *scanSource) Schema() *types.Schema { return s.prep.outSchema }
+func (s *scanSource) Parts() int            { return len(s.ds.Parts) }
+func (s *scanSource) PartCols() []int       { return s.prep.partCols }
+
+// PartBytesHint: a pass-through scan's bytes are the dataset's cached
+// partition size; filtered or projected output sizes are only knowable by
+// walking rows, which the consumer does as they stream past.
+func (s *scanSource) PartBytesHint(p int) int64 {
+	if s.prep.passThrough() {
+		return s.ds.PartBytes(p)
+	}
+	return -1
+}
+
+func (s *scanSource) Open(p int) (Cursor, error) {
+	meterScanPart(s.ctx, s.ds, p)
+	return &scanCursor{ctx: s.ctx, prep: s.prep, r: s.ds.ChunkReader(p, chunkCap)}, nil
+}
+
+// materialize runs the scan as the batch pass instead of streaming —
+// zero-copy for pass-through scans, exactly like engine.Scan. Used when a
+// join must hold this side whole anyway and no exchange will move it.
+func (s *scanSource) materialize(ctx *Context) (*Relation, error) {
+	return scanInto(ctx, s.ds, s.prep)
+}
+
+// scanCursor streams one partition, fusing filter and projection into the
+// decode pass. The chunk's row-header buffer is reused between Next calls;
+// projected values are carved from a growing arena whose filled chunks
+// become garbage once downstream consumers drop the tuples.
+type scanCursor struct {
+	ctx   *Context
+	prep  *scanPrep
+	r     *storage.ChunkReader
+	arena types.Arena
+	rows  []types.Tuple
+	c     Chunk
+}
+
+func (c *scanCursor) Next() (*Chunk, error) {
+	for {
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+		win, ok := c.r.Next()
+		if !ok {
+			return nil, io.EOF
+		}
+		if c.prep.passThrough() {
+			c.c = Chunk{Rows: win}
+			return &c.c, nil
+		}
+		c.rows = c.rows[:0]
+		for _, t := range win {
+			if c.prep.pred != nil {
+				v, err := c.prep.pred(t)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsTrue() {
+					continue
+				}
+			}
+			if c.prep.projIdx != nil {
+				pt := c.arena.Make(len(c.prep.projIdx))
+				for i, idx := range c.prep.projIdx {
+					pt[i] = t[idx]
+				}
+				c.rows = append(c.rows, pt)
+			} else {
+				c.rows = append(c.rows, t)
+			}
+		}
+		if len(c.rows) == 0 {
+			continue // a fully filtered window yields no chunk; keep pulling
+		}
+		c.c = Chunk{Rows: c.rows}
+		return &c.c, nil
+	}
 }
 
 // ScanByName resolves the dataset in the catalog and scans it.

@@ -9,25 +9,153 @@ import (
 	"dynopt/internal/types"
 )
 
-// Materialize is the Sink operator of Figure 4: it writes a relation to the
-// temp store (metering the write I/O of the blocking re-optimization point)
-// and collects online statistics on the requested fields — the join keys of
-// the remaining query, so no unnecessary sketches are built (§5.3).
-//
-// The materialized dataset's schema is flattened with sqlpp.FlattenName
-// (a.x → a_x), the same rule query reconstruction applies, so the re-parsed
-// reformulated query resolves against it. statsFields names flattened
-// columns; nil collects none (the last iteration disables online stats).
-// Row and byte counts are always recorded — the Planner needs sizes.
+// flattenSchema applies the Sink's naming rule: qualified fields become
+// flattened columns (a.x → a_x), the same rule query reconstruction
+// applies, so the re-parsed reformulated query resolves against the temp.
+func flattenSchema(relSchema *types.Schema) *types.Schema {
+	flat := &types.Schema{Fields: make([]types.Field, relSchema.Len())}
+	for i, f := range relSchema.Fields {
+		flat.Fields[i] = types.Field{Name: sqlpp.FlattenName(f.Qualifier, f.Name), Kind: f.Kind}
+	}
+	return flat
+}
+
+// StreamSink is the Sink operator of Figure 4 fused into the producing
+// stage: output chunks arriving from the join (or push-down scan) are
+// observed for online statistics, metered as materialized-write I/O, sized,
+// and appended to the temp dataset's partitions in the same pass that
+// produced them — the relation is never re-walked. Counters and statistics
+// are identical to the batch Materialize, which walks the finished relation
+// instead.
+type StreamSink struct {
+	ctx       *Context
+	name      string
+	relSchema *types.Schema
+	flat      *types.Schema
+	partCols  []int
+
+	statIdx   []int // field offsets under statistics collection, ascending
+	parts     [][]types.Tuple
+	partBytes []int64
+	partStats []*stats.DatasetStats
+	fields    [][]*stats.FieldStats // [part][statIdx order] collector cache
+	observed  []int64
+}
+
+// NewStreamSink prepares a sink writing nparts partitions to temp dataset
+// name. statsFields names flattened columns to collect sketches on; nil
+// collects none (row and byte counts are always recorded — the Planner
+// needs sizes). partCols, when set, become the temp's recorded partitioning
+// so a later join on the same keys skips its exchange.
+func NewStreamSink(ctx *Context, relSchema *types.Schema, nparts int, name string, statsFields map[string]bool, partCols []int) *StreamSink {
+	s := &StreamSink{
+		ctx:       ctx,
+		name:      name,
+		relSchema: relSchema,
+		flat:      flattenSchema(relSchema),
+		partCols:  partCols,
+		parts:     make([][]types.Tuple, nparts),
+		partBytes: make([]int64, nparts),
+		partStats: make([]*stats.DatasetStats, nparts),
+		fields:    make([][]*stats.FieldStats, nparts),
+		observed:  make([]int64, nparts),
+	}
+	if statsFields != nil {
+		for i, f := range s.flat.Fields {
+			if statsFields[f.Name] {
+				s.statIdx = append(s.statIdx, i)
+			}
+		}
+	}
+	for p := 0; p < nparts; p++ {
+		st := stats.NewDatasetStats(name)
+		s.partStats[p] = st
+		fs := make([]*stats.FieldStats, len(s.statIdx))
+		for k, i := range s.statIdx {
+			fs[k] = st.Field(s.flat.Fields[i].Name)
+		}
+		s.fields[p] = fs
+	}
+	return s
+}
+
+// RelSchema returns the qualified schema of the rows flowing into the sink.
+func (s *StreamSink) RelSchema() *types.Schema { return s.relSchema }
+
+// Emit implements Sink: one pass over the chunk covers statistics
+// observation, byte sizing, and the partition append. Called concurrently
+// for different partitions, in order within one.
+func (s *StreamSink) Emit(p int, rows []types.Tuple) error {
+	fs := s.fields[p]
+	var bytes int64
+	for _, t := range rows {
+		bytes += int64(t.EncodedSize())
+		for k, i := range s.statIdx {
+			fs[k].Observe(t[i])
+		}
+	}
+	s.partBytes[p] += bytes
+	s.observed[p] += int64(len(rows)) * int64(len(s.statIdx))
+	s.parts[p] = append(s.parts[p], rows...)
+	return nil
+}
+
+// Finish seals the sink: meters every partition's materialized write,
+// merges the per-partition statistics in partition order, and returns the
+// registered-ready temp dataset with its size cache seeded — no pass over
+// the rows happens here.
+func (s *StreamSink) Finish() (*storage.Dataset, *stats.DatasetStats, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	ds := &storage.Dataset{
+		Name:    s.name,
+		Schema:  s.flat,
+		Parts:   s.parts,
+		Indexes: map[string]*storage.Index{},
+		Temp:    true,
+	}
+	if s.partCols != nil {
+		pk := make([]string, len(s.partCols))
+		for i, c := range s.partCols {
+			pk[i] = s.flat.Fields[c].Name
+		}
+		ds.PrimaryKey = pk
+	}
+	acct := s.ctx.Accounting()
+	var total int64
+	merged := stats.NewDatasetStats(s.name)
+	for p := range s.parts {
+		st := s.partStats[p]
+		st.RecordCount = int64(len(s.parts[p]))
+		st.ByteSize = s.partBytes[p]
+		acct.MatWriteRows.Add(st.RecordCount)
+		acct.MatWriteBytes.Add(st.ByteSize)
+		acct.StatsObserved.Add(s.observed[p])
+		total += s.partBytes[p]
+		merged.Merge(st)
+	}
+	ds.SeedSizes(s.partBytes, total)
+	// No grant reservation here: materialized intermediates model on-disk
+	// temps (their write and read-back I/O is metered as MatWriteBytes /
+	// MatReadBytes, and as MatRead in Scan), not resident query memory —
+	// holding them on the grant would double-count the next stage's build
+	// side, whose tuples share backing with this output.
+	return ds, merged, nil
+}
+
+// Materialize is the batch Sink: it writes a finished relation to the temp
+// store (metering the write I/O of the blocking re-optimization point) and
+// collects online statistics on the requested fields — the join keys of the
+// remaining query, so no unnecessary sketches are built (§5.3). The
+// streaming pipeline fuses this work into the producing stage via
+// StreamSink; Materialize remains the batch-mode reference and the path for
+// already-materialized relations.
 func Materialize(ctx *Context, rel *Relation, name string, statsFields map[string]bool) (*storage.Dataset, *stats.DatasetStats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	flat := &types.Schema{Fields: make([]types.Field, rel.Schema.Len())}
-	for i, f := range rel.Schema.Fields {
-		flat.Fields[i] = types.Field{Name: sqlpp.FlattenName(f.Qualifier, f.Name), Kind: f.Kind}
-	}
-
+	flat := flattenSchema(rel.Schema)
 	ds := &storage.Dataset{
 		Name:    name,
 		Schema:  flat,
@@ -70,7 +198,6 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 			acct.MatWriteBytes.Add(st.ByteSize)
 			acct.StatsObserved.Add(observed)
 			partStats[p] = st
-			return
 		}(p)
 	}
 	wg.Wait()
@@ -90,18 +217,4 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 		merged.Merge(st)
 	}
 	return ds, merged, nil
-}
-
-// Gather collects a relation to the coordinator in partition order — the
-// DistributeResult operator. Result bytes are metered as network traffic
-// (identical across strategies for identical results).
-func Gather(ctx *Context, rel *Relation) []types.Tuple {
-	acct := ctx.Accounting()
-	out := make([]types.Tuple, 0, rel.RowCount())
-	for _, p := range rel.Parts {
-		out = append(out, p...)
-	}
-	acct.ShuffleRows.Add(int64(len(out)))
-	acct.ShuffleBytes.Add(rel.ByteSize())
-	return out
 }

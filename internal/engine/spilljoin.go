@@ -85,6 +85,32 @@ func (s *memSeq) next() (types.Tuple, uint64, int64, error) {
 	return t, h, sz, nil
 }
 
+// chunkSeq streams a probe chunk stream row-at-a-time for the spill join:
+// the adapter between the stage pipeline's chunked probe delivery and the
+// DHHJ's row-granular build/probe loops.
+type chunkSeq struct {
+	st probeStream
+	c  *Chunk
+	i  int
+}
+
+func (s *chunkSeq) next() (types.Tuple, uint64, int64, error) {
+	for s.c == nil || s.i >= len(s.c.Rows) {
+		c, err := s.st.next()
+		if err != nil {
+			return nil, 0, 0, err // io.EOF passes through as the clean end
+		}
+		s.c, s.i = c, 0
+	}
+	i := s.i
+	s.i++
+	sz := int64(-1)
+	if s.c.Sizes != nil {
+		sz = s.c.Sizes[i]
+	}
+	return s.c.Rows[i], s.c.Hashes[i], sz, nil
+}
+
 // fileSeq streams a run file, recomputing each row's key prehash (run
 // records store the tuple only).
 type fileSeq struct {
@@ -110,10 +136,32 @@ type spillJoin struct {
 	bCols      []int // build-side key columns
 	pCols      []int // probe-side key columns
 	buildFirst bool
-	outWidth   int
 
 	arena types.Arena
 	out   []types.Tuple
+	// emit, when set, receives output rows chunk-by-chunk (the streaming
+	// sink path); out then only buffers up to one chunk between flushes.
+	// Nil accumulates the whole partition's output in out (the batch path).
+	emit func(rows []types.Tuple) error
+}
+
+// maybeFlush hands the buffered output to the emit hook once a chunk's
+// worth has accumulated. The buffer is reused: sinks copy the headers they
+// keep.
+func (j *spillJoin) maybeFlush() error {
+	if j.emit == nil || len(j.out) < chunkCap {
+		return nil
+	}
+	return j.flush()
+}
+
+func (j *spillJoin) flush() error {
+	if len(j.out) == 0 {
+		return nil
+	}
+	err := j.emit(j.out)
+	j.out = j.out[:0]
+	return err
 }
 
 // spillJoinPartition joins one partition under the real memory budget,
@@ -147,10 +195,55 @@ func spillJoinPartition(ctx *Context, p int, outWidth int,
 	}
 	j := &spillJoin{
 		ctx: ctx, acct: acct, grant: gr, part: p, budget: budget,
-		bCols: bCols, pCols: pCols, buildFirst: buildFirst, outWidth: outWidth,
+		bCols: bCols, pCols: pCols, buildFirst: buildFirst,
 	}
 	err := j.run(0, &memSeq{rows: bRows, hashes: bHash, sizes: bSize}, &memSeq{rows: pRows, hashes: pHash})
 	return j.out, err
+}
+
+// spillJoinPartitionStream is spillJoinPartition for the streaming
+// pipeline: the probe side arrives chunk-by-chunk and output rows flow into
+// the sink as they are produced, so neither side of the spilling join is
+// ever whole-relation resident beyond the governed build set.
+func spillJoinPartitionStream(ctx *Context, p int,
+	bRows []types.Tuple, bHash []uint64, bSize []int64, bCols []int, buildBytes int64,
+	probe probeStream, pCols []int, buildFirst bool, sink Sink) error {
+
+	budget := ctx.Cluster.MemoryPerNodeBytes()
+	acct := ctx.Accounting()
+	gr := ctx.Grant
+	if buildBytes <= budget {
+		if gr.Reserve(buildBytes) {
+			// Resident fast path: the whole build side fits the per-node
+			// budget and the governor has room; probe chunks stream through
+			// the one table straight into the sink.
+			defer gr.Release(buildBytes)
+			w := &probeState{
+				ht:    buildTable(bRows, bHash, bCols),
+				pCols: pCols, buildFirst: buildFirst,
+				sink: sink, p: p,
+			}
+			acct.BuildRows.Add(int64(len(bRows)))
+			if err := w.drain(probe); err != nil {
+				return err
+			}
+			acct.ProbeRows.Add(w.probeRows)
+			return nil
+		}
+		// Cross-query pressure: the bytes were charged by the failed
+		// Reserve, so undo before taking the spilling path (which holds
+		// only its resident set).
+		gr.Release(buildBytes)
+	}
+	j := &spillJoin{
+		ctx: ctx, acct: acct, grant: gr, part: p, budget: budget,
+		bCols: bCols, pCols: pCols, buildFirst: buildFirst,
+		emit: func(rows []types.Tuple) error { return sink.Emit(p, rows) },
+	}
+	if err := j.run(0, &memSeq{rows: bRows, hashes: bHash, sizes: bSize}, &chunkSeq{st: probe}); err != nil {
+		return err
+	}
+	return j.flush()
 }
 
 // run executes one recursion level of the dynamic hybrid hash join.
@@ -316,6 +409,9 @@ func (j *spillJoin) run(level int, build, probe rowSeq) error {
 		}
 		probed++
 		j.out = ht.probeInto(j.out, &j.arena, t, h, j.pCols, j.buildFirst)
+		if err := j.maybeFlush(); err != nil {
+			return err
+		}
 	}
 	j.acct.ProbeRows.Add(probed)
 
@@ -433,6 +529,9 @@ func (j *spillJoin) inMemory(build, probe rowSeq) error {
 		}
 		probed++
 		j.out = ht.probeInto(j.out, &j.arena, t, h, j.pCols, j.buildFirst)
+		if err := j.maybeFlush(); err != nil {
+			return err
+		}
 	}
 	j.acct.ProbeRows.Add(probed)
 	return nil

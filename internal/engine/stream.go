@@ -1,0 +1,572 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dynopt/internal/types"
+)
+
+// This file implements the three streaming topologies a stage pipeline is
+// built from:
+//
+//   - local:     partition p's cursor feeds worker p directly (exchange
+//                skipped for pre-partitioned probes, and broadcast-join
+//                probes, which never move),
+//   - scatter:   the hash exchange — source partitions route rows by key
+//                hash into per-destination chunk buffers shipped over
+//                bounded channels; each destination merges its inputs in
+//                source order, so output order is byte-identical to the
+//                batch exchange,
+//   - replicate: the broadcast — one producer merges the source partitions
+//                in order and ships every chunk to all destinations (the
+//                INLJ outer side).
+//
+// All buffering is bounded: per-(src,dst) chunk buffers plus a small channel
+// depth, so a stage's resident probe memory is O(parts² × chunkCap) tuple
+// headers regardless of relation size.
+
+// probeStream delivers one destination partition's probe chunks, prehashed
+// on the join keys. Chunks are valid until the following next call.
+type probeStream interface {
+	next() (*Chunk, error)
+}
+
+// localStream adapts a partition cursor into a probe stream, computing key
+// prehashes (and per-row encoded sizes when metering needs them) chunk by
+// chunk into reusable buffers.
+type localStream struct {
+	cur       Cursor
+	keyCols   []int
+	wantSizes bool
+	hashBuf   []uint64
+	sizeBuf   []int64
+	c         Chunk
+}
+
+func (s *localStream) next() (*Chunk, error) {
+	c, err := s.cur.Next()
+	if err != nil {
+		return nil, err
+	}
+	s.hashBuf = types.HashKeysInto(c.Rows, s.keyCols, s.hashBuf[:0])
+	sc := Chunk{Rows: c.Rows, Hashes: s.hashBuf, Sizes: c.Sizes}
+	if s.wantSizes && sc.Sizes == nil {
+		if cap(s.sizeBuf) < len(c.Rows) {
+			s.sizeBuf = make([]int64, 0, chunkCap)
+		}
+		s.sizeBuf = s.sizeBuf[:0]
+		for _, t := range c.Rows {
+			s.sizeBuf = append(s.sizeBuf, int64(t.EncodedSize()))
+		}
+		sc.Sizes = s.sizeBuf
+	}
+	s.c = sc
+	return &s.c, nil
+}
+
+// exchangeChanDepth bounds each (src,dst) channel. Depth 2 lets a producer
+// stay one chunk ahead of a busy consumer without growing the resident set.
+const exchangeChanDepth = 2
+
+// scatterExchange is the streaming hash exchange state shared by producers
+// and consumers. Chunks cycle through a free list once consumers are done
+// with them, so a steady-state exchange allocates a bounded working set of
+// chunk buffers instead of one per flush.
+type scatterExchange struct {
+	chans     [][]chan *Chunk // [src][dst]
+	free      chan *Chunk
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newScatterExchange(n int) *scatterExchange {
+	ex := &scatterExchange{
+		chans: make([][]chan *Chunk, n),
+		free:  make(chan *Chunk, n*n*(exchangeChanDepth+2)),
+		done:  make(chan struct{}),
+	}
+	for s := range ex.chans {
+		ex.chans[s] = make([]chan *Chunk, n)
+		for d := range ex.chans[s] {
+			ex.chans[s][d] = make(chan *Chunk, exchangeChanDepth)
+		}
+	}
+	return ex
+}
+
+// get returns a recycled chunk with empty, capacity-chunkCap buffers, or a
+// fresh one.
+func (ex *scatterExchange) get() *Chunk {
+	select {
+	case c := <-ex.free:
+		c.Rows, c.Hashes, c.Sizes = c.Rows[:0], c.Hashes[:0], c.Sizes[:0]
+		return c
+	default:
+		return &Chunk{
+			Rows:   make([]types.Tuple, 0, chunkCap),
+			Hashes: make([]uint64, 0, chunkCap),
+			Sizes:  make([]int64, 0, chunkCap),
+		}
+	}
+}
+
+// release hands a fully consumed chunk back to the free list (dropping it
+// if the list is full — the list is sized so that never happens in steady
+// state).
+func (ex *scatterExchange) release(c *Chunk) {
+	select {
+	case ex.free <- c:
+	default:
+	}
+}
+
+// cancel unblocks every producer; called when a consumer fails so the
+// pipeline tears down instead of deadlocking on full channels.
+func (ex *scatterExchange) cancel() {
+	ex.closeOnce.Do(func() { close(ex.done) })
+}
+
+// produce runs source partition src: pull chunks, hash and size every row
+// once, route rows into per-destination buffers, and ship each buffer when
+// it fills. Rows staying on their source partition are not metered as
+// shuffle — identical to the batch exchange's accounting. The producer
+// closes its destination channels on every exit path so consumers always
+// see a clean end of stream.
+func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []int) error {
+	n := len(ex.chans)
+	defer func() {
+		for _, ch := range ex.chans[src] {
+			close(ch)
+		}
+	}()
+	bufs := make([]*Chunk, n)
+	var hashBuf []uint64
+	var localRows, totalRows, localBytes, totalBytes int64
+	flush := func(d int) error {
+		c := bufs[d]
+		bufs[d] = nil
+		select {
+		case ex.chans[src][d] <- c:
+			return nil
+		case <-ex.done:
+			return errExchangeCancelled
+		}
+	}
+	for {
+		c, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		hashBuf = types.HashKeysInto(c.Rows, keyCols, hashBuf[:0])
+		for r, t := range c.Rows {
+			h := hashBuf[r]
+			d := int(h % uint64(n))
+			sz := int64(t.EncodedSize())
+			totalRows++
+			totalBytes += sz
+			if d == src {
+				localRows++
+				localBytes += sz
+			}
+			b := bufs[d]
+			if b == nil {
+				b = ex.get()
+				bufs[d] = b
+			}
+			b.Rows = append(b.Rows, t)
+			b.Hashes = append(b.Hashes, h)
+			b.Sizes = append(b.Sizes, sz)
+			if len(b.Rows) == chunkCap {
+				if err := flush(d); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for d := 0; d < n; d++ {
+		if bufs[d] != nil && len(bufs[d].Rows) > 0 {
+			if err := flush(d); err != nil {
+				return err
+			}
+		}
+	}
+	acct := ctx.Accounting()
+	acct.ShuffleRows.Add(totalRows - localRows)
+	acct.ShuffleBytes.Add(totalBytes - localBytes)
+	return nil
+}
+
+var errExchangeCancelled = fmt.Errorf("engine: exchange cancelled by failed consumer")
+
+// mergeStream is destination dst's side of the scatter: it drains source 0's
+// channel to exhaustion, then source 1's, and so on, reproducing the batch
+// exchange's source-block order exactly. It also guards the int32 row-index
+// limit the downstream build tables rely on.
+type mergeStream struct {
+	ex   *scatterExchange
+	dst  int
+	src  int
+	rows int64
+	prev *Chunk // recycled on the following next call
+}
+
+func (m *mergeStream) next() (*Chunk, error) {
+	if m.prev != nil {
+		// The consumer pulled again, so it is done with the previous chunk
+		// (consumers copy anything they keep); recycle its buffers.
+		m.ex.release(m.prev)
+		m.prev = nil
+	}
+	for m.src < len(m.ex.chans) {
+		c, ok := <-m.ex.chans[m.src][m.dst]
+		if !ok {
+			m.src++
+			continue
+		}
+		m.prev = c
+		m.rows += int64(len(c.Rows))
+		if m.rows > maxPartRows {
+			m.ex.cancel()
+			return nil, fmt.Errorf("engine: exchange destination %d would hold over %d rows, exceeding the int32 row-indexing limit", m.dst, maxPartRows)
+		}
+		return c, nil
+	}
+	return nil, io.EOF
+}
+
+// runScatter drives a full scatter pipeline: pooled producers over the
+// source partitions, one consumer goroutine per destination (consumers must
+// all be live for the source-order merge to drain, so they are not pooled —
+// they spend most of their life blocked on channels). The first consumer
+// error cancels the producers; the lowest-partition error wins, with
+// producer errors taking precedence over the cancellations they cause.
+func runScatter(ctx *Context, src Source, keyCols []int, consume func(p int, st probeStream) error) error {
+	n := src.Parts()
+	ex := newScatterExchange(n)
+	consErrs := make([]error, n)
+	var wg sync.WaitGroup
+	for d := 0; d < n; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			if err := consume(d, &mergeStream{ex: ex, dst: d}); err != nil {
+				consErrs[d] = err
+				ex.cancel()
+				// Keep draining so producers targeting this destination can
+				// finish and close their remaining channels cleanly.
+				for st := (&mergeStream{ex: ex, dst: d}); ; {
+					if _, e := st.next(); e != nil {
+						return
+					}
+				}
+			}
+		}(d)
+	}
+	prodErr := forEachPart(n, func(s int) error {
+		cur, err := src.Open(s)
+		if err != nil {
+			return err
+		}
+		return ex.produce(ctx, s, cur, keyCols)
+	})
+	wg.Wait()
+	if prodErr != nil && prodErr != errExchangeCancelled {
+		return prodErr
+	}
+	for _, err := range consErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return prodErr
+}
+
+// replicateExchange broadcasts one merged stream to every destination — the
+// streaming counterpart of gathering a relation and handing every partition
+// the same slice. One producer pulls the source partitions in order; each
+// chunk's headers are copied once and shared read-only by all consumers.
+type replicateExchange struct {
+	chans     []chan *Chunk
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newReplicateExchange(n int) *replicateExchange {
+	ex := &replicateExchange{chans: make([]chan *Chunk, n), done: make(chan struct{})}
+	for d := range ex.chans {
+		ex.chans[d] = make(chan *Chunk, exchangeChanDepth)
+	}
+	return ex
+}
+
+func (ex *replicateExchange) cancel() {
+	ex.closeOnce.Do(func() { close(ex.done) })
+}
+
+// produce streams every source partition in order, shipping each chunk to
+// all destinations, and returns the total rows and encoded bytes seen (the
+// broadcast metering inputs). Per-partition byte hints are used when the
+// source knows them; otherwise rows are sized as they pass.
+func (ex *replicateExchange) produce(ctx *Context, src Source) (totalRows, totalBytes int64, err error) {
+	defer func() {
+		for _, ch := range ex.chans {
+			close(ch)
+		}
+	}()
+	for p := 0; p < src.Parts(); p++ {
+		cur, err := src.Open(p)
+		if err != nil {
+			return totalRows, totalBytes, err
+		}
+		hint := src.PartBytesHint(p)
+		var partBytes int64
+		for {
+			c, err := cur.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return totalRows, totalBytes, err
+			}
+			out := &Chunk{Rows: append([]types.Tuple(nil), c.Rows...)}
+			totalRows += int64(len(c.Rows))
+			if hint < 0 {
+				for _, t := range c.Rows {
+					partBytes += int64(t.EncodedSize())
+				}
+			}
+			for _, ch := range ex.chans {
+				select {
+				case ch <- out:
+				case <-ex.done:
+					return totalRows, totalBytes, errExchangeCancelled
+				}
+			}
+		}
+		if hint >= 0 {
+			partBytes = hint
+		}
+		totalBytes += partBytes
+	}
+	return totalRows, totalBytes, nil
+}
+
+// chanStream adapts one replicate channel into a probe stream.
+type chanStream struct {
+	ch <-chan *Chunk
+}
+
+func (s *chanStream) next() (*Chunk, error) {
+	c, ok := <-s.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	return c, nil
+}
+
+// runReplicate drives a replicate pipeline: one producer goroutine, one
+// consumer goroutine per destination. It returns the producer's row/byte
+// totals for broadcast metering.
+func runReplicate(ctx *Context, src Source, n int, consume func(p int, st probeStream) error) (totalRows, totalBytes int64, err error) {
+	ex := newReplicateExchange(n)
+	consErrs := make([]error, n)
+	var wg sync.WaitGroup
+	for d := 0; d < n; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			if err := consume(d, &chanStream{ch: ex.chans[d]}); err != nil {
+				consErrs[d] = err
+				ex.cancel()
+				for range ex.chans[d] { // drain so the producer can finish
+				}
+			}
+		}(d)
+	}
+	totalRows, totalBytes, prodErr := ex.produce(ctx, src)
+	wg.Wait()
+	if prodErr != nil && prodErr != errExchangeCancelled {
+		return totalRows, totalBytes, prodErr
+	}
+	for _, err := range consErrs {
+		if err != nil {
+			return totalRows, totalBytes, err
+		}
+	}
+	return totalRows, totalBytes, prodErr
+}
+
+// materializable is implemented by sources that can land themselves as a
+// Relation more cheaply than pulling chunks (a pass-through scan shares the
+// stored partitions outright; a relation source already is one).
+type materializable interface {
+	materialize(ctx *Context) (*Relation, error)
+}
+
+func (s *relationSource) materialize(*Context) (*Relation, error) { return s.rel, nil }
+
+// materializeSource lands a source as a Relation: via its fast path when it
+// has one, else by collecting chunks partition-parallel.
+func materializeSource(ctx *Context, src Source) (*Relation, error) {
+	if m, ok := src.(materializable); ok {
+		return m.materialize(ctx)
+	}
+	out := &Relation{
+		Schema:   src.Schema(),
+		Parts:    make([][]types.Tuple, src.Parts()),
+		PartCols: src.PartCols(),
+	}
+	err := forEachPart(src.Parts(), func(p int) error {
+		cur, err := src.Open(p)
+		if err != nil {
+			return err
+		}
+		var rows []types.Tuple
+		for {
+			c, err := cur.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			rows = append(rows, c.Rows...)
+		}
+		out.Parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// collectExchanged is the materializing face of the scatter: the source's
+// decode pass is fused with the hash exchange, so each row is scanned,
+// hashed, sized, and placed in its destination bucket in one pass, and only
+// the exchanged relation — the one the hash tables must hold — is ever
+// materialized. Destinations receive source blocks in source order with row
+// order preserved, and shuffle metering matches the batch exchange exactly.
+// With wantSizes the per-row encoded sizes travel to the output aligned
+// with the rows (the real-spill join's budget accounting).
+func collectExchanged(ctx *Context, src Source, keyCols []int, wantSizes bool) (*Relation, [][]uint64, [][]int64, error) {
+	n := src.Parts()
+	type bucket struct {
+		rows   []types.Tuple
+		hashes []uint64
+		sizes  []int64
+		bytes  int64
+	}
+	buckets := make([][]bucket, n) // [src][dst]
+	acct := ctx.Accounting()
+	err := forEachPart(n, func(s int) error {
+		cur, err := src.Open(s)
+		if err != nil {
+			return err
+		}
+		bs := make([]bucket, n)
+		var hashBuf []uint64
+		var totalRows, totalBytes int64
+		for {
+			c, err := cur.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			hashBuf = types.HashKeysInto(c.Rows, keyCols, hashBuf[:0])
+			for r, t := range c.Rows {
+				h := hashBuf[r]
+				d := int(h % uint64(n))
+				sz := int64(t.EncodedSize())
+				totalRows++
+				totalBytes += sz
+				b := &bs[d]
+				b.rows = append(b.rows, t)
+				b.hashes = append(b.hashes, h)
+				if wantSizes {
+					b.sizes = append(b.sizes, sz)
+				}
+				b.bytes += sz
+			}
+		}
+		buckets[s] = bs
+		acct.ShuffleRows.Add(totalRows - int64(len(bs[s].rows)))
+		acct.ShuffleBytes.Add(totalBytes - bs[s].bytes)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out := &Relation{
+		Schema:   src.Schema(),
+		Parts:    make([][]types.Tuple, n),
+		PartCols: append([]int(nil), keyCols...),
+	}
+	outHashes := make([][]uint64, n)
+	var outSizes [][]int64
+	if wantSizes {
+		outSizes = make([][]int64, n)
+	}
+	outBytes := make([]int64, n)
+	err = forEachPart(n, func(d int) error {
+		var total int
+		var bytes int64
+		for s := 0; s < n; s++ {
+			total += len(buckets[s][d].rows)
+			bytes += buckets[s][d].bytes
+		}
+		if total > maxPartRows {
+			return fmt.Errorf("engine: exchange destination %d would hold %d rows, exceeding the %d-row limit of int32 row indexing", d, total, maxPartRows)
+		}
+		rows := make([]types.Tuple, 0, total)
+		hashes := make([]uint64, 0, total)
+		var sizes []int64
+		if wantSizes {
+			sizes = make([]int64, 0, total)
+		}
+		for s := 0; s < n; s++ {
+			rows = append(rows, buckets[s][d].rows...)
+			hashes = append(hashes, buckets[s][d].hashes...)
+			if wantSizes {
+				sizes = append(sizes, buckets[s][d].sizes...)
+			}
+		}
+		out.Parts[d] = rows
+		outHashes[d] = hashes
+		if wantSizes {
+			outSizes[d] = sizes
+		}
+		outBytes[d] = bytes
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var total int64
+	for _, b := range outBytes {
+		total += b
+	}
+	out.seedSizes(outBytes, total)
+	return out, outHashes, outSizes, nil
+}
+
+// colsMatch mirrors Relation.PartitionedOn for a Source's partitioning
+// columns: exact, order-sensitive equality.
+func colsMatch(have, want []int) bool {
+	if len(have) == 0 || len(have) != len(want) {
+		return false
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

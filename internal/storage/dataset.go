@@ -59,6 +59,39 @@ func (d *Dataset) SeedSizes(partBytes []int64, total int64) {
 // (its primary key, or nil for round-robin temp data).
 func (d *Dataset) PartitionFields() []string { return d.PrimaryKey }
 
+// ChunkReader streams one partition's rows in fixed-size windows — the
+// storage face of the engine's chunk pipeline. The returned windows alias
+// the stored rows (zero-copy); callers must treat them as read-only.
+type ChunkReader struct {
+	part []types.Tuple
+	size int
+	off  int
+}
+
+// ChunkReader returns a reader over partition p yielding at most size rows
+// per chunk. size < 1 yields the whole partition in one chunk.
+func (d *Dataset) ChunkReader(p, size int) *ChunkReader {
+	if size < 1 {
+		size = len(d.Parts[p])
+	}
+	return &ChunkReader{part: d.Parts[p], size: size}
+}
+
+// Next returns the next window of rows, or false at the end of the
+// partition. Empty partitions return false immediately.
+func (r *ChunkReader) Next() ([]types.Tuple, bool) {
+	if r.off >= len(r.part) {
+		return nil, false
+	}
+	end := r.off + r.size
+	if end > len(r.part) {
+		end = len(r.part)
+	}
+	w := r.part[r.off:end]
+	r.off = end
+	return w, true
+}
+
 // HasIndex reports whether a secondary index exists on the field.
 func (d *Dataset) HasIndex(field string) bool {
 	_, ok := d.Indexes[field]

@@ -1,6 +1,9 @@
 package types
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // SizeCache memoizes the encoded byte sizes of a partitioned tuple set, so
 // metering sites (spill checks, broadcast accounting, gather) walk
@@ -9,6 +12,7 @@ import "sync"
 // the partitions after the first read. The zero value is ready to use.
 type SizeCache struct {
 	once  sync.Once
+	done  atomic.Bool
 	part  []int64
 	total int64
 }
@@ -32,7 +36,19 @@ func (c *SizeCache) Part(parts [][]Tuple, p int) int64 {
 func (c *SizeCache) Seed(part []int64, total int64) {
 	c.part = part
 	c.total = total
+	c.done.Store(true)
 	c.once.Do(func() {})
+}
+
+// PartIfKnown returns partition p's size when it has already been seeded or
+// computed, or -1 without triggering the lazy whole-set walk. Streaming
+// consumers use it to decide between a cached total and summing per-row
+// sizes as rows flow past.
+func (c *SizeCache) PartIfKnown(p int) int64 {
+	if !c.done.Load() {
+		return -1
+	}
+	return c.part[p]
 }
 
 // Parts returns the cached per-partition sizes as a read-only slice, e.g.
@@ -53,5 +69,6 @@ func (c *SizeCache) ensure(parts [][]Tuple) {
 			c.part[p] = n
 			c.total += n
 		}
+		c.done.Store(true)
 	})
 }

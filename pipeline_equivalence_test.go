@@ -1,0 +1,96 @@
+package dynopt
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dynopt/internal/bench"
+	"dynopt/internal/cluster"
+	"dynopt/internal/core"
+	"dynopt/internal/engine"
+)
+
+// TestStreamingMatchesBatchAllStrategies is the pipeline equivalence
+// property over the full evaluation grid: every strategy of §7.2 on every
+// Figure-7 query (with and without secondary indexes, so the INLJ plans of
+// Figure 8 are covered too) must produce byte-identical result rows and
+// byte-identical Metrics.Counters whether stages execute as chunked
+// streaming pipelines (the default) or as the whole-relation batch
+// reference. This is what lets TestCountersGolden keep pinning one golden
+// file for both worlds.
+func TestStreamingMatchesBatchAllStrategies(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		env, err := bench.NewEnv(1, 4, indexed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range bench.Queries() {
+			for si := range env.Strategies() {
+				name := fmt.Sprintf("indexed=%v/%s/%s", indexed, q.Name, env.Strategies()[si].Name())
+				t.Run(name, func(t *testing.T) {
+					type run struct {
+						res  *engine.Result
+						snap cluster.Snapshot
+					}
+					exec := func(batch bool) run {
+						env.Batch = batch
+						// Strategies carry per-run state (pilot registries);
+						// build a fresh one per execution.
+						s := env.Strategies()[si]
+						res, rep, err := env.RunOneResult(s, q.SQL)
+						if err != nil {
+							t.Fatalf("batch=%v: %v", batch, err)
+						}
+						return run{res: res, snap: rep.Counters}
+					}
+					b, s := exec(true), exec(false)
+					if !reflect.DeepEqual(b.snap, s.snap) {
+						t.Errorf("counters diverged\nbatch:  %+v\nstream: %+v", b.snap, s.snap)
+					}
+					compareResults(t, b.res, s.res)
+				})
+			}
+		}
+	}
+}
+
+func compareResults(t *testing.T, b, s *engine.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(b.Columns, s.Columns) {
+		t.Fatalf("columns diverged: %v vs %v", b.Columns, s.Columns)
+	}
+	if len(b.Rows) != len(s.Rows) {
+		t.Fatalf("row count diverged: batch %d, stream %d", len(b.Rows), len(s.Rows))
+	}
+	for i := range b.Rows {
+		if fmt.Sprint(b.Rows[i]) != fmt.Sprint(s.Rows[i]) {
+			t.Fatalf("row %d diverged:\nbatch:  %v\nstream: %v", i, b.Rows[i], s.Rows[i])
+		}
+	}
+}
+
+// TestStreamingMatchesBatchReports spot-checks that the dynamic strategy's
+// reported stage plans — which embed row counts flowing out of each
+// materialized stage — agree across modes, pinning that the fused Sink
+// lands exactly the rows the batch Sink did.
+func TestStreamingMatchesBatchReports(t *testing.T) {
+	env, err := bench.NewEnv(1, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range bench.Queries() {
+		var plans [2][]string
+		for i, batch := range []bool{true, false} {
+			env.Batch = batch
+			rep, err := env.RunOne(core.NewDynamic(), q.SQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans[i] = rep.StagePlans
+		}
+		if !reflect.DeepEqual(plans[0], plans[1]) {
+			t.Errorf("%s: stage plans diverged\nbatch:  %v\nstream: %v", q.Name, plans[0], plans[1])
+		}
+	}
+}
