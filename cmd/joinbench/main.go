@@ -13,6 +13,11 @@
 //	                            queries end-to-end in batch vs chunked
 //	                            streaming mode, rows+counters equality
 //	                            checked, wall-clock and alloc medians
+//	joinbench -servejson FILE   plan-memo serving bench: repeated
+//	                            parameterized shapes with rotating bindings,
+//	                            cold (dynamic loop) vs hot (memo replay)
+//	                            queries/sec, hit-rate and row equality
+//	                            checked
 //	joinbench -all              everything
 //
 // Flags -sf (comma-separated scale factors, default 1,5,25 standing in for
@@ -41,7 +46,8 @@ func main() {
 	joinJSON := flag.String("joinjson", "", "write a join micro-benchmark snapshot (ns/op, allocs/op) to this file")
 	spillJSON := flag.String("spilljson", "", "write a memory-budget spill sweep snapshot to this file")
 	pipeJSON := flag.String("pipejson", "", "write a streaming-vs-batch pipeline comparison snapshot to this file")
-	pipeRuns := flag.Int("runs", 5, "runs per mode for the -pipejson medians")
+	serveJSON := flag.String("servejson", "", "write a cold-vs-hot plan-memo serving snapshot to this file")
+	pipeRuns := flag.Int("runs", 5, "runs per mode for the -pipejson and -servejson medians")
 	joinRows := flag.Int("joinrows", 50000, "fact rows for the -joinjson and -spilljson benchmarks")
 	sfFlag := flag.String("sf", "1,5,25", "comma-separated scale factors")
 	nodes := flag.Int("nodes", 10, "simulated cluster nodes")
@@ -144,6 +150,19 @@ func main() {
 			fmt.Printf("  %-4s batch %8.2f ms  stream %8.2f ms  %+6.1f%%   alloc %10d -> %10d B (%+.1f%%)\n",
 				p.Query, p.BatchMedianMs, p.StreamMedianMs, p.ImprovementPct,
 				p.BatchAllocBytes, p.StreamAllocBytes, p.AllocSavedPct)
+		}
+	}
+	if *serveJSON != "" {
+		ran = true
+		fmt.Printf("== Plan-memo serving bench (sf %d, %d nodes, %d runs) -> %s ==\n",
+			sfs[0], *nodes, *pipeRuns, *serveJSON)
+		pts, err := bench.WriteServeJSON(*serveJSON, sfs[0], *nodes, *pipeRuns)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range pts {
+			fmt.Printf("  %-5s %2d bindings  cold %7.1f q/s  hot %7.1f q/s  %+6.1f%%  hit %.0f%%  fallbacks %d\n",
+				p.Query, p.Bindings, p.ColdQPS, p.HotQPS, p.SpeedupPct, 100*p.HitRate, p.Fallbacks)
 		}
 	}
 	if !ran {

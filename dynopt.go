@@ -30,7 +30,9 @@ import (
 	"dynopt/internal/core"
 	"dynopt/internal/engine"
 	"dynopt/internal/expr"
+	"dynopt/internal/memo"
 	"dynopt/internal/optimizer"
+	"dynopt/internal/sqlpp"
 	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
@@ -138,6 +140,23 @@ type Config struct {
 	// MemoryPerNodeBytes overrides the per-node join-memory budget
 	// (default 512 KiB; negative disables the budget entirely).
 	MemoryPerNodeBytes int64
+	// PlanCacheEntries enables the adaptive plan memo with a bounded LRU of
+	// this many canonical query shapes. The dynamic strategy records what
+	// its re-optimization loop converged to — join order, per-join
+	// algorithm, push-downs, statistics fingerprint, per-stage observed
+	// cardinalities — and repeated executions of the same shape (same
+	// statement, different literals or $param bindings) replay the
+	// remembered plan as pipelined stages with zero blocking
+	// re-optimization points, falling back mid-query to the dynamic loop
+	// whenever a stage's observed cardinality leaves the tolerance band.
+	// 0 (the default) disables the memo: execution is byte-identical to
+	// the paper's loop.
+	PlanCacheEntries int
+	// ReplayTolerance is the multiplicative cardinality band of the replay
+	// guardrails: a replayed stage observing more than ReplayTolerance×
+	// (or fewer than 1/ReplayTolerance×) the recorded rows falls back to
+	// the dynamic loop. Values <= 1 mean the default (8).
+	ReplayTolerance float64
 }
 
 // DB is one simulated BDMS instance: a cluster, a catalog, and a UDF
@@ -155,6 +174,7 @@ type DB struct {
 	algo        core.AlgoConfig
 	reoptBudget int
 	spillDir    string
+	memo        *memo.Store // adaptive plan memo; nil when PlanCacheEntries == 0
 
 	pmu    sync.RWMutex // guards ctx.Params against SetParam during serving
 	admit  chan struct{}
@@ -188,6 +208,12 @@ func Open(cfg Config) *DB {
 	if cfg.MaxConcurrentQueries > 0 {
 		db.admit = make(chan struct{}, cfg.MaxConcurrentQueries)
 	}
+	if cfg.PlanCacheEntries > 0 {
+		db.memo = memo.NewStore(cfg.PlanCacheEntries, memo.Options{Tolerance: cfg.ReplayTolerance})
+		// Catalog mutations — a base dataset registered, replaced, dropped,
+		// or indexed — evict every memoized shape referencing it.
+		db.ctx.Catalog.SetBaseHook(db.memo.InvalidateDataset)
+	}
 	return db
 }
 
@@ -207,14 +233,29 @@ func (db *DB) CreateDataset(name string, schema *Schema, pk []string, rows []Tup
 }
 
 // CreateIndex adds a secondary index on a dataset field, enabling indexed
-// nested-loop joins against it.
+// nested-loop joins against it. Memoized plans referencing the dataset are
+// invalidated: they were converged without the index.
 func (db *DB) CreateIndex(dataset, field string) error {
 	ds, ok := db.ctx.Catalog.Get(dataset)
 	if !ok {
 		return fmt.Errorf("dynopt: unknown dataset %q", dataset)
 	}
-	_, err := storage.BuildIndex(ds, field)
-	return err
+	if _, err := storage.BuildIndex(ds, field); err != nil {
+		return err
+	}
+	db.ctx.Catalog.NoteIndexBuilt(dataset)
+	return nil
+}
+
+// DropDataset removes a base dataset and its statistics from the catalog,
+// evicting every memoized plan shape that references it. Loading-phase
+// operation: it must not race with in-flight queries over the same name.
+func (db *DB) DropDataset(name string) error {
+	if _, ok := db.ctx.Catalog.Get(name); !ok {
+		return fmt.Errorf("dynopt: unknown dataset %q", name)
+	}
+	db.ctx.Catalog.Drop(name)
+	return nil
 }
 
 // RegisterUDF installs a scalar user-defined function, callable from query
@@ -273,6 +314,15 @@ type Metrics struct {
 	SimSeconds float64
 	// Counters are the raw metered cost counters.
 	Counters Snapshot
+	// CacheHit reports that the query replayed a memoized plan end to end
+	// (Config.PlanCacheEntries > 0): every staged job and the final
+	// pipeline came from the plan memo, with Reopts == 0.
+	CacheHit bool
+	// ReplayFellBack reports that a replay started but a stage's observed
+	// cardinality left the memo's tolerance band mid-query, and the run
+	// fell back to the dynamic loop from the already-materialized
+	// intermediate (results are always correct either way).
+	ReplayFellBack bool
 }
 
 // Result is a finished query.
@@ -282,22 +332,74 @@ type Result struct {
 	Metrics Metrics
 }
 
-// QueryOptions selects the strategy and per-query overrides.
+// QueryOptions selects the strategy and per-query overrides. Overrides
+// apply to this query only: every call builds its own strategy instance, so
+// concurrent queries with different options never observe each other's
+// settings.
 type QueryOptions struct {
 	// Strategy defaults to StrategyDynamic.
 	Strategy Strategy
 	// Params bound for this query (overrides DB-level params).
 	Params map[string]Value
+	// MaxReopts overrides Config.ReoptBudget for this query: > 0 sets the
+	// blocking re-optimization budget, < 0 means unlimited, 0 inherits the
+	// DB-level budget.
+	MaxReopts int
+	// BroadcastThresholdBytes, when > 0, overrides the DB-level broadcast
+	// threshold of the join-algorithm rule for this query.
+	BroadcastThresholdBytes int64
+	// EnableINLJ, when non-nil, overrides the DB-level indexed-nested-loop
+	// setting for this query.
+	EnableINLJ *bool
+	// NoCache bypasses the plan memo for this query: no replay, no
+	// recording. Queries with NoCache behave exactly as if
+	// Config.PlanCacheEntries were 0.
+	NoCache bool
 }
 
-func (db *DB) strategyFor(s Strategy) (core.Strategy, error) {
+// effectiveAlgo resolves the per-query join-algorithm configuration:
+// DB-level defaults with opts overrides applied.
+func (db *DB) effectiveAlgo(opts *QueryOptions) core.AlgoConfig {
 	algo := db.algo
+	if opts != nil {
+		if opts.BroadcastThresholdBytes > 0 {
+			algo.BroadcastThresholdBytes = opts.BroadcastThresholdBytes
+		}
+		if opts.EnableINLJ != nil {
+			algo.EnableINLJ = *opts.EnableINLJ
+		}
+	}
+	return algo
+}
+
+// effectiveBudget resolves the per-query re-optimization budget: > 0 sets
+// it, < 0 lifts it, 0 inherits the DB-level ReoptBudget.
+func (db *DB) effectiveBudget(opts *QueryOptions) int {
+	if opts != nil {
+		if opts.MaxReopts > 0 {
+			return opts.MaxReopts
+		}
+		if opts.MaxReopts < 0 {
+			return 0 // unlimited
+		}
+	}
+	return db.reoptBudget
+}
+
+func (db *DB) strategyFor(opts *QueryOptions) (core.Strategy, error) {
+	var s Strategy
+	noCache := false
+	if opts != nil {
+		s = opts.Strategy
+		noCache = opts.NoCache
+	}
+	algo := db.effectiveAlgo(opts)
 	switch s {
 	case "", StrategyDynamic:
 		cfg := core.DefaultConfig()
 		cfg.Algo = algo
-		cfg.MaxReopts = db.reoptBudget
-		return &core.Dynamic{Cfg: cfg}, nil
+		cfg.MaxReopts = db.effectiveBudget(opts)
+		return &core.Dynamic{Cfg: cfg, Memo: db.memo, NoCache: noCache}, nil
 	case StrategyCostBased:
 		return &optimizer.CostBased{Cfg: algo}, nil
 	case StrategyBestOrder:
@@ -332,11 +434,7 @@ func (db *DB) Query(sql string, opts *QueryOptions) (*Result, error) {
 // many others run concurrently, and its own temp-dataset namespace, swept
 // on every exit path so a failing query leaves the catalog unchanged.
 func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Result, error) {
-	var strategy Strategy
-	if opts != nil {
-		strategy = opts.Strategy
-	}
-	s, err := db.strategyFor(strategy)
+	s, err := db.strategyFor(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -389,14 +487,16 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Re
 	}
 	out := &Result{Columns: res.Columns, Rows: res.Rows}
 	out.Metrics = Metrics{
-		Strategy:    rep.Strategy,
-		Plan:        rep.Compact(),
-		Stages:      rep.StagePlans,
-		Reopts:      rep.Reopts,
-		PushDowns:   rep.PushDowns,
-		WallSeconds: rep.Wall.Seconds(),
-		SimSeconds:  rep.SimSeconds,
-		Counters:    rep.Counters,
+		Strategy:       rep.Strategy,
+		Plan:           rep.Compact(),
+		Stages:         rep.StagePlans,
+		Reopts:         rep.Reopts,
+		PushDowns:      rep.PushDowns,
+		WallSeconds:    rep.Wall.Seconds(),
+		SimSeconds:     rep.SimSeconds,
+		Counters:       rep.Counters,
+		CacheHit:       rep.CacheHit,
+		ReplayFellBack: rep.ReplayFellBack,
 	}
 	if rep.Tree != nil {
 		out.Metrics.PlanTree = rep.Tree.Tree()
@@ -409,7 +509,9 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Re
 // plan it chose, without touching this DB's metering. Note that for the
 // adaptive strategies, explaining requires executing — the plan is only
 // fully known at the end; that is the nature of runtime dynamic
-// optimization.
+// optimization. When the plan memo is enabled, the output additionally
+// reports whether this query's shape would replay a memoized plan (the
+// probe neither records nor perturbs the memo's LRU order).
 func (db *DB) Explain(sql string, opts *QueryOptions) (string, error) {
 	shadow := &DB{
 		ctx: &engine.Context{
@@ -425,5 +527,54 @@ func (db *DB) Explain(sql string, opts *QueryOptions) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("%s\n%s", res.Metrics.Plan, res.Metrics.PlanTree), nil
+	out := fmt.Sprintf("%s\n%s", res.Metrics.Plan, res.Metrics.PlanTree)
+	// Only the dynamic strategy consults the memo; a probe for any other
+	// strategy would mislead.
+	if db.memo != nil && (opts == nil || opts.Strategy == "" || opts.Strategy == StrategyDynamic) {
+		out += "\nplan cache: " + db.cacheProbe(sql, opts)
+	}
+	return out, nil
+}
+
+// cacheProbe reports whether a statement's shape would replay from the plan
+// memo, without executing or touching LRU order.
+func (db *DB) cacheProbe(sql string, opts *QueryOptions) string {
+	if opts != nil && opts.NoCache {
+		return "bypassed (NoCache)"
+	}
+	key, err := db.shapeKeyFor(sql, opts)
+	if err != nil {
+		return "miss"
+	}
+	e := db.memo.Peek(key)
+	if e == nil {
+		return "miss"
+	}
+	if reason, stale := e.Fingerprint.Stale(db.ctx.Catalog.Stats(), db.memo.Opts().StatsDriftTolerance); stale {
+		return "stale (" + reason + ")"
+	}
+	return "hit — shape would replay"
+}
+
+// shapeKeyFor computes the memo key a query would execute under: canonical
+// shape over the live catalog plus the effective per-query strategy
+// configuration (the same derivation strategyFor uses). The spill-budget
+// defaulting mirrors Dynamic.Body's: Body keys on ctx.Spill, which QueryCtx
+// attaches exactly when Config.SpillDir is set — keep the two in lockstep.
+func (db *DB) shapeKeyFor(sql string, opts *QueryOptions) (string, error) {
+	q, err := sqlpp.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	g, err := sqlpp.Analyze(q, db.ctx.Catalog.Resolver())
+	if err != nil {
+		return "", err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Algo = db.effectiveAlgo(opts)
+	cfg.MaxReopts = db.effectiveBudget(opts)
+	if db.spillDir != "" && cfg.Algo.SpillBudgetBytes == 0 {
+		cfg.Algo.SpillBudgetBytes = db.ctx.Cluster.MemoryPerNodeBytes()
+	}
+	return core.ShapeKey(g, cfg), nil
 }

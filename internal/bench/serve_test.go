@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestServeBenchInvariants runs the serving workload small and relies on
+// ServeBench's internal checks (row equality per binding between cold and
+// hot modes, 100% hit rate, zero re-opt points on replays); shape is
+// asserted on top.
+func TestServeBenchInvariants(t *testing.T) {
+	pts, err := ServeBench(1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("shapes = %d, want 3", len(pts))
+	}
+	for _, p := range pts {
+		if p.HitRate != 1 {
+			t.Errorf("%s: hit rate %.2f", p.Query, p.HitRate)
+		}
+		if p.Fallbacks != 0 {
+			t.Errorf("%s: %d fallbacks", p.Query, p.Fallbacks)
+		}
+		if p.ColdQPS <= 0 || p.HotQPS <= 0 {
+			t.Errorf("%s: degenerate throughput %+v", p.Query, p)
+		}
+		if p.QueriesPerRun != p.Bindings*rotationsPerRun {
+			t.Errorf("%s: queries per run %d != %d bindings × %d",
+				p.Query, p.QueriesPerRun, p.Bindings, rotationsPerRun)
+		}
+	}
+}

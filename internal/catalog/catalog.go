@@ -22,6 +22,12 @@ type Catalog struct {
 	datasets map[string]*storage.Dataset
 	registry *stats.Registry
 	tempSeq  int
+	// baseHook, when set, is invoked (outside the catalog lock) with the
+	// dataset name whenever base metadata changes: a non-temp dataset is
+	// registered or replaced, dropped, or gains a secondary index. The
+	// serving layer points it at the plan memo's invalidation path; temp
+	// (per-query intermediate) churn never fires it.
+	baseHook func(name string)
 }
 
 // New returns an empty catalog with a fresh statistics registry.
@@ -32,20 +38,49 @@ func New() *Catalog {
 	}
 }
 
+// SetBaseHook installs the base-metadata change listener (at most one;
+// installed before serving starts).
+func (c *Catalog) SetBaseHook(fn func(name string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.baseHook = fn
+}
+
+// notifyBase fires the base hook for a changed dataset. Callers must NOT
+// hold c.mu (the hook takes the memo's lock).
+func (c *Catalog) notifyBase(name string) {
+	c.mu.RLock()
+	fn := c.baseHook
+	c.mu.RUnlock()
+	if fn != nil {
+		fn(name)
+	}
+}
+
 // Register installs a dataset and its statistics. Re-registering a name
-// replaces both.
+// replaces both. Registering a base (non-temp) dataset fires the base hook:
+// a replaced dataset invalidates every memoized plan shape that references
+// it.
 func (c *Catalog) Register(ds *storage.Dataset, st *stats.DatasetStats) error {
 	if ds == nil || ds.Name == "" {
 		return fmt.Errorf("catalog: dataset must be named")
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.datasets[ds.Name] = ds
 	if st != nil {
 		c.registry.Put(st)
 	}
+	c.mu.Unlock()
+	if !ds.Temp {
+		c.notifyBase(ds.Name)
+	}
 	return nil
 }
+
+// NoteIndexBuilt fires the base hook for a dataset that gained a secondary
+// index: memoized plans chosen without the index are no longer the
+// converged choice.
+func (c *Catalog) NoteIndexBuilt(name string) { c.notifyBase(name) }
 
 // Get returns a dataset by name.
 func (c *Catalog) Get(name string) (*storage.Dataset, bool) {
@@ -58,12 +93,17 @@ func (c *Catalog) Get(name string) (*storage.Dataset, bool) {
 // Stats returns the statistics registry.
 func (c *Catalog) Stats() *stats.Registry { return c.registry }
 
-// Drop removes a dataset and its statistics (temp cleanup after a query).
+// Drop removes a dataset and its statistics (temp cleanup after a query, or
+// a base drop — the latter fires the base hook).
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	ds := c.datasets[name]
 	delete(c.datasets, name)
 	c.registry.Drop(name)
+	c.mu.Unlock()
+	if ds != nil && !ds.Temp {
+		c.notifyBase(name)
+	}
 }
 
 // Names returns all dataset names, sorted.

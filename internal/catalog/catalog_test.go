@@ -156,3 +156,43 @@ func TestDropPrefix(t *testing.T) {
 		t.Error("DropPrefix removed a base dataset")
 	}
 }
+
+// TestBaseHook: the base-change hook fires for non-temp register/replace,
+// non-temp drop, and index builds — never for temp churn.
+func TestBaseHook(t *testing.T) {
+	c := New()
+	var events []string
+	c.SetBaseHook(func(name string) { events = append(events, name) })
+
+	base, bst := buildDS(t, "base", false)
+	if err := c.Register(base, bst); err != nil {
+		t.Fatal(err)
+	}
+	tmp, tst := buildDS(t, "tmp_q1_x", true)
+	if err := c.Register(tmp, tst); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop("tmp_q1_x")
+	tmp2, tst2 := buildDS(t, "tmp_q2_y", true)
+	if err := c.Register(tmp2, tst2); err != nil {
+		t.Fatal(err)
+	}
+	c.DropPrefix("tmp_q2_")
+	c.NoteIndexBuilt("base")
+	base2, bst2 := buildDS(t, "base", false)
+	if err := c.Register(base2, bst2); err != nil { // replace
+		t.Fatal(err)
+	}
+	c.Drop("base")
+	c.Drop("never-existed")
+
+	want := []string{"base", "base", "base", "base"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"dynopt/internal/engine"
 	"dynopt/internal/expr"
+	"dynopt/internal/memo"
 	"dynopt/internal/plan"
 	"dynopt/internal/sqlpp"
 	"dynopt/internal/stats"
@@ -60,6 +61,14 @@ type Dynamic struct {
 	// FiltersPreApplied marks the planner registry's statistics as already
 	// reflecting local predicates (pilot-run samples).
 	FiltersPreApplied bool
+	// Memo, when set, is the adaptive plan memo: runs record what the loop
+	// converged to per canonical query shape, and later runs of the same
+	// shape replay the remembered plan under cardinality guardrails instead
+	// of paying the blocking re-optimization passes. Nil (the default)
+	// keeps the strategy byte-identical to the paper's loop.
+	Memo *memo.Store
+	// NoCache bypasses the memo for this run: no replay, no recording.
+	NoCache bool
 }
 
 // NewDynamic returns the strategy with the full default configuration.
@@ -111,7 +120,22 @@ func (d *Dynamic) Body(ctx *engine.Context, sql string, r *Report) (*engine.Resu
 		return nil, err
 	}
 
-	// Lines 6–9: execute multi/complex predicates first.
+	// Plan memo: try the guarded replay of a remembered convergence, and arm
+	// recording so this run's own convergence (from scratch or from the
+	// fallback point) becomes the shape's next entry.
+	if d.Memo != nil && !d.NoCache {
+		res, err := d.tryReplay(rs, r)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			return res, nil
+		}
+	}
+
+	// Lines 6–9: execute multi/complex predicates first. After a mid-replay
+	// fallback this picks up exactly the push-downs the replayed prefix did
+	// not execute.
 	if d.Cfg.PushDown {
 		if _, err := rs.pushDownPredicates(d.Cfg.PushDownAll); err != nil {
 			return nil, err
@@ -121,7 +145,8 @@ func (d *Dynamic) Body(ctx *engine.Context, sql string, r *Report) (*engine.Resu
 	if !d.Cfg.ReoptLoop {
 		// Push-down-only mode: plan everything that remains from the
 		// refined statistics and run one pipelined job.
-		return rs.runRemainderStatically()
+		res, err := rs.runRemainderStatically()
+		return d.record(rs, res, err)
 	}
 
 	// Lines 11–15: while more than two joins remain, execute only the
@@ -133,7 +158,8 @@ func (d *Dynamic) Body(ctx *engine.Context, sql string, r *Report) (*engine.Resu
 		if d.Cfg.MaxReopts > 0 && rs.report.Reopts >= d.Cfg.MaxReopts {
 			// Re-optimization budget exhausted (§8 trade-off): plan the
 			// rest from the statistics gathered so far.
-			return rs.runRemainderStatically()
+			res, err := rs.runRemainderStatically()
+			return d.record(rs, res, err)
 		}
 		tables, err := rs.currentTables()
 		if err != nil {
@@ -143,17 +169,22 @@ func (d *Dynamic) Body(ctx *engine.Context, sql string, r *Report) (*engine.Resu
 		if err != nil {
 			return nil, err
 		}
+		algo, buildLeft, err := rs.est.chooseAlgoForEdge(rs.cfg, edge, tables)
+		if err != nil {
+			return nil, err
+		}
 		// Online statistics are skipped once no further re-optimization
 		// will happen (three datasets left ⇒ after this stage only two
 		// joins remain and the final Planner call decides everything).
 		online := d.Cfg.OnlineStats && len(rs.g.Aliases) > 3
-		if err := rs.executeJoinStage(edge, card, tables, online); err != nil {
+		if err := rs.executeJoinStage(edge, card, tables, online, algo, buildLeft); err != nil {
 			return nil, err
 		}
 	}
 
 	// Lines 17–18: plan the final (at most two) joins in one job.
-	return rs.runFinal()
+	res, err := rs.runFinal()
+	return d.record(rs, res, err)
 }
 
 // runFinal plans and executes the last job: zero, one, or two remaining
@@ -348,6 +379,9 @@ func RequiredOutputColumns(g *sqlpp.Graph) map[string]bool {
 // executeFinalTree runs the last pipelined job and assembles the report
 // tree by splicing the stage fragments into the final node structure.
 func (rs *runState) executeFinalTree(node *plan.Node, tables Tables) (*engine.Result, error) {
+	if rs.rec != nil {
+		rs.rec.Final = memoNodeOf(node)
+	}
 	plan.AnnotateProjections(node, RequiredOutputColumns(rs.g))
 	rel, err := engine.Execute(rs.ctx, node)
 	if err != nil {

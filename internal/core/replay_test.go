@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dynopt/internal/memo"
+	"dynopt/internal/sqlpp"
+	"dynopt/internal/stats"
+)
+
+// runWithMemo executes the wide workload's query under the dynamic strategy
+// wired to the given store.
+func runWithMemo(t *testing.T, store *memo.Store) (*Report, int) {
+	t.Helper()
+	ctx, sql, wantRows := wideWorkload(t)
+	d := &Dynamic{Cfg: DefaultConfig(), Memo: store}
+	res, rep, err := d.Run(ctx, sql)
+	if err != nil {
+		t.Fatalf("%v\n%v", err, rep)
+	}
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	return rep, wantRows
+}
+
+// TestReplayStaleFingerprintRefused tampers with a recorded entry's
+// fingerprint and asserts the replay is refused (no hit, no fallback — a
+// plain re-optimization that re-records the shape).
+func TestReplayStaleFingerprintRefused(t *testing.T) {
+	store := memo.NewStore(8, memo.Options{})
+	rep1, _ := runWithMemo(t, store)
+	if rep1.CacheHit {
+		t.Fatal("first run reported a hit")
+	}
+	rep2, _ := runWithMemo(t, store)
+	if !rep2.CacheHit || rep2.Reopts != 0 {
+		t.Fatalf("second run did not replay (hit=%v reopts=%d)", rep2.CacheHit, rep2.Reopts)
+	}
+
+	// Tamper: pretend the entry was recorded against a 100× smaller fact
+	// table. The fingerprint no longer matches the live registry.
+	ctx, sql, _ := wideWorkload(t)
+	q, err := sqlpp.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sqlpp.Analyze(q, ctx.Catalog.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ShapeKey(g, DefaultConfig())
+	e := store.Peek(key)
+	if e == nil {
+		t.Fatalf("recorded entry not found under %q", key)
+	}
+	tampered := *e
+	tampered.Fingerprint = stats.Fingerprint{}
+	for name, fp := range e.Fingerprint {
+		fp2 := fp
+		fp2.Rows = fp.Rows/100 + 1
+		tampered.Fingerprint[name] = fp2
+	}
+	store.Put(&tampered)
+
+	rep3, _ := runWithMemo(t, store)
+	if rep3.CacheHit {
+		t.Error("stale fingerprint was replayed")
+	}
+	if rep3.ReplayFellBack {
+		t.Error("stale fingerprint fell back mid-query instead of being refused upfront")
+	}
+	found := false
+	for _, s := range rep3.StagePlans {
+		if strings.Contains(s, "stale fingerprint") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("refusal not reported:\n%s", strings.Join(rep3.StagePlans, "\n"))
+	}
+
+	// The refused run re-recorded a fresh entry: the next run replays.
+	rep4, _ := runWithMemo(t, store)
+	if !rep4.CacheHit {
+		t.Error("shape not re-recorded after refusal")
+	}
+}
+
+// TestShapeKeyDiscriminatesConfig: the same statement under different
+// join-algorithm configurations must occupy different memo slots.
+func TestShapeKeyDiscriminatesConfig(t *testing.T) {
+	ctx, sql, _ := wideWorkload(t)
+	q, err := sqlpp.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sqlpp.Analyze(q, ctx.Catalog.Resolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultConfig()
+	k1 := ShapeKey(g, base)
+
+	bt := base
+	bt.Algo.BroadcastThresholdBytes = 1
+	inlj := base
+	inlj.Algo.EnableINLJ = true
+	spill := base
+	spill.Algo.SpillBudgetBytes = 1 << 20
+	budget := base
+	budget.MaxReopts = 1
+	naive := base
+	naive.CardinalityOnly = true
+	for _, cfg := range []Config{bt, inlj, spill, budget, naive} {
+		if k := ShapeKey(g, cfg); k == k1 {
+			t.Errorf("config %+v shares key with default", cfg)
+		}
+	}
+	if k := ShapeKey(g, base); k != k1 {
+		t.Error("ShapeKey not deterministic")
+	}
+}
+
+// TestRecordingRefusedAcrossInvalidation: a recording that straddles an
+// invalidation epoch must not re-enter the store (the DDL-during-query
+// race).
+func TestRecordingRefusedAcrossInvalidation(t *testing.T) {
+	store := memo.NewStore(8, memo.Options{})
+	rep, _ := runWithMemo(t, store)
+	if rep.CacheHit {
+		t.Fatal("first run hit")
+	}
+	if store.Len() != 1 {
+		t.Fatalf("len = %d, want 1", store.Len())
+	}
+	// Simulate DDL landing while the next recording is in flight: the
+	// entry's Born epoch predates the invalidation, so Put refuses it.
+	store.InvalidateDataset("fact")
+	if store.Len() != 0 {
+		t.Fatalf("invalidation left %d entries", store.Len())
+	}
+	stale := &memo.Entry{Shape: "x", Datasets: []string{"fact"}, Born: 0}
+	store.Put(stale)
+	if store.Len() != 0 {
+		t.Error("pre-invalidation recording re-entered the store")
+	}
+	// A fresh run (Born == current epoch) records normally.
+	rep2, _ := runWithMemo(t, store)
+	if rep2.CacheHit || store.Len() != 1 {
+		t.Errorf("post-invalidation run did not re-record (hit=%v len=%d)", rep2.CacheHit, store.Len())
+	}
+}
+
+// TestReplayMaxReoptsInteraction: a budget-limited recording still produces
+// a replayable trace, and replaying it reports zero reopts.
+func TestReplayMaxReoptsInteraction(t *testing.T) {
+	store := memo.NewStore(8, memo.Options{})
+	ctx, sql, wantRows := wideWorkload(t)
+	cfg := DefaultConfig()
+	cfg.MaxReopts = 1
+	d := &Dynamic{Cfg: cfg, Memo: store}
+	res, rep, err := d.Run(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != wantRows || rep.Reopts > 1 {
+		t.Fatalf("budgeted run rows=%d reopts=%d", len(res.Rows), rep.Reopts)
+	}
+	res2, rep2, err := d.Run(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.CacheHit || rep2.Reopts != 0 {
+		t.Errorf("budgeted trace did not replay cleanly (hit=%v reopts=%d)", rep2.CacheHit, rep2.Reopts)
+	}
+	if len(res2.Rows) != wantRows {
+		t.Errorf("replay rows = %d, want %d", len(res2.Rows), wantRows)
+	}
+}

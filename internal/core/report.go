@@ -31,9 +31,18 @@ type Report struct {
 	Reopts     int        // blocking re-optimization points in the join loop
 	PushDowns  int        // predicate push-down jobs executed
 	Rows       int        // result rows returned
-	Wall       time.Duration
-	Counters   cluster.Snapshot // work metered for this run
-	SimSeconds float64          // Counters priced by the cluster cost model
+	// CacheHit reports that the run replayed a memoized plan end to end:
+	// every staged job and the final pipeline came from the plan memo, with
+	// zero blocking re-optimization points.
+	CacheHit bool
+	// ReplayFellBack reports that a replay started but a stage's observed
+	// cardinality left the memo's tolerance band (or the shape stopped
+	// matching structurally), and the run fell back to the dynamic loop
+	// from the already-materialized intermediate.
+	ReplayFellBack bool
+	Wall           time.Duration
+	Counters       cluster.Snapshot // work metered for this run
+	SimSeconds     float64          // Counters priced by the cluster cost model
 }
 
 // Compact renders the assembled plan in the appendix notation, or a dash if

@@ -6,6 +6,7 @@ import (
 
 	"dynopt/internal/engine"
 	"dynopt/internal/expr"
+	"dynopt/internal/memo"
 	"dynopt/internal/plan"
 	"dynopt/internal/sqlpp"
 	"dynopt/internal/stats"
@@ -51,6 +52,25 @@ type runState struct {
 	// onlineStats gates sketch collection at every Sink, including the
 	// push-down materializations (row counts are always kept).
 	onlineStats bool
+
+	// Plan-memo state. rec, when non-nil, accumulates this run's stage
+	// decisions and observed cardinalities for memoization. replay is set
+	// while a memoized plan is being driven: stages execute without
+	// blocking re-optimization accounting (nothing blocks to re-plan) and
+	// without online-statistics sketches, and each stage's sink cardinality
+	// is checked against the memo's tolerance band instead.
+	rec      *memo.Entry
+	replay   bool
+	memoOpts memo.Options
+	// memoGraph is the original analyzed graph (before any reconstruction),
+	// kept so the entry's dataset list and statistics fingerprint can be
+	// computed lazily at record time — a fully replayed query never pays
+	// for them. Reconstruction builds fresh Query/Graph objects, so the
+	// pointer stays valid.
+	memoGraph *sqlpp.Graph
+	// lastStageRows is the row count the most recent staged job (push-down
+	// or join) materialized — the replay guardrail's observation.
+	lastStageRows int64
 }
 
 // reanalyze re-parses the current SQL text and re-runs semantic analysis —
@@ -163,9 +183,11 @@ func (rs *runState) executePushDown(alias string) error {
 	tempName := rs.ctx.TempName("pred_" + alias)
 	// Collect statistics on every retained column: the projection is
 	// exactly the set of columns the remaining query touches (§5.1).
-	// Disabled in cardinality-only configurations.
+	// Disabled in cardinality-only configurations and during memo replay
+	// (the remembered plan needs no fresh sketches; row counts are always
+	// kept, which is what a post-fallback planner falls back to).
 	statsFor := func(sch *types.Schema) map[string]bool {
-		if !rs.onlineStats {
+		if !rs.onlineStats || rs.replay {
 			return nil
 		}
 		fields := map[string]bool{}
@@ -225,8 +247,18 @@ func (rs *runState) executePushDown(alias string) error {
 	}
 	rs.est.Reg.Put(tst) // feedback into the planner registry (no-op when shared)
 	rs.tempNames = append(rs.tempNames, tempName)
-	rs.ctx.Accounting().ReoptPoints.Add(1)
+	if !rs.replay {
+		// A replayed push-down still executes and materializes, but nothing
+		// blocks on it to re-plan, so it is not a re-optimization point.
+		rs.ctx.Accounting().ReoptPoints.Add(1)
+	}
 	rs.report.PushDowns++
+	rs.lastStageRows = tds.RowCount()
+	if rs.rec != nil {
+		rs.rec.Stages = append(rs.rec.Stages, memo.Stage{
+			Kind: memo.StagePushDown, Alias: alias, ObservedRows: rs.lastStageRows,
+		})
+	}
 	rs.report.StagePlans = append(rs.report.StagePlans,
 		fmt.Sprintf("pushdown %s: σ(%s) → %s [%d rows]", alias, alias, tempName, tds.RowCount()))
 
@@ -325,18 +357,16 @@ func (rs *runState) spillPenalty(edge *sqlpp.JoinEdge, tables Tables) int64 {
 }
 
 // executeJoinStage runs one iteration of the loop (lines 12–15): build the
-// job for the chosen join, execute it, materialize the result with online
-// statistics on the join keys of the remaining query, register the temp,
-// and reconstruct the query text. In streaming mode the join's output
-// chunks flow straight into the Sink, so the stage's statistics, metering,
-// and temp write happen in the pass that produces each chunk.
-func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables Tables, onlineStats bool) error {
+// job for the chosen join (the caller picked edge, algorithm, and build
+// side — the Planner in the dynamic loop, the memo entry during replay),
+// execute it, materialize the result with online statistics on the join
+// keys of the remaining query, register the temp, and reconstruct the query
+// text. In streaming mode the join's output chunks flow straight into the
+// Sink, so the stage's statistics, metering, and temp write happen in the
+// pass that produces each chunk.
+func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables Tables, onlineStats bool, algo plan.Algo, buildLeft bool) error {
 	lt := tables[edge.LeftAlias]
 	rt := tables[edge.RightAlias]
-	algo, buildLeft, err := rs.est.chooseAlgoForEdge(rs.cfg, edge, tables)
-	if err != nil {
-		return err
-	}
 	rs.stage++
 	newAlias := fmt.Sprintf("ij%d", rs.stage)
 	tempName := rs.ctx.TempName(newAlias)
@@ -366,6 +396,7 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 	}
 
 	spillBefore := rs.ctx.Accounting().SpillBytes.Load()
+	var err error
 	var tds *storage.Dataset
 	var tst *stats.DatasetStats
 	var relSchema *types.Schema
@@ -393,8 +424,22 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 	}
 	rs.est.Reg.Put(tst) // feedback into the planner registry (no-op when shared)
 	rs.tempNames = append(rs.tempNames, tempName)
-	rs.ctx.Accounting().ReoptPoints.Add(1)
-	rs.report.Reopts++
+	if !rs.replay {
+		// Replayed stages materialize like any stage, but no blocking
+		// re-optimization pass follows them: Reopts stays 0 on a clean
+		// replay, and the simulated cost model charges no re-opt latency.
+		rs.ctx.Accounting().ReoptPoints.Add(1)
+		rs.report.Reopts++
+	}
+	rs.lastStageRows = tds.RowCount()
+	if rs.rec != nil {
+		rs.rec.Stages = append(rs.rec.Stages, memo.Stage{
+			Kind:      memo.StageJoin,
+			LeftAlias: edge.LeftAlias, RightAlias: edge.RightAlias,
+			Algo: algo, BuildLeft: buildLeft,
+			ObservedRows: rs.lastStageRows,
+		})
+	}
 
 	// Assemble the report-plan fragment and the origin map for the new alias.
 	lfrag, rfrag := rs.fragment[edge.LeftAlias], rs.fragment[edge.RightAlias]

@@ -1,0 +1,313 @@
+// Package memo is the adaptive plan memo: a bounded, concurrency-safe LRU
+// of what the dynamic optimization loop converged to per canonical query
+// shape. An entry records the loop's decisions — which predicates were
+// pushed down, which join was picked at each stage and with which physical
+// algorithm and build side, and the final pipelined job — together with the
+// statistics fingerprint the decisions were derived from and the observed
+// per-stage cardinalities. The replay path in internal/core executes an
+// entry's stages with zero blocking re-optimization points, checking each
+// stage's observed cardinality against the recorded tolerance band and
+// falling back to the dynamic loop the moment reality disagrees with the
+// memo. Catalog mutations (dataset registered/replaced/dropped, index
+// built) evict every shape that references the dataset.
+package memo
+
+import (
+	"container/list"
+	"sync"
+
+	"dynopt/internal/plan"
+	"dynopt/internal/stats"
+)
+
+// StageKind discriminates recorded stage decisions.
+type StageKind int
+
+// The two staged (materializing) job kinds of Algorithm 1.
+const (
+	// StagePushDown is a single-variable predicate job over one alias.
+	StagePushDown StageKind = iota
+	// StageJoin is one blocking join stage of the re-optimization loop.
+	StageJoin
+)
+
+// Stage is one recorded decision of the dynamic loop, addressed by the
+// aliases of the reconstructed query at that point (intermediate aliases
+// ij1, ij2, … are minted deterministically, so they resolve identically on
+// replay).
+type Stage struct {
+	Kind StageKind
+	// Alias is the push-down target (StagePushDown only).
+	Alias string
+	// LeftAlias/RightAlias name the joined pair in the current graph and
+	// Algo/BuildLeft the physical choice the loop converged to
+	// (StageJoin only).
+	LeftAlias  string
+	RightAlias string
+	Algo       plan.Algo
+	BuildLeft  bool
+	// ObservedRows is the stage's output cardinality measured at its sink
+	// by the recording run — the center of the replay tolerance band.
+	ObservedRows int64
+}
+
+// Node records the final pipelined job structurally, over the aliases live
+// after the staged prefix. Leaves carry only the alias; replay rebinds them
+// to whatever dataset (base or freshly materialized temp) the alias names
+// in its own execution.
+type Node struct {
+	// Alias is set on leaves.
+	Alias string
+	// Interior join fields.
+	Left, Right         *Node
+	LeftKeys, RightKeys []string // qualified alias.field, positionally aligned
+	Algo                plan.Algo
+	BuildLeft           bool
+	EstRows             int64
+}
+
+// Entry is one memoized shape: the converged plan plus everything needed to
+// decide whether it is still trustworthy. Entries are immutable once stored;
+// re-recording replaces the whole entry.
+type Entry struct {
+	// Shape is the canonical query shape (plus the strategy-config tag) the
+	// entry is keyed under.
+	Shape string
+	// Datasets lists the base datasets the shape references — the
+	// invalidation fan-in.
+	Datasets []string
+	// Fingerprint pins the registry statistics the plan was derived from;
+	// replay is refused when the live registry drifts from it.
+	Fingerprint stats.Fingerprint
+	// Stages is the staged prefix (push-downs, then loop joins) in
+	// execution order.
+	Stages []Stage
+	// Final is the last pipelined job (zero or more joins over the
+	// remaining aliases).
+	Final *Node
+	// Born is the store's invalidation epoch when this recording started.
+	// Put refuses an entry born before the latest invalidation, so a plan
+	// converged against pre-DDL metadata cannot re-enter the store after
+	// the DDL evicted its shape (the recording-in-flight race).
+	Born int64
+}
+
+// DefaultTolerance is the multiplicative replay band: a replayed stage
+// observing more than Tolerance× (or fewer than 1/Tolerance×) the recorded
+// rows aborts the replay. Wide enough that rotating parameter bindings of
+// one workload shape stay inside; narrow enough that a join blowing up by
+// orders of magnitude falls back before the error compounds.
+const DefaultTolerance = 8.0
+
+// DefaultSlack is the absolute-rows slack added to both band edges so tiny
+// recorded cardinalities (0, 3, 10 rows) don't make the band degenerate.
+const DefaultSlack = 64
+
+// Options parameterizes the store's guardrails.
+type Options struct {
+	// Tolerance is the multiplicative cardinality band (default
+	// DefaultTolerance; values <= 1 mean the default).
+	Tolerance float64
+	// Slack is the absolute band widening in rows (default DefaultSlack;
+	// negative means 0).
+	Slack int64
+	// StatsDriftTolerance is the relative registry drift beyond which an
+	// entry's fingerprint is stale (default
+	// stats.DefaultStatsDriftTolerance).
+	StatsDriftTolerance float64
+}
+
+func (o Options) tolerance() float64 {
+	if o.Tolerance <= 1 {
+		return DefaultTolerance
+	}
+	return o.Tolerance
+}
+
+func (o Options) slack() int64 {
+	if o.Slack < 0 {
+		return 0
+	}
+	if o.Slack == 0 {
+		return DefaultSlack
+	}
+	return o.Slack
+}
+
+// WithinBand reports whether an observed stage cardinality stays inside the
+// tolerance band around the recorded one.
+func (o Options) WithinBand(recorded, observed int64) bool {
+	t := o.tolerance()
+	s := o.slack()
+	lo := int64(float64(recorded)/t) - s
+	hi := int64(float64(recorded)*t) + s
+	return observed >= lo && observed <= hi
+}
+
+// Store is the bounded LRU of memoized shapes. Safe for concurrent use by
+// serving queries: Get/Put/Invalidate take one short mutex; entries are
+// immutable so readers never see a half-written plan.
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	opt     Options
+	entries map[string]*list.Element // shape -> element whose Value is *Entry
+	lru     *list.List               // front = most recently used
+	epoch   int64                    // bumped by every InvalidateDataset
+
+	hits, misses, fallbacks, evictions, invalidations int64
+}
+
+// NewStore returns a store holding at most capacity entries (minimum 1).
+func NewStore(capacity int, opt Options) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{
+		cap:     capacity,
+		opt:     opt,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// Opts returns the store's guardrail options.
+func (s *Store) Opts() Options { return s.opt }
+
+// Get returns the entry for a shape (touching its LRU position), or nil.
+func (s *Store) Get(shape string) *Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[shape]
+	if !ok {
+		s.misses++
+		return nil
+	}
+	s.hits++
+	s.lru.MoveToFront(el)
+	return el.Value.(*Entry)
+}
+
+// Peek returns the entry for a shape without touching LRU order or hit
+// accounting (Explain's would-it-replay probe).
+func (s *Store) Peek(shape string) *Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[shape]; ok {
+		return el.Value.(*Entry)
+	}
+	return nil
+}
+
+// Epoch returns the current invalidation epoch; recordings snapshot it
+// into Entry.Born before executing.
+func (s *Store) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Put installs (or replaces) the entry under its shape, evicting the least
+// recently used shape when over capacity. An entry born before the latest
+// invalidation is refused: its plan may have converged against metadata a
+// concurrent DDL just invalidated (conservative — any invalidation during
+// the recording drops it, and the next execution simply re-records).
+func (s *Store) Put(e *Entry) {
+	if e == nil || e.Shape == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Born != s.epoch {
+		return
+	}
+	if el, ok := s.entries[e.Shape]; ok {
+		el.Value = e
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[e.Shape] = s.lru.PushFront(e)
+	for s.lru.Len() > s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*Entry).Shape)
+		s.evictions++
+	}
+}
+
+// Remove drops one shape unconditionally.
+func (s *Store) Remove(shape string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[shape]; ok {
+		s.lru.Remove(el)
+		delete(s.entries, shape)
+	}
+}
+
+// RemoveEntry drops a shape only while it still maps to exactly e
+// (stale-fingerprint refusal evicts eagerly, but must not delete a fresh
+// entry a concurrent query re-recorded under the same shape in between).
+func (s *Store) RemoveEntry(e *Entry) {
+	if e == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[e.Shape]; ok && el.Value.(*Entry) == e {
+		s.lru.Remove(el)
+		delete(s.entries, e.Shape)
+	}
+}
+
+// NoteFallback counts one mid-query replay fallback (serving metrics).
+func (s *Store) NoteFallback() {
+	s.mu.Lock()
+	s.fallbacks++
+	s.mu.Unlock()
+}
+
+// InvalidateDataset evicts every shape referencing the dataset and bumps
+// the invalidation epoch (so in-flight recordings started before this
+// point are refused at Put). Wired to the catalog's base-change hook:
+// dataset registered/replaced, dropped, or index built.
+func (s *Store) InvalidateDataset(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	for el := s.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*Entry)
+		for _, d := range e.Datasets {
+			if d == name {
+				s.lru.Remove(el)
+				delete(s.entries, e.Shape)
+				s.invalidations++
+				break
+			}
+		}
+		el = next
+	}
+}
+
+// Len returns the number of memoized shapes.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Counters is a snapshot of the store's serving statistics.
+type Counters struct {
+	Hits, Misses, Fallbacks, Evictions, Invalidations int64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Counters{
+		Hits: s.hits, Misses: s.misses, Fallbacks: s.fallbacks,
+		Evictions: s.evictions, Invalidations: s.invalidations,
+	}
+}

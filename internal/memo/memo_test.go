@@ -1,0 +1,182 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func entry(shape string, datasets ...string) *Entry {
+	return &Entry{Shape: shape, Datasets: datasets}
+}
+
+func TestStoreLRU(t *testing.T) {
+	s := NewStore(2, Options{})
+	s.Put(entry("A", "a"))
+	s.Put(entry("B", "b"))
+	if s.Get("A") == nil {
+		t.Fatal("A missing")
+	}
+	// A is now most recent; C evicts B.
+	s.Put(entry("C", "c"))
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if s.Get("B") != nil {
+		t.Error("B survived past capacity")
+	}
+	if s.Get("A") == nil || s.Get("C") == nil {
+		t.Error("wrong entry evicted")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestStoreReplaceKeepsCapacity(t *testing.T) {
+	s := NewStore(2, Options{})
+	s.Put(entry("A", "a"))
+	s.Put(entry("A", "a2")) // replace, not insert
+	s.Put(entry("B", "b"))
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if got := s.Get("A"); got == nil || got.Datasets[0] != "a2" {
+		t.Error("replacement did not take")
+	}
+}
+
+func TestPeekDoesNotTouch(t *testing.T) {
+	s := NewStore(2, Options{})
+	s.Put(entry("A", "a"))
+	s.Put(entry("B", "b"))
+	if s.Peek("A") == nil {
+		t.Fatal("peek missed")
+	}
+	// A was NOT touched by Peek, so it is still the LRU victim.
+	s.Put(entry("C", "c"))
+	if s.Peek("A") != nil {
+		t.Error("Peek refreshed LRU order")
+	}
+	before := s.Stats()
+	s.Peek("B")
+	if after := s.Stats(); after.Hits != before.Hits {
+		t.Error("Peek counted as a hit")
+	}
+}
+
+func TestInvalidateDataset(t *testing.T) {
+	s := NewStore(8, Options{})
+	s.Put(entry("A", "users", "orders"))
+	s.Put(entry("B", "orders", "items"))
+	s.Put(entry("C", "items"))
+	s.InvalidateDataset("orders")
+	if s.Get("A") != nil || s.Get("B") != nil {
+		t.Error("shapes referencing orders survived invalidation")
+	}
+	if s.Get("C") == nil {
+		t.Error("unrelated shape was invalidated")
+	}
+	if st := s.Stats(); st.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", st.Invalidations)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := NewStore(4, Options{})
+	s.Put(entry("A", "a"))
+	s.Remove("A")
+	s.Remove("A") // idempotent
+	if s.Get("A") != nil || s.Len() != 0 {
+		t.Error("Remove did not remove")
+	}
+}
+
+func TestWithinBand(t *testing.T) {
+	o := Options{Tolerance: 4, Slack: 10}
+	cases := []struct {
+		rec, obs int64
+		want     bool
+	}{
+		{1000, 1000, true},
+		{1000, 3999, true},
+		{1000, 4010, true},  // exactly rec*4 + slack
+		{1000, 4011, false}, // just past the band
+		{1000, 240, true},   // 1000/4 - 10 = 240
+		{1000, 239, false},
+		{0, 10, true}, // slack keeps tiny recordings usable
+		{0, 11, false},
+		{3, 0, true}, // lower edge clamps below zero
+	}
+	for _, c := range cases {
+		if got := o.WithinBand(c.rec, c.obs); got != c.want {
+			t.Errorf("WithinBand(%d, %d) = %v, want %v", c.rec, c.obs, got, c.want)
+		}
+	}
+	// Defaults: tolerance 8, slack 64.
+	var d Options
+	if !d.WithinBand(100, 864) || d.WithinBand(100, 865) {
+		t.Error("default band wrong at upper edge")
+	}
+}
+
+func TestStoreConcurrency(t *testing.T) {
+	s := NewStore(16, Options{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				shape := fmt.Sprintf("S%d", i%24)
+				switch i % 4 {
+				case 0:
+					s.Put(entry(shape, "d"))
+				case 1:
+					s.Get(shape)
+				case 2:
+					s.InvalidateDataset("d")
+				default:
+					s.Peek(shape)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > 16 {
+		t.Errorf("len = %d exceeds capacity", s.Len())
+	}
+}
+
+func TestRemoveEntryPointerChecked(t *testing.T) {
+	s := NewStore(4, Options{})
+	old := entry("A", "a")
+	s.Put(old)
+	fresh := entry("A", "a")
+	s.Put(fresh) // replaces old under the same shape
+	s.RemoveEntry(old)
+	if s.Peek("A") != fresh {
+		t.Error("RemoveEntry deleted a replaced (fresh) entry")
+	}
+	s.RemoveEntry(fresh)
+	if s.Peek("A") != nil {
+		t.Error("RemoveEntry missed the live entry")
+	}
+	s.RemoveEntry(nil) // no-op
+}
+
+func TestPutRefusedAcrossEpoch(t *testing.T) {
+	s := NewStore(4, Options{})
+	e := &Entry{Shape: "A", Datasets: []string{"d"}, Born: s.Epoch()}
+	s.InvalidateDataset("other") // epoch moves even with nothing to evict
+	s.Put(e)
+	if s.Len() != 0 {
+		t.Error("entry born before the invalidation was installed")
+	}
+	e2 := &Entry{Shape: "A", Datasets: []string{"d"}, Born: s.Epoch()}
+	s.Put(e2)
+	if s.Peek("A") != e2 {
+		t.Error("current-epoch entry refused")
+	}
+}

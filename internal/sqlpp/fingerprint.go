@@ -1,0 +1,152 @@
+package sqlpp
+
+import (
+	"strconv"
+	"strings"
+
+	"dynopt/internal/expr"
+)
+
+// ShapeOf renders the canonical shape of an analyzed query: every literal
+// and every $param is lifted into an anonymous `?` binding slot, while the
+// structure — datasets, aliases, qualified column references, operators,
+// clause order — is kept verbatim. Two executions of the same parameterized
+// statement with different constants therefore share one shape, which is the
+// key the plan memo caches converged plans under.
+//
+// The query should have been through Analyze first so bare column references
+// are already qualified; otherwise `d_moy = 4` and `d1.d_moy = 4` would
+// produce different shapes for the same plan.
+//
+// LIMIT is deliberately NOT lifted: a different LIMIT is a different result
+// contract, and conflating them under one shape would let a remembered
+// low-LIMIT plan serve an unbounded query.
+func ShapeOf(q *Query) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.SelectStar {
+		b.WriteString("*")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			canonExpr(&b, s.Expr)
+			if s.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(s.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Dataset)
+		if t.Alias != t.Dataset {
+			b.WriteString(" AS ")
+			b.WriteString(t.Alias)
+		}
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, w := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			canonExpr(&b, w)
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			canonExpr(&b, g)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			canonExpr(&b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(q.Limit, 10))
+	}
+	return b.String()
+}
+
+// canonExpr renders one expression into the shape, lifting constants. The
+// type switch mirrors Expr.SQL()'s grammar so shapes parse visually like the
+// statements they stand for, with `?` where values were.
+func canonExpr(b *strings.Builder, e expr.Expr) {
+	switch n := e.(type) {
+	case *expr.Literal, *expr.Param:
+		b.WriteString("?")
+	case *expr.Column:
+		b.WriteString(n.SQL())
+	case *expr.Compare:
+		canonExpr(b, n.L)
+		b.WriteString(" " + n.Op.String() + " ")
+		canonExpr(b, n.R)
+	case *expr.Between:
+		canonExpr(b, n.X)
+		b.WriteString(" BETWEEN ")
+		canonExpr(b, n.Lo)
+		b.WriteString(" AND ")
+		canonExpr(b, n.Hi)
+	case *expr.And:
+		for i, k := range n.Kids {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			canonExpr(b, k)
+		}
+	case *expr.Or:
+		b.WriteString("(")
+		for i, k := range n.Kids {
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			b.WriteString("(")
+			canonExpr(b, k)
+			b.WriteString(")")
+		}
+		b.WriteString(")")
+	case *expr.Not:
+		b.WriteString("NOT (")
+		canonExpr(b, n.Kid)
+		b.WriteString(")")
+	case *expr.Call:
+		b.WriteString(n.Name)
+		b.WriteString("(")
+		for i, a := range n.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			canonExpr(b, a)
+		}
+		b.WriteString(")")
+	case *expr.Arith:
+		b.WriteString("(")
+		canonExpr(b, n.L)
+		b.WriteString(" " + n.Op.String() + " ")
+		canonExpr(b, n.R)
+		b.WriteString(")")
+	default:
+		// Unknown node kinds degrade to their SQL text: constants inside
+		// them won't be lifted, so distinct constants get distinct shapes —
+		// correct, just less sharing.
+		b.WriteString(e.SQL())
+	}
+}

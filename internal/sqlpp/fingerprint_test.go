@@ -1,0 +1,104 @@
+package sqlpp
+
+import (
+	"strings"
+	"testing"
+
+	"dynopt/internal/types"
+)
+
+func shapeResolver() SchemaResolver {
+	users := types.NewSchema(
+		types.Field{Name: "u_id", Kind: types.KindInt},
+		types.Field{Name: "u_grp", Kind: types.KindInt},
+	)
+	orders := types.NewSchema(
+		types.Field{Name: "o_id", Kind: types.KindInt},
+		types.Field{Name: "o_user", Kind: types.KindInt},
+		types.Field{Name: "o_amt", Kind: types.KindFloat},
+	)
+	return func(name string) (*types.Schema, bool) {
+		switch name {
+		case "users":
+			return users, true
+		case "orders":
+			return orders, true
+		}
+		return nil, false
+	}
+}
+
+func shapeOf(t *testing.T, sql string) string {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	if _, err := Analyze(q, shapeResolver()); err != nil {
+		t.Fatalf("analyze %q: %v", sql, err)
+	}
+	return ShapeOf(q)
+}
+
+func TestShapeLiftsLiteralsAndParams(t *testing.T) {
+	base := shapeOf(t, `SELECT o.o_id FROM orders o, users u
+		WHERE o.o_user = u.u_id AND u.u_grp = 3`)
+	if strings.Contains(base, "3") {
+		t.Errorf("literal not lifted: %s", base)
+	}
+	if !strings.Contains(base, "u.u_grp = ?") {
+		t.Errorf("placeholder missing: %s", base)
+	}
+	same := []string{
+		`SELECT o.o_id FROM orders o, users u WHERE o.o_user = u.u_id AND u.u_grp = 7`,
+		`SELECT o.o_id FROM orders o, users u WHERE o.o_user = u.u_id AND u.u_grp = $g`,
+		// Bare columns qualify to the same shape.
+		`SELECT o_id FROM orders o, users u WHERE o_user = u_id AND u_grp = 5`,
+	}
+	for _, sql := range same {
+		if got := shapeOf(t, sql); got != base {
+			t.Errorf("shape differs:\n got %s\nwant %s", got, base)
+		}
+	}
+}
+
+func TestShapeKeepsStructure(t *testing.T) {
+	base := shapeOf(t, `SELECT o.o_id FROM orders o, users u
+		WHERE o.o_user = u.u_id AND u.u_grp = 3`)
+	different := []string{
+		// Different predicate column.
+		`SELECT o.o_id FROM orders o, users u WHERE o.o_user = u.u_id AND u.u_id = 3`,
+		// Extra conjunct.
+		`SELECT o.o_id FROM orders o, users u WHERE o.o_user = u.u_id AND u.u_grp = 3 AND o.o_amt > 1`,
+		// Different projection.
+		`SELECT o.o_amt FROM orders o, users u WHERE o.o_user = u.u_id AND u.u_grp = 3`,
+		// Different alias binding.
+		`SELECT ox.o_id FROM orders ox, users u WHERE ox.o_user = u.u_id AND u.u_grp = 3`,
+	}
+	for _, sql := range different {
+		if got := shapeOf(t, sql); got == base {
+			t.Errorf("structurally different query shares shape: %s", sql)
+		}
+	}
+}
+
+func TestShapeKeepsLimitAndClauses(t *testing.T) {
+	a := shapeOf(t, `SELECT u.u_grp, count(o.o_id) AS n FROM orders o, users u
+		WHERE o.o_user = u.u_id GROUP BY u.u_grp ORDER BY u.u_grp LIMIT 10`)
+	b := shapeOf(t, `SELECT u.u_grp, count(o.o_id) AS n FROM orders o, users u
+		WHERE o.o_user = u.u_id GROUP BY u.u_grp ORDER BY u.u_grp LIMIT 20`)
+	if a == b {
+		t.Error("different LIMITs share a shape")
+	}
+	if !strings.Contains(a, "GROUP BY u.u_grp") || !strings.Contains(a, "ORDER BY u.u_grp") {
+		t.Errorf("clauses missing from shape: %s", a)
+	}
+	// BETWEEN bounds and call arguments are lifted too.
+	c := shapeOf(t, `SELECT o.o_id FROM orders o, users u
+		WHERE o.o_user = u.u_id AND o.o_amt BETWEEN 1 AND 2`)
+	d := shapeOf(t, `SELECT o.o_id FROM orders o, users u
+		WHERE o.o_user = u.u_id AND o.o_amt BETWEEN $lo AND $hi`)
+	if c != d {
+		t.Errorf("BETWEEN bounds not lifted:\n%s\n%s", c, d)
+	}
+}

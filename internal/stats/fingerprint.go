@@ -1,0 +1,94 @@
+package stats
+
+import "fmt"
+
+// DatasetFingerprint pins the registry statistics a memoized plan was
+// derived from for one base dataset: size, byte volume, and the distinct
+// counts of the fields that drove join-order and algorithm decisions.
+type DatasetFingerprint struct {
+	Rows  int64
+	Bytes int64
+	// FieldDistinct holds the distinct-count estimate per fingerprinted
+	// field (join keys and filter columns of the shape).
+	FieldDistinct map[string]int64
+}
+
+// Fingerprint summarizes every base dataset a memoized plan depends on,
+// keyed by dataset name. It is the cheap revalidation token of the plan
+// memo: replay is only attempted while the live registry still matches it.
+type Fingerprint map[string]DatasetFingerprint
+
+// DefaultStatsDriftTolerance is the relative drift in row counts, byte
+// sizes, or distinct counts beyond which a fingerprint is stale. Base
+// statistics are immutable once loaded, so any real mutation moves them far
+// past this; the small band absorbs nothing but sketch re-estimation noise.
+const DefaultStatsDriftTolerance = 0.05
+
+// FingerprintOf captures the current registry statistics for the given
+// datasets. fields maps dataset name to the field names of interest; a
+// dataset with no registry entry is recorded as zero (and will read as
+// stale the moment statistics appear).
+func FingerprintOf(reg *Registry, fields map[string]map[string]bool) Fingerprint {
+	fp := Fingerprint{}
+	for name, fs := range fields {
+		d := DatasetFingerprint{FieldDistinct: map[string]int64{}}
+		if st := reg.Get(name); st != nil {
+			d.Rows = st.RecordCount
+			d.Bytes = st.ByteSize
+			for f := range fs {
+				if s, ok := st.Fields[f]; ok && s.Count > 0 {
+					d.FieldDistinct[f] = s.DistinctCount()
+				}
+			}
+		}
+		fp[name] = d
+	}
+	return fp
+}
+
+// Stale reports whether the live registry has drifted beyond tol (relative)
+// from the fingerprint, and describes the first drift found. tol <= 0 uses
+// DefaultStatsDriftTolerance. Vanished statistics are stale.
+func (fp Fingerprint) Stale(reg *Registry, tol float64) (string, bool) {
+	if tol <= 0 {
+		tol = DefaultStatsDriftTolerance
+	}
+	for name, want := range fp {
+		st := reg.Get(name)
+		if st == nil {
+			if want.Rows != 0 || want.Bytes != 0 {
+				return fmt.Sprintf("%s: statistics vanished", name), true
+			}
+			continue
+		}
+		if drifted(want.Rows, st.RecordCount, tol) {
+			return fmt.Sprintf("%s: rows %d -> %d", name, want.Rows, st.RecordCount), true
+		}
+		if drifted(want.Bytes, st.ByteSize, tol) {
+			return fmt.Sprintf("%s: bytes %d -> %d", name, want.Bytes, st.ByteSize), true
+		}
+		for f, d := range want.FieldDistinct {
+			cur := int64(0)
+			if s, ok := st.Fields[f]; ok && s.Count > 0 {
+				cur = s.DistinctCount()
+			}
+			if drifted(d, cur, tol) {
+				return fmt.Sprintf("%s.%s: distinct %d -> %d", name, f, d, cur), true
+			}
+		}
+	}
+	return "", false
+}
+
+// drifted reports |cur-want|/max(want,1) > tol.
+func drifted(want, cur int64, tol float64) bool {
+	diff := cur - want
+	if diff < 0 {
+		diff = -diff
+	}
+	base := want
+	if base < 1 {
+		base = 1
+	}
+	return float64(diff) > tol*float64(base)
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"dynopt/internal/types"
+)
+
+func fpRegistry(rows int64) *Registry {
+	reg := NewRegistry()
+	d := NewDatasetStats("users")
+	sch := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt},
+		types.Field{Name: "grp", Kind: types.KindInt},
+	)
+	for i := int64(0); i < rows; i++ {
+		d.ObserveTuple(sch, types.Tuple{types.Int(i), types.Int(i % 8)}, nil)
+	}
+	reg.Put(d)
+	return reg
+}
+
+func fpFields() map[string]map[string]bool {
+	return map[string]map[string]bool{"users": {"id": true, "grp": true}}
+}
+
+func TestFingerprintFreshNotStale(t *testing.T) {
+	reg := fpRegistry(1000)
+	fp := FingerprintOf(reg, fpFields())
+	if fp["users"].Rows != 1000 {
+		t.Fatalf("rows = %d", fp["users"].Rows)
+	}
+	if fp["users"].FieldDistinct["grp"] == 0 {
+		t.Fatal("no distinct recorded for grp")
+	}
+	if reason, stale := fp.Stale(reg, 0); stale {
+		t.Errorf("fresh fingerprint reads stale: %s", reason)
+	}
+}
+
+func TestFingerprintStaleOnRowDrift(t *testing.T) {
+	fp := FingerprintOf(fpRegistry(1000), fpFields())
+	reason, stale := fp.Stale(fpRegistry(2000), 0)
+	if !stale {
+		t.Fatal("2x row drift not detected")
+	}
+	if !strings.Contains(reason, "rows") {
+		t.Errorf("reason = %q", reason)
+	}
+	// Within tolerance: 3% drift at default 5% tolerance.
+	if reason, stale := fp.Stale(fpRegistry(1030), 0); stale {
+		t.Errorf("3%% drift read stale: %s", reason)
+	}
+}
+
+func TestFingerprintStaleOnDistinctDrift(t *testing.T) {
+	fp := FingerprintOf(fpRegistry(1000), fpFields())
+	// Same row count, but grp now spans 1000 distincts instead of 8.
+	reg := NewRegistry()
+	d := NewDatasetStats("users")
+	sch := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt},
+		types.Field{Name: "grp", Kind: types.KindInt},
+	)
+	for i := int64(0); i < 1000; i++ {
+		d.ObserveTuple(sch, types.Tuple{types.Int(i), types.Int(i)}, nil)
+	}
+	// Compensate byte drift: same schema and kinds keep sizes equal.
+	reg.Put(d)
+	reason, stale := fp.Stale(reg, 0)
+	if !stale {
+		t.Fatal("distinct drift not detected")
+	}
+	if !strings.Contains(reason, "grp") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestFingerprintStaleOnVanish(t *testing.T) {
+	fp := FingerprintOf(fpRegistry(1000), fpFields())
+	if _, stale := fp.Stale(NewRegistry(), 0); !stale {
+		t.Error("vanished statistics not detected")
+	}
+	// A fingerprint taken over an empty registry is not stale against one.
+	empty := FingerprintOf(NewRegistry(), fpFields())
+	if reason, stale := empty.Stale(NewRegistry(), 0); stale {
+		t.Errorf("empty-over-empty reads stale: %s", reason)
+	}
+}

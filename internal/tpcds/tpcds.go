@@ -264,3 +264,51 @@ WHERE d1.d_moy = myrand(8, 10)
   AND ss.ss_sold_date_sk = d2.d_date_sk
   AND ss.ss_store_sk = st.s_store_sk`
 }
+
+// Q50P is the serving variant of Q50: the dimension predicates become
+// $moy/$year query parameters so repeated executions with rotating bindings
+// share one plan-memo shape.
+func Q50P() string {
+	return `SELECT st.s_store_name, ss.ss_quantity, sr.sr_return_quantity
+FROM store_sales ss, store_returns sr, date_dim d1, date_dim d2, store st
+WHERE d1.d_moy = $moy
+  AND d1.d_year = $year
+  AND d1.d_date_sk = sr.sr_returned_date_sk
+  AND ss.ss_customer_sk = sr.sr_customer_sk
+  AND ss.ss_item_sk = sr.sr_item_sk
+  AND ss.ss_ticket_number = sr.sr_ticket_number
+  AND ss.ss_sold_date_sk = d2.d_date_sk
+  AND ss.ss_store_sk = st.s_store_sk`
+}
+
+// Q17P is the serving variant of Q17: the first date dimension's
+// month/year filter is parameterized ($moy/$year) for repeated execution
+// with rotating bindings.
+func Q17P() string {
+	return `SELECT i.i_item_id, i.i_item_desc, st.s_store_id, st.s_store_name,
+       count(ss.ss_quantity) AS store_sales_quantitycount,
+       avg(ss.ss_quantity) AS store_sales_quantityave,
+       avg(sr.sr_return_quantity) AS store_returns_quantityave,
+       avg(cs.cs_quantity) AS catalog_sales_quantityave
+FROM store_sales ss, store_returns sr, catalog_sales cs,
+     date_dim d1, date_dim d2, date_dim d3, store st, item i
+WHERE d1.d_moy = $moy
+  AND d1.d_year = $year
+  AND d1.d_date_sk = ss.ss_sold_date_sk
+  AND i.i_item_sk = ss.ss_item_sk
+  AND st.s_store_sk = ss.ss_store_sk
+  AND ss.ss_customer_sk = sr.sr_customer_sk
+  AND ss.ss_item_sk = sr.sr_item_sk
+  AND ss.ss_ticket_number = sr.sr_ticket_number
+  AND sr.sr_returned_date_sk = d2.d_date_sk
+  AND d2.d_moy BETWEEN 4 AND 10
+  AND d2.d_year = 2001
+  AND sr.sr_customer_sk = cs.cs_bill_customer_sk
+  AND sr.sr_item_sk = cs.cs_item_sk
+  AND cs.cs_sold_date_sk = d3.d_date_sk
+  AND d3.d_moy BETWEEN 4 AND 10
+  AND d3.d_year = 2001
+GROUP BY i.i_item_id, i.i_item_desc, st.s_store_id, st.s_store_name
+ORDER BY i.i_item_id, i.i_item_desc, st.s_store_id, st.s_store_name
+LIMIT 100`
+}

@@ -276,3 +276,22 @@ WHERE s.s_suppkey = l.l_suppkey
   AND s.s_nationkey = n.n_nationkey
   AND mysub(p.p_brand) = '#3'`
 }
+
+// Q8P is the serving variant of Q8: the region name and order-status
+// filters become $region/$status query parameters so repeated executions
+// with rotating bindings share one plan-memo shape.
+func Q8P() string {
+	return `SELECT o.o_orderdate, l.l_extendedprice, l.l_discount, n2.n_name
+FROM lineitem l, part p, supplier s, orders o, customer c, nation n1, nation n2, region r
+WHERE p.p_partkey = l.l_partkey
+  AND s.s_suppkey = l.l_suppkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_custkey = c.c_custkey
+  AND c.c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r.r_regionkey
+  AND r.r_name = $region
+  AND s.s_nationkey = n2.n_nationkey
+  AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND o.o_orderstatus = $status
+  AND p.p_type = 'SMALL PLATED COPPER'`
+}

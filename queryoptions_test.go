@@ -1,0 +1,221 @@
+package dynopt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// wideDB mirrors internal/core's wideWorkload at the API layer: a fact
+// table with five dimensions, so the unbounded dynamic loop crosses exactly
+// three blocking re-optimization points.
+func wideDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	db := Open(cfg)
+	const nDims = 5
+	dimSize := []int{40, 80, 120, 200, 300}
+	for d := 0; d < nDims; d++ {
+		rows := make([]Tuple, dimSize[d])
+		for i := range rows {
+			rows[i] = Tuple{Int(int64(i)), Int(int64(i % 5))}
+		}
+		if err := db.CreateDataset(fmt.Sprintf("dim%d", d),
+			NewSchema(F("id", KindInt), F("v", KindInt)), []string{"id"}, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fields := []Field{F("id", KindInt)}
+	for d := 0; d < nDims; d++ {
+		fields = append(fields, F(fmt.Sprintf("fk%d", d), KindInt))
+	}
+	const factN = 4000
+	factRows := make([]Tuple, factN)
+	for i := range factRows {
+		row := Tuple{Int(int64(i))}
+		for d := 0; d < nDims; d++ {
+			row = append(row, Int(int64(i%dimSize[d])))
+		}
+		factRows[i] = row
+	}
+	if err := db.CreateDataset("fact", NewSchema(fields...), []string{"id"}, factRows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func wideQuery() string {
+	sql := "SELECT fact.id FROM fact"
+	for d := 0; d < 5; d++ {
+		sql += fmt.Sprintf(", dim%d", d)
+	}
+	sql += " WHERE "
+	for d := 0; d < 5; d++ {
+		if d > 0 {
+			sql += " AND "
+		}
+		sql += fmt.Sprintf("fact.fk%d = dim%d.id", d, d)
+	}
+	return sql + " AND dim0.v = 2"
+}
+
+// TestQueryOptionsMaxReoptsOverride: per-query budgets apply to exactly the
+// query carrying them — concurrent queries with different budgets each see
+// their own, and none leaks into the DB default.
+func TestQueryOptionsMaxReoptsOverride(t *testing.T) {
+	db := wideDB(t, Config{}) // DB-level budget: unlimited
+	const wantRows = 4000 / 5
+
+	type job struct {
+		opts       *QueryOptions
+		wantReopts int
+	}
+	jobs := []job{
+		{nil, 3},                           // unbounded → 3 blocking points
+		{&QueryOptions{MaxReopts: 1}, 1},   // per-query budget
+		{&QueryOptions{MaxReopts: 2}, 2},   // per-query budget
+		{nil, 3},                           // still unbounded
+		{&QueryOptions{MaxReopts: -1}, 3},  // explicit unlimited
+		{&QueryOptions{MaxReopts: 1}, 1},   //
+		{&QueryOptions{}, 3},               // zero inherits DB default
+		{&QueryOptions{MaxReopts: 100}, 3}, // budget above need: unchanged
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs)*4)
+	for rep := 0; rep < 4; rep++ {
+		for i, j := range jobs {
+			wg.Add(1)
+			go func(i int, j job) {
+				defer wg.Done()
+				res, err := db.Query(wideQuery(), j.opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.Rows) != wantRows {
+					errs <- fmt.Errorf("job %d: rows = %d, want %d", i, len(res.Rows), wantRows)
+					return
+				}
+				if res.Metrics.Reopts != j.wantReopts {
+					errs <- fmt.Errorf("job %d: reopts = %d, want %d (override leaked?)",
+						i, res.Metrics.Reopts, j.wantReopts)
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestQueryOptionsMaxReoptsUnlimitedOverride: a DB-level budget is lifted
+// by MaxReopts < 0 for one query without affecting others.
+func TestQueryOptionsMaxReoptsUnlimitedOverride(t *testing.T) {
+	db := wideDB(t, Config{ReoptBudget: 1})
+	res, err := db.Query(wideQuery(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Reopts > 1 {
+		t.Errorf("DB budget ignored: reopts = %d", res.Metrics.Reopts)
+	}
+	res2, err := db.Query(wideQuery(), &QueryOptions{MaxReopts: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Metrics.Reopts != 3 {
+		t.Errorf("unlimited override: reopts = %d, want 3", res2.Metrics.Reopts)
+	}
+	res3, err := db.Query(wideQuery(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Metrics.Reopts > 1 {
+		t.Errorf("override leaked into later query: reopts = %d", res3.Metrics.Reopts)
+	}
+}
+
+// TestQueryOptionsBroadcastThresholdOverride: a per-query threshold of one
+// byte forbids broadcasts for that query only, while concurrent default
+// queries keep broadcasting the small dimensions.
+func TestQueryOptionsBroadcastThresholdOverride(t *testing.T) {
+	db := wideDB(t, Config{})
+	const wantRows = 4000 / 5
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var opts *QueryOptions
+			if i%2 == 0 {
+				opts = &QueryOptions{BroadcastThresholdBytes: 1}
+			}
+			res, err := db.Query(wideQuery(), opts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(res.Rows) != wantRows {
+				errs <- fmt.Errorf("rows = %d, want %d", len(res.Rows), wantRows)
+				return
+			}
+			hasBroadcast := strings.Contains(res.Metrics.Plan, "⋈b")
+			if i%2 == 0 && hasBroadcast {
+				errs <- fmt.Errorf("threshold override ignored: %s", res.Metrics.Plan)
+			}
+			if i%2 == 1 && !hasBroadcast {
+				errs <- fmt.Errorf("default query stopped broadcasting (override leaked): %s", res.Metrics.Plan)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestQueryOptionsEnableINLJOverride: INLJ can be switched per query on a
+// DB that has it off, and vice versa.
+func TestQueryOptionsEnableINLJOverride(t *testing.T) {
+	db := Open(Config{Nodes: 4}) // INLJ off at the DB level
+	big := make([]Tuple, 4000)
+	for i := range big {
+		big[i] = Tuple{Int(int64(i)), Int(int64(i % 100))}
+	}
+	if err := db.CreateDataset("big", NewSchema(F("b_id", KindInt), F("b_fk", KindInt)), []string{"b_id"}, big); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]Tuple, 100)
+	for i := range small {
+		small[i] = Tuple{Int(int64(i)), Int(int64(i % 4))}
+	}
+	if err := db.CreateDataset("small", NewSchema(F("s_id", KindInt), F("s_v", KindInt)), []string{"s_id"}, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("big", "b_fk"); err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT b.b_id FROM big b, small s WHERE b.b_fk = s.s_id AND s.s_v = 2`
+	on := true
+	res, err := db.Query(sql, &QueryOptions{EnableINLJ: &on})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Metrics.Plan, "⋈i") {
+		t.Errorf("INLJ override ignored: %s", res.Metrics.Plan)
+	}
+	res2, err := db.Query(sql, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res2.Metrics.Plan, "⋈i") {
+		t.Errorf("INLJ leaked into default query: %s", res2.Metrics.Plan)
+	}
+}

@@ -49,3 +49,16 @@ func TPCDSQ17() string { return tpcds.Q17() }
 // TPCDSQ50 returns the paper's TPC-DS query 50 (parameterized date
 // predicates via myrand).
 func TPCDSQ50() string { return tpcds.Q50() }
+
+// TPCDSQ17P returns the serving variant of Q17: the first date dimension's
+// filter takes $moy/$year parameters, so repeated executions with rotating
+// bindings share one plan-memo shape.
+func TPCDSQ17P() string { return tpcds.Q17P() }
+
+// TPCDSQ50P returns the serving variant of Q50: $moy/$year parameters in
+// place of the myrand predicates.
+func TPCDSQ50P() string { return tpcds.Q50P() }
+
+// TPCHQ8P returns the serving variant of Q8: $region/$status parameters in
+// place of the region-name and order-status literals.
+func TPCHQ8P() string { return tpch.Q8P() }
