@@ -27,6 +27,7 @@ const (
 // BenchmarkFigure6Overhead regenerates Figure 6 (left): the overhead of
 // re-optimization points and online statistics collection.
 func BenchmarkFigure6Overhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Figure6Overhead([]int{benchSF}, benchNodes)
 		if err != nil {
@@ -41,6 +42,7 @@ func BenchmarkFigure6Overhead(b *testing.B) {
 // BenchmarkFigure6Pushdown regenerates Figure 6 (right): the predicate
 // push-down overhead vs the exact-statistics baseline.
 func BenchmarkFigure6Pushdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Figure6Pushdown([]int{benchSF}, benchNodes)
 		if err != nil {
@@ -76,32 +78,33 @@ func benchFigure7Query(b *testing.B, name string, indexes bool) {
 }
 
 // BenchmarkFigure7Q17 regenerates the Q17 group of Figure 7.
-func BenchmarkFigure7Q17(b *testing.B) { benchFigure7Query(b, "Q17", false) }
+func BenchmarkFigure7Q17(b *testing.B) { b.ReportAllocs(); benchFigure7Query(b, "Q17", false) }
 
 // BenchmarkFigure7Q50 regenerates the Q50 group of Figure 7.
-func BenchmarkFigure7Q50(b *testing.B) { benchFigure7Query(b, "Q50", false) }
+func BenchmarkFigure7Q50(b *testing.B) { b.ReportAllocs(); benchFigure7Query(b, "Q50", false) }
 
 // BenchmarkFigure7Q8 regenerates the Q8 group of Figure 7.
-func BenchmarkFigure7Q8(b *testing.B) { benchFigure7Query(b, "Q8", false) }
+func BenchmarkFigure7Q8(b *testing.B) { b.ReportAllocs(); benchFigure7Query(b, "Q8", false) }
 
 // BenchmarkFigure7Q9 regenerates the Q9 group of Figure 7.
-func BenchmarkFigure7Q9(b *testing.B) { benchFigure7Query(b, "Q9", false) }
+func BenchmarkFigure7Q9(b *testing.B) { b.ReportAllocs(); benchFigure7Query(b, "Q9", false) }
 
 // BenchmarkFigure8Q17 regenerates the Q17 group of Figure 8 (INLJ enabled).
-func BenchmarkFigure8Q17(b *testing.B) { benchFigure7Query(b, "Q17", true) }
+func BenchmarkFigure8Q17(b *testing.B) { b.ReportAllocs(); benchFigure7Query(b, "Q17", true) }
 
 // BenchmarkFigure8Q50 regenerates the Q50 group of Figure 8.
-func BenchmarkFigure8Q50(b *testing.B) { benchFigure7Query(b, "Q50", true) }
+func BenchmarkFigure8Q50(b *testing.B) { b.ReportAllocs(); benchFigure7Query(b, "Q50", true) }
 
 // BenchmarkFigure8Q8 regenerates the Q8 group of Figure 8.
-func BenchmarkFigure8Q8(b *testing.B) { benchFigure7Query(b, "Q8", true) }
+func BenchmarkFigure8Q8(b *testing.B) { b.ReportAllocs(); benchFigure7Query(b, "Q8", true) }
 
 // BenchmarkFigure8Q9 regenerates the Q9 group of Figure 8.
-func BenchmarkFigure8Q9(b *testing.B) { benchFigure7Query(b, "Q9", true) }
+func BenchmarkFigure8Q9(b *testing.B) { b.ReportAllocs(); benchFigure7Query(b, "Q9", true) }
 
 // BenchmarkTable1 regenerates Table 1 (average improvement ratios) from a
 // Figure 7 sweep.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Figure7([]int{benchSF}, benchNodes)
 		if err != nil {
@@ -118,6 +121,7 @@ func BenchmarkTable1(b *testing.B) {
 // ablation for the paper's claim that post-predicate broadcast decisions
 // drive much of the improvement.
 func BenchmarkAblationBroadcastThreshold(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.AblationBroadcastThreshold(benchSF, benchNodes,
 			[]int64{0, 128 << 10, 8 << 20})
@@ -287,6 +291,7 @@ func BenchmarkParse(b *testing.B) {
 // 1, 4, and 16 concurrent clients issuing a mixed-strategy workload against
 // one DB — the per-query execution scope is what makes this sound.
 func BenchmarkConcurrentQueries(b *testing.B) {
+	b.ReportAllocs()
 	mixed := []Strategy{StrategyDynamic, StrategyCostBased, StrategyWorstOrder, StrategyIngres}
 	for _, clients := range []int{1, 4, 16} {
 		b.Run(strconv.Itoa(clients)+"-clients", func(b *testing.B) {

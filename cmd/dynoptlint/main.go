@@ -1,0 +1,96 @@
+// Command dynoptlint runs the dynopt analyzer suite (internal/lint) over Go
+// packages and fails on any diagnostic. It is a small multichecker in the
+// style of golang.org/x/tools/go/analysis/multichecker, built on the
+// self-contained internal/lint/analysis framework so it needs nothing
+// outside the standard library.
+//
+// Usage:
+//
+//	go run ./cmd/dynoptlint ./...                 lint the module
+//	go run ./cmd/dynoptlint -only tempname ./...  run a subset of analyzers
+//	go run ./cmd/dynoptlint -gopath DIR PKG...    lint GOPATH-style fixture
+//	                                              trees (CI self-test mode)
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynopt/internal/lint"
+	"dynopt/internal/lint/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	gopath := flag.String("gopath", "", "load packages GOPATH-style from this root (testdata/self-test mode)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dynoptlint [-only a,b] [-gopath dir] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fatalf("unknown analyzer %q (use -list)", name)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var (
+		pkgs []*analysis.Package
+		err  error
+	)
+	if *gopath != "" {
+		pkgs, err = analysis.LoadGOPATH(*gopath, patterns...)
+	} else {
+		pkgs, err = analysis.Load(".", patterns...)
+	}
+	if err != nil {
+		fatalf("load: %v", err)
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dynoptlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dynoptlint: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -454,7 +454,7 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Re
 	// Backstop sweep: the dynamic driver drops its temps itself, but if a
 	// strategy errors or panics between materializing and registering its
 	// cleanup, the query's unique namespace guarantees nothing survives.
-	defer db.ctx.Catalog.DropPrefix("tmp_" + scope)
+	defer db.ctx.Catalog.DropPrefix(catalog.TempPrefix(scope))
 
 	// Per-query memory grant against the cluster governor: every join build
 	// table, aggregate table, and resident intermediate is reserved through

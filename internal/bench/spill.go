@@ -53,52 +53,8 @@ func SpillSweep(rows, nodes int, spillRoot string) ([]SpillPoint, error) {
 	out := make([]SpillPoint, 0, len(spillSweepFracs))
 	var wantRows int64 = -1
 	for i, f := range spillSweepFracs {
-		ctx, err := NewMicroCtx(rows, nodes)
+		pt, err := spillSweepStep(rows, nodes, spillRoot, i, f.name, f.num, f.den)
 		if err != nil {
-			return nil, err
-		}
-		fact, _ := ctx.Catalog.Get("fact")
-		perNodeBuild := fact.ByteSize() / int64(nodes)
-		budget := perNodeBuild * f.num / f.den
-		ctx.Cluster.SetMemoryPerNodeBytes(budget)
-		sm := storage.NewSpillManager(spillRoot, fmt.Sprintf("sweep%d_", i))
-		grant := ctx.Cluster.Governor().Grant()
-		ctx.Spill = sm
-		ctx.Grant = grant
-
-		frel, err := engine.ScanByName(ctx, "fact", "f", nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		drel, err := engine.ScanByName(ctx, "dim", "d", nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		before := ctx.Cluster.Acct().Snapshot()
-		start := time.Now()
-		rel, err := engine.HashJoin(ctx, frel, drel, []string{"f.fk"}, []string{"d.id"}, true)
-		wall := time.Since(start)
-		if err != nil {
-			return nil, fmt.Errorf("bench: spill sweep %s: %w", f.name, err)
-		}
-		diff := ctx.Cluster.Acct().Snapshot().Sub(before)
-		pt := SpillPoint{
-			Name:              f.name,
-			Rows:              rows,
-			Nodes:             nodes,
-			BudgetBytes:       budget,
-			BudgetFracOfBuild: float64(f.num) / float64(f.den),
-			OutRows:           rel.RowCount(),
-			SpillBytes:        diff.SpillBytes,
-			SpillRows:         diff.SpillRows,
-			RunFileBytes:      sm.BytesWritten(),
-			PeakGrantBytes:    grant.Peak(),
-			GrantCapacity:     ctx.Cluster.Governor().Capacity(),
-			SimSeconds:        ctx.Cluster.Model().SimSeconds(diff, nodes),
-			WallSeconds:       wall.Seconds(),
-		}
-		grant.Close()
-		if err := sm.Sweep(); err != nil {
 			return nil, err
 		}
 		if wantRows < 0 {
@@ -118,6 +74,63 @@ func SpillSweep(rows, nodes int, spillRoot string) ([]SpillPoint, error) {
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// spillSweepStep runs one budget step of the sweep. The grant and the spill
+// manager are released via defer so an error anywhere in the step — scan,
+// join, or metering — still frees governor memory and sweeps the step's
+// run-file directory before the next step reuses the root.
+func spillSweepStep(rows, nodes int, spillRoot string, step int, name string, num, den int64) (pt SpillPoint, err error) {
+	ctx, err := NewMicroCtx(rows, nodes)
+	if err != nil {
+		return SpillPoint{}, err
+	}
+	fact, _ := ctx.Catalog.Get("fact")
+	perNodeBuild := fact.ByteSize() / int64(nodes)
+	budget := perNodeBuild * num / den
+	ctx.Cluster.SetMemoryPerNodeBytes(budget)
+	sm := storage.NewSpillManager(spillRoot, fmt.Sprintf("sweep%d_", step))
+	grant := ctx.Cluster.Governor().Grant()
+	ctx.Spill = sm
+	ctx.Grant = grant
+	defer grant.Close()
+	defer func() {
+		if swerr := sm.Sweep(); swerr != nil && err == nil {
+			err = swerr
+		}
+	}()
+
+	frel, err := engine.ScanByName(ctx, "fact", "f", nil, nil)
+	if err != nil {
+		return SpillPoint{}, err
+	}
+	drel, err := engine.ScanByName(ctx, "dim", "d", nil, nil)
+	if err != nil {
+		return SpillPoint{}, err
+	}
+	before := ctx.Cluster.Acct().Snapshot()
+	start := time.Now()
+	rel, err := engine.HashJoin(ctx, frel, drel, []string{"f.fk"}, []string{"d.id"}, true)
+	wall := time.Since(start)
+	if err != nil {
+		return SpillPoint{}, fmt.Errorf("bench: spill sweep %s: %w", name, err)
+	}
+	diff := ctx.Cluster.Acct().Snapshot().Sub(before)
+	return SpillPoint{
+		Name:              name,
+		Rows:              rows,
+		Nodes:             nodes,
+		BudgetBytes:       budget,
+		BudgetFracOfBuild: float64(num) / float64(den),
+		OutRows:           rel.RowCount(),
+		SpillBytes:        diff.SpillBytes,
+		SpillRows:         diff.SpillRows,
+		RunFileBytes:      sm.BytesWritten(),
+		PeakGrantBytes:    grant.Peak(),
+		GrantCapacity:     ctx.Cluster.Governor().Capacity(),
+		SimSeconds:        ctx.Cluster.Model().SimSeconds(diff, nodes),
+		WallSeconds:       wall.Seconds(),
+	}, nil
 }
 
 // WriteSpillJSON runs SpillSweep (spilling under a temp directory) and

@@ -118,6 +118,12 @@ func (c *Catalog) Names() []string {
 	return out
 }
 
+// TempPrefix returns the temp-relation name prefix for a query scope. The
+// temp namespace literal is owned by the catalog — DropPrefix(TempPrefix(scope))
+// sweeps exactly one query's intermediates — and the tempname analyzer keeps
+// the raw prefix from being spelled anywhere else.
+func TempPrefix(scope string) string { return "tmp_" + scope }
+
 // NextTempName mints a unique name for a materialized intermediate.
 func (c *Catalog) NextTempName(prefix string) string {
 	c.mu.Lock()

@@ -170,6 +170,7 @@ func finishAggregate(ctx *Context, q *sqlpp.Query, rel *Relation) (*Result, erro
 				grp = &group{first: row, aggs: make([]aggState, len(sels))}
 				groups[k] = grp
 				order = append(order, k)
+				//dynopt:size-ok first row of a new group: the group table has no cached size, and only group-founding rows pay the walk
 				sz := int64(row.EncodedSize()) + int64(len(k)) + int64(len(sels))*aggStateBytes
 				groupBytes += sz
 				ctx.Grant.Reserve(sz)

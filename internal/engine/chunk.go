@@ -101,6 +101,9 @@ func RunToSink(ctx *Context, src Source, sink Sink) error {
 			return err
 		}
 		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			c, err := cur.Next()
 			if err == io.EOF {
 				return nil

@@ -73,7 +73,7 @@ func (c *Context) Accounting() *cluster.Accounting {
 // TempName mints a catalog-unique name for a materialized intermediate
 // inside this query's temp namespace.
 func (c *Context) TempName(suffix string) string {
-	return c.Catalog.NextTempName("tmp_" + c.Scope + suffix)
+	return c.Catalog.NextTempName(catalog.TempPrefix(c.Scope) + suffix)
 }
 
 // Err reports the caller's cancellation state (nil when no deadline or

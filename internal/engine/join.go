@@ -104,6 +104,7 @@ func repartition(ctx *Context, rel *Relation, keyCols []int, wantSizes bool) (*R
 			// One EncodedSize walk per row covers the shuffle metering
 			// (bytes leaving src), the output partitions' size cache, and
 			// (when requested) the spill join's per-row budget accounting.
+			//dynopt:size-ok this is the cache-seeding walk: repartition output sizes are born here
 			sz := int64(t.EncodedSize())
 			dstBytes[dst] += sz
 			totalBytes += sz
@@ -260,6 +261,8 @@ func buildTable(rows []types.Tuple, hashes []uint64, keyCols []int) *hashTable {
 // itself (bucket arrays are compact and cache-resident), and 64-bit hash
 // collisions between unequal keys can only overcount — the count is a
 // capacity, not a length, so that is harmless.
+//
+//dynopt:hotpath
 func (ht *hashTable) countMatches(hashes []uint64) int {
 	starts, idx, hs := ht.starts, ht.idx, ht.hashes
 	cnt := 0
@@ -281,6 +284,8 @@ func (ht *hashTable) countMatches(hashes []uint64) int {
 // sharing a full hash are emitted in build row order, matching the chain
 // order of the previous map-based table. The flat loop — no per-row closure
 // — is the join's innermost hot path.
+//
+//dynopt:hotpath
 func (ht *hashTable) joinInto(out []types.Tuple, arena *types.Arena, probeRows []types.Tuple, hashes []uint64, probeCols []int, buildFirst bool) []types.Tuple {
 	starts, idx, hs, bRows, mask := ht.starts, ht.idx, ht.hashes, ht.rows, ht.mask
 	singleKey := len(probeCols) == 1 && len(ht.keyCols) == 1

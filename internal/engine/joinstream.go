@@ -21,6 +21,7 @@ import (
 // table: per chunk, join matches into a reusable buffer and emit. One
 // instance per partition worker; buffers are reused across chunks.
 type probeState struct {
+	ctx        *Context
 	ht         *hashTable
 	pCols      []int
 	buildFirst bool
@@ -33,6 +34,7 @@ type probeState struct {
 	probeBytes int64
 }
 
+//dynopt:hotpath
 func (w *probeState) consume(c *Chunk) error {
 	w.probeRows += int64(len(c.Rows))
 	if c.Sizes != nil {
@@ -54,6 +56,9 @@ func (w *probeState) consume(c *Chunk) error {
 
 func (w *probeState) drain(st probeStream) error {
 	for {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
 		c, err := st.next()
 		if err == io.EOF {
 			return nil
@@ -190,6 +195,7 @@ func hashJoinStreamCore(ctx *Context, build *Relation, bHash [][]uint64, bSize [
 				st, pCols, buildFirst, sink)
 		}
 		w := &probeState{
+			ctx:   ctx,
 			ht:    buildTable(build.Parts[p], bHash[p], bCols),
 			pCols: pCols, buildFirst: buildFirst,
 			sink: sink, p: p,
@@ -321,6 +327,7 @@ func BroadcastJoinStream(ctx *Context, build *Relation, probe Source, buildKeys,
 		hint := probe.PartBytesHint(p)
 		st := &localStream{cur: cur, keyCols: pCols, wantSizes: budget > 0 && hint < 0}
 		w := &probeState{
+			ctx:   ctx,
 			ht:    ht,
 			pCols: pCols, buildFirst: buildFirst,
 			sink: sink, p: p,
@@ -420,6 +427,9 @@ func IndexNLJoinStream(ctx *Context, outer Source, inner *storage.Dataset, inner
 		var rows []types.Tuple
 		var ranges []int32
 		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			c, err := st.next()
 			if err == io.EOF {
 				return nil

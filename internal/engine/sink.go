@@ -89,7 +89,7 @@ func (s *StreamSink) Emit(p int, rows []types.Tuple) error {
 	fs := s.fields[p]
 	var bytes int64
 	for _, t := range rows {
-		bytes += int64(t.EncodedSize())
+		bytes += int64(t.EncodedSize()) //dynopt:size-ok sink seeds the materialized relation's size cache as rows arrive
 		for k, i := range s.statIdx {
 			fs[k].Observe(t[i])
 		}

@@ -95,6 +95,7 @@ type chunkSeq struct {
 }
 
 func (s *chunkSeq) next() (types.Tuple, uint64, int64, error) {
+	//dynopt:cancel-ok row-granular adapter: the DHHJ build/probe loops downstream check ctx.Err() on a row stride
 	for s.c == nil || s.i >= len(s.c.Rows) {
 		c, err := s.st.next()
 		if err != nil {
@@ -219,6 +220,7 @@ func spillJoinPartitionStream(ctx *Context, p int,
 			// the one table straight into the sink.
 			defer gr.Release(buildBytes)
 			w := &probeState{
+				ctx:   ctx,
 				ht:    buildTable(bRows, bHash, bCols),
 				pCols: pCols, buildFirst: buildFirst,
 				sink: sink, p: p,
@@ -316,7 +318,7 @@ func (j *spillJoin) run(level int, build, probe rowSeq) error {
 			continue
 		}
 		if sz < 0 {
-			sz = int64(t.EncodedSize())
+			sz = int64(t.EncodedSize()) //dynopt:size-ok run-file rows carry no cached size; walked once on re-read
 		}
 		for resident+sz > j.budget {
 			v := largest()
@@ -444,17 +446,28 @@ func (j *spillJoin) run(level int, build, probe rowSeq) error {
 		}
 		if pFile[s] == nil || pFile[s].Rows() == 0 || bFile[s].Rows() == 0 {
 			// No rows on one side: the pair cannot produce matches.
-			bFile[s].Remove()
+			if err := bFile[s].Remove(); err != nil {
+				return err
+			}
 			if pFile[s] != nil {
-				pFile[s].Remove()
+				if err := pFile[s].Remove(); err != nil {
+					return err
+				}
 			}
 			continue
 		}
 		if err := j.joinSpilledPair(level, bFile[s], pFile[s]); err != nil {
 			return err
 		}
-		bFile[s].Remove()
-		pFile[s].Remove()
+		// Run files we created and sealed ourselves: a failed unlink means
+		// the disk-budget accounting is off, so surface it rather than let
+		// the end-of-query Sweep paper over it.
+		if err := bFile[s].Remove(); err != nil {
+			return err
+		}
+		if err := pFile[s].Remove(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -502,7 +515,7 @@ func (j *spillJoin) inMemory(build, probe rowSeq) error {
 			}
 		}
 		if sz < 0 {
-			sz = int64(t.EncodedSize())
+			sz = int64(t.EncodedSize()) //dynopt:size-ok run-file rows carry no cached size; walked once on re-read
 		}
 		bRows = append(bRows, t)
 		bHashes = append(bHashes, h)
@@ -546,6 +559,8 @@ func (j *spillJoin) newFile(level, sub int, side string) (*storage.SpillFile, er
 // probeInto streams one probe row through the table, appending one arena
 // tuple per match to out — the single-row counterpart of joinInto for the
 // spill path, where probe rows arrive from a stream instead of a slice.
+//
+//dynopt:hotpath
 func (ht *hashTable) probeInto(out []types.Tuple, arena *types.Arena, pt types.Tuple, h uint64, probeCols []int, buildFirst bool) []types.Tuple {
 	starts, idx, hs, bRows := ht.starts, ht.idx, ht.hashes, ht.rows
 	singleKey := len(probeCols) == 1 && len(ht.keyCols) == 1

@@ -58,7 +58,7 @@ func (s *localStream) next() (*Chunk, error) {
 		}
 		s.sizeBuf = s.sizeBuf[:0]
 		for _, t := range c.Rows {
-			s.sizeBuf = append(s.sizeBuf, int64(t.EncodedSize()))
+			s.sizeBuf = append(s.sizeBuf, int64(t.EncodedSize())) //dynopt:size-ok seeds the per-chunk Sizes cache every downstream consumer reuses
 		}
 		sc.Sizes = s.sizeBuf
 	}
@@ -155,6 +155,9 @@ func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []
 		}
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		c, err := cur.Next()
 		if err == io.EOF {
 			break
@@ -163,10 +166,11 @@ func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []
 			return err
 		}
 		hashBuf = types.HashKeysInto(c.Rows, keyCols, hashBuf[:0])
+		//dynopt:hotpath
 		for r, t := range c.Rows {
 			h := hashBuf[r]
 			d := int(h % uint64(n))
-			sz := int64(t.EncodedSize())
+			sz := int64(t.EncodedSize()) //dynopt:size-ok scatter seeds shuffle metering and downstream size hints in one walk
 			totalRows++
 			totalBytes += sz
 			if d == src {
@@ -259,6 +263,7 @@ func runScatter(ctx *Context, src Source, keyCols []int, consume func(p int, st 
 				ex.cancel()
 				// Keep draining so producers targeting this destination can
 				// finish and close their remaining channels cleanly.
+				//dynopt:cancel-ok drain-after-failure: the exchange is already cancelled, this loop only unblocks producers so they can exit
 				for st := (&mergeStream{ex: ex, dst: d}); ; {
 					if _, e := st.next(); e != nil {
 						return
@@ -326,6 +331,9 @@ func (ex *replicateExchange) produce(ctx *Context, src Source) (totalRows, total
 		hint := src.PartBytesHint(p)
 		var partBytes int64
 		for {
+			if err := ctx.Err(); err != nil {
+				return totalRows, totalBytes, err
+			}
 			c, err := cur.Next()
 			if err == io.EOF {
 				break
@@ -337,7 +345,7 @@ func (ex *replicateExchange) produce(ctx *Context, src Source) (totalRows, total
 			totalRows += int64(len(c.Rows))
 			if hint < 0 {
 				for _, t := range c.Rows {
-					partBytes += int64(t.EncodedSize())
+					partBytes += int64(t.EncodedSize()) //dynopt:size-ok fallback when the producer attached no size hint; replicate meters bytes shipped per node
 				}
 			}
 			for _, ch := range ex.chans {
@@ -428,6 +436,9 @@ func materializeSource(ctx *Context, src Source) (*Relation, error) {
 		}
 		var rows []types.Tuple
 		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			c, err := cur.Next()
 			if err == io.EOF {
 				break
@@ -473,6 +484,9 @@ func collectExchanged(ctx *Context, src Source, keyCols []int, wantSizes bool) (
 		var hashBuf []uint64
 		var totalRows, totalBytes int64
 		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			c, err := cur.Next()
 			if err == io.EOF {
 				break
@@ -484,7 +498,7 @@ func collectExchanged(ctx *Context, src Source, keyCols []int, wantSizes bool) (
 			for r, t := range c.Rows {
 				h := hashBuf[r]
 				d := int(h % uint64(n))
-				sz := int64(t.EncodedSize())
+				sz := int64(t.EncodedSize()) //dynopt:size-ok collect path seeds shuffle metering for exchanged partitions in one walk
 				totalRows++
 				totalBytes += sz
 				b := &bs[d]

@@ -1,0 +1,134 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: Analyzer/Pass/Diagnostic types,
+// a `go list`-driven package loader, a GOPATH-style fixture loader, and an
+// analysistest-compatible `// want` runner. The build environment pins no
+// external modules (the container has no module proxy), so the suite carries
+// this shim instead of depending on x/tools; analyzers are written against
+// the same API shape and would port to the real framework by swapping
+// imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI selection.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run applies the check to one package, reporting findings via
+	// pass.Report. The returned value is unused (kept for x/tools API
+	// shape).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's real import path: test-augmented variants
+	// ("x [x.test]") report under "x".
+	PkgPath string
+	// IsTestFile reports whether the file at pos comes from a _test.go file.
+	IsTestFile func(pos token.Pos) bool
+
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position // resolved by Run
+	Message  string
+	Analyzer string // filled by Run
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string // real import path (brackets stripped for test variants)
+	Name    string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TestFiles marks which of Files came from _test.go sources.
+	TestFiles map[*ast.File]bool
+}
+
+// Run applies every analyzer to every package and returns the diagnostics
+// sorted by position. Analyzer errors abort the run: a check that cannot
+// execute must fail the gate, not silently pass it.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				PkgPath:   pkg.PkgPath,
+				IsTestFile: func(pos token.Pos) bool {
+					for f, isTest := range pkg.TestFiles {
+						if f.FileStart <= pos && pos <= f.FileEnd {
+							return isTest
+						}
+					}
+					return false
+				},
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				d.Position = pkg.Fset.Position(d.Pos)
+				diags = append(diags, d)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	// Sort by resolved position: packages may come from different FileSets,
+	// so raw token.Pos values are not comparable across them.
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Position, diags[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// newInfo returns a types.Info with every map analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture packages under root (GOPATH layout,
+// root/src/<path>) and checks the analyzer's diagnostics against `// want`
+// comments, analysistest-style: a comment
+//
+//	// want `regexp` `regexp`
+//
+// on a line declares that the analyzer reports exactly len(regexps)
+// diagnostics on that line, each matched by one of the patterns. Lines
+// without a want comment must produce no diagnostics. Patterns are quoted
+// with backquotes or double quotes.
+func RunFixture(t *testing.T, root string, a *Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := LoadGOPATH(root, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	fset := pkgs[0].Fset
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		got[key{pos.Filename, pos.Line}] = append(got[key{pos.Filename, pos.Line}], d.Message)
+	}
+
+	want := map[key][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns, perr := parseWant(c.Text)
+					if perr != nil {
+						t.Errorf("%s: %v", fset.Position(c.Pos()), perr)
+						continue
+					}
+					if patterns == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					want[key{pos.Filename, pos.Line}] = append(want[key{pos.Filename, pos.Line}], patterns...)
+				}
+			}
+		}
+	}
+
+	for k, res := range want {
+		msgs := got[k]
+		if len(msgs) != len(res) {
+			t.Errorf("%s:%d: got %d diagnostics %q, want %d matching %v", k.file, k.line, len(msgs), msgs, len(res), res)
+			continue
+		}
+		used := make([]bool, len(msgs))
+		for _, re := range res {
+			found := false
+			for i, m := range msgs {
+				if !used[i] && re.MatchString(m) {
+					used[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: no diagnostic matching %q among %q", k.file, k.line, re, msgs)
+			}
+		}
+	}
+	for k, msgs := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostics %q", k.file, k.line, msgs)
+		}
+	}
+}
+
+// parseWant extracts the regexps from a `// want ...` comment, returning
+// (nil, nil) for ordinary comments.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated ` in want comment")
+			}
+			lit = rest[1 : 1+end]
+			rest = rest[end+2:]
+		case '"':
+			var err error
+			q := rest
+			if end := strings.IndexByte(rest[1:], '"'); end >= 0 {
+				q = rest[:end+2]
+				rest = rest[end+2:]
+			} else {
+				return nil, fmt.Errorf("unterminated \" in want comment")
+			}
+			lit, err = strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %s: %v", q, err)
+			}
+		default:
+			return nil, fmt.Errorf("want comment: expected quoted regexp, got %q", rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no patterns")
+	}
+	return out, nil
+}
+
+// Inspect walks every file in the pass with ast.Inspect.
+func Inspect(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Line returns the 1-based line of pos.
+func Line(fset *token.FileSet, pos token.Pos) int {
+	return fset.Position(pos).Line
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// LoadGOPATH loads packages from a GOPATH-style fixture tree: the package
+// with import path "p" lives in root/src/p. This is the analysistest layout
+// — fixture packages can import each other by those paths, and anything not
+// found under the tree resolves against the standard library. One package
+// per directory; _test.go files are part of the package.
+func LoadGOPATH(root string, paths ...string) ([]*Package, error) {
+	ld := &gopathLoader{root: root, fset: token.NewFileSet(), typed: map[string]*Package{}}
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := ld.typecheck(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+type gopathLoader struct {
+	root  string
+	fset  *token.FileSet
+	typed map[string]*Package
+}
+
+func (ld *gopathLoader) dirOf(path string) string {
+	return filepath.Join(ld.root, "src", filepath.FromSlash(path))
+}
+
+func (ld *gopathLoader) typecheck(path string) (*Package, error) {
+	if pkg, ok := ld.typed[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("fixture import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	dir := ld.dirOf(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %w", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no .go files in %s", path, dir)
+	}
+	ld.typed[path] = nil // cycle marker
+	var files []*ast.File
+	testFiles := map[*ast.File]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		testFiles[f] = strings.HasSuffix(name, "_test.go")
+	}
+	info := newInfo()
+	conf := &types.Config{
+		Importer: &gopathImporter{ld: ld},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %w", path, err)
+	}
+	pkg := &Package{
+		PkgPath:   path,
+		Name:      files[0].Name.Name,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: testFiles,
+	}
+	ld.typed[path] = pkg
+	return pkg, nil
+}
+
+type gopathImporter struct {
+	ld *gopathLoader
+}
+
+func (im *gopathImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *gopathImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if st, err := os.Stat(im.ld.dirOf(path)); err == nil && st.IsDir() {
+		pkg, err := im.ld.typecheck(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return stdlibImporter().ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// The loader resolves packages in two tiers: module packages (ours) are
+// listed by `go list -deps -test`, parsed, and type-checked here in
+// dependency order — including the test-augmented variants, so _test.go
+// files are analyzed too — while standard-library dependencies delegate to
+// go/importer's source importer, which understands GOROOT layout (and its
+// internal vendoring) without any precompiled export data. cgo is disabled
+// for both tiers so every stdlib package resolves to its pure-Go fallback.
+
+func init() {
+	build.Default.CgoEnabled = false
+}
+
+var (
+	stdImporterOnce sync.Once
+	stdImporter     types.ImporterFrom
+	stdFset         = token.NewFileSet()
+)
+
+// stdlibImporter returns the shared source importer for GOROOT packages.
+// It is process-wide: stdlib type-checking is expensive and identical for
+// every Load call.
+func stdlibImporter() types.ImporterFrom {
+	stdImporterOnce.Do(func() {
+		stdImporter = importer.ForCompiler(stdFset, "source", nil).(types.ImporterFrom)
+	})
+	return stdImporter
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in the module rooted at dir (test variants included)
+// and returns the matched packages, type-checked with full syntax and test
+// files. Dependencies are type-checked as needed but not returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-test",
+		"-json=ImportPath,Name,Dir,Standard,DepOnly,ForTest,GoFiles,CgoFiles,Imports,ImportMap,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	byPath := map[string]*listPkg{}
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := &listPkg{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %w", err)
+		}
+		byPath[lp.ImportPath] = lp
+		order = append(order, lp)
+	}
+
+	ld := &moduleLoader{byPath: byPath, fset: token.NewFileSet(), typed: map[string]*Package{}}
+	var analyzed []*Package
+	for _, lp := range order {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		// The synthetic test-main package ("x.test") points at a generated
+		// file that only exists inside the build cache; nothing in it is
+		// ours to analyze.
+		if strings.HasSuffix(lp.ImportPath, ".test") && lp.Name == "main" {
+			continue
+		}
+		// A pattern matches both "x" and its augmented variant "x [x.test]";
+		// analyzing both would duplicate every non-test diagnostic. Keep the
+		// augmented one (it is a superset), keep "x" only when no test
+		// variant exists, and keep external test packages ("x_test [x.test]").
+		if lp.ForTest == "" {
+			if _, ok := byPath[lp.ImportPath+" ["+lp.ImportPath+".test]"]; ok {
+				continue
+			}
+		}
+		pkg, err := ld.typecheck(lp.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		analyzed = append(analyzed, pkg)
+	}
+	if len(analyzed) == 0 {
+		return nil, fmt.Errorf("go list %s matched no packages", strings.Join(patterns, " "))
+	}
+	return analyzed, nil
+}
+
+// moduleLoader type-checks module packages in dependency order, memoized.
+type moduleLoader struct {
+	byPath map[string]*listPkg
+	fset   *token.FileSet
+	typed  map[string]*Package
+	stack  []string
+}
+
+// realPath strips the test-variant suffix: "x [x.test]" → "x".
+func realPath(p string) string {
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+func (ld *moduleLoader) typecheck(path string) (*Package, error) {
+	if pkg, ok := ld.typed[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s: %s", path, strings.Join(ld.stack, " -> "))
+		}
+		return pkg, nil
+	}
+	lp, ok := ld.byPath[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s not in go list output", path)
+	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("package %s: %s", path, lp.Error.Err)
+	}
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("package %s: cgo files present despite CGO_ENABLED=0", path)
+	}
+	ld.typed[path] = nil // cycle marker
+	ld.stack = append(ld.stack, path)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	var files []*ast.File
+	testFiles := map[*ast.File]bool{}
+	for _, name := range lp.GoFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(lp.Dir, fn)
+		}
+		f, err := parser.ParseFile(ld.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		testFiles[f] = strings.HasSuffix(name, "_test.go")
+	}
+
+	info := newInfo()
+	conf := &types.Config{
+		Importer: &pkgImporter{ld: ld, importMap: lp.ImportMap},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(realPath(path), ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	pkg := &Package{
+		PkgPath:   realPath(path),
+		Name:      lp.Name,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		TestFiles: testFiles,
+	}
+	ld.typed[path] = pkg
+	return pkg, nil
+}
+
+// pkgImporter resolves one package's imports: module packages recurse into
+// the loader (honoring the test-variant ImportMap), everything else goes to
+// the stdlib source importer.
+type pkgImporter struct {
+	ld        *moduleLoader
+	importMap map[string]string
+}
+
+func (im *pkgImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *pkgImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	if lp, ok := im.ld.byPath[path]; ok && !lp.Standard {
+		pkg, err := im.ld.typecheck(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return stdlibImporter().ImportFrom(realPath(path), srcDir, mode)
+}

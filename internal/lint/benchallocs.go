@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"dynopt/internal/lint/analysis"
+)
+
+// BenchAllocs enforces allocation reporting in benchmarks: every
+// Benchmark* function must call b.ReportAllocs() so allocs/op regressions —
+// the very thing the hot-path contract defends — show up in every benchmark
+// run instead of only when someone remembers -benchmem.
+var BenchAllocs = &analysis.Analyzer{
+	Name: "benchallocs",
+	Doc:  "every Benchmark* function must call b.ReportAllocs()",
+	Run:  runBenchAllocs,
+}
+
+func runBenchAllocs(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			if !strings.HasPrefix(fd.Name.Name, "Benchmark") {
+				continue
+			}
+			param, ok := benchParam(fd)
+			if !ok {
+				continue
+			}
+			if !callsMethodNamedOnIdent(fd.Body, param, "ReportAllocs") {
+				pass.Reportf(fd.Pos(), "%s never calls %s.ReportAllocs(): allocs/op regressions go unnoticed", fd.Name.Name, param)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// benchParam returns the name of the single *testing.B parameter, if the
+// function has exactly that shape.
+func benchParam(fd *ast.FuncDecl) (string, bool) {
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return "", false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "B" {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "testing" {
+		return "", false
+	}
+	return params.List[0].Names[0].Name, true
+}
+
+// callsMethodNamedOnIdent reports whether the block contains a call
+// <recv>.<name>(), matching the receiver by identifier name (sufficient for
+// the *testing.B parameter, which is never shadowed in practice).
+func callsMethodNamedOnIdent(body *ast.BlockStmt, recv, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

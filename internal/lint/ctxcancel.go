@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+
+	"dynopt/internal/lint/analysis"
+)
+
+// ctxCancelPackages are the execution layers whose chunk loops must observe
+// cancellation: the physical operators and the stage driver.
+var ctxCancelPackages = []string{"internal/engine", "internal/core"}
+
+// CtxCancel enforces chunk-boundary cancellation: in the engine and core
+// packages, any for/range loop that pulls from a cursor or row stream (a
+// zero-argument Next()/next() method call in its body) must also check
+// Context.Err() inside the loop — at every iteration or on a row-count
+// stride — so a cancelled query stops at the next chunk boundary instead of
+// running its stage to completion. Loops whose upstream provably checks
+// (e.g. a drain-after-failure loop) carry //dynopt:cancel-ok <reason>.
+var CtxCancel = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc: "chunk loops (pulling via Next/next) in internal/engine and internal/core must " +
+		"check Err() at chunk boundaries; exempt with //dynopt:cancel-ok <reason>",
+	Run: runCtxCancel,
+}
+
+func runCtxCancel(pass *analysis.Pass) (any, error) {
+	inScope := false
+	for _, p := range ctxCancelPackages {
+		if pathHasSuffix(pass.PkgPath, p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.FileStart) {
+			continue // test harness loops are not query execution paths
+		}
+		dirs := parseDirectives(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			if !callsMethodNamed(body, "Next") && !callsMethodNamed(body, "next") {
+				return true
+			}
+			if callsMethodNamed(body, "Err") {
+				return true
+			}
+			if dir, ok := dirs.covering(n.Pos(), dirCancelOK); ok {
+				if dir.reason == "" {
+					pass.Reportf(dir.pos, "//dynopt:cancel-ok needs a reason")
+				}
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"chunk loop pulls rows but never checks Err(): a cancelled query would run this stage to completion (check ctx.Err() at the chunk boundary, or //dynopt:cancel-ok <reason>)")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// callsMethodNamed reports whether the block contains a zero-argument
+// method call with the given name, outside nested function literals (a
+// closure's body runs on its own schedule, not per iteration of this loop).
+func callsMethodNamed(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == name && len(call.Args) == 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,109 @@
+// Package lint holds the dynoptlint analyzer suite: machine-checked forms
+// of the engine's prose contracts — the hot-path allocation-free rule, the
+// cached ByteSize/PartBytes metering rule, the close-the-Grant /
+// sweep-the-SpillDir rule, chunk-boundary cancellation, the temp-namespace
+// naming rule, and benchmark allocation reporting. Run via
+// `go run ./cmd/dynoptlint ./...`; each analyzer's contract is documented on
+// its Analyzer.Doc and in the README's "Static contracts" section.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"dynopt/internal/lint/analysis"
+)
+
+// Annotation directives. All are line-anchored comments:
+//
+//	//dynopt:hotpath            marks the following func decl (or its Doc's
+//	                            owner) or the for/range statement on the next
+//	                            line as a hot region for hotalloc
+//	//dynopt:alloc-ok <reason>  suppresses hotalloc on its own line and the
+//	                            next; the reason is mandatory
+//	//dynopt:size-ok <reason>   marks a sanctioned direct EncodedSize walk
+//	                            (the size-cache seeding layer) for metersize
+//	//dynopt:cancel-ok <reason> exempts a chunk loop from ctxcancel
+const (
+	dirHotpath  = "hotpath"
+	dirAllocOK  = "alloc-ok"
+	dirSizeOK   = "size-ok"
+	dirCancelOK = "cancel-ok"
+)
+
+// directive is one //dynopt: comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Pos
+	line   int
+}
+
+// fileDirectives indexes one file's //dynopt: comments by line.
+type fileDirectives struct {
+	fset   *token.FileSet
+	byLine map[int][]directive
+}
+
+// parseDirectives collects the //dynopt: comments of a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) *fileDirectives {
+	d := &fileDirectives{fset: fset, byLine: map[int][]directive{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			body, ok := strings.CutPrefix(c.Text, "//dynopt:")
+			if !ok {
+				continue
+			}
+			name, reason, _ := strings.Cut(body, " ")
+			line := fset.Position(c.Pos()).Line
+			d.byLine[line] = append(d.byLine[line], directive{
+				name:   name,
+				reason: strings.TrimSpace(reason),
+				pos:    c.Pos(),
+				line:   line,
+			})
+		}
+	}
+	return d
+}
+
+// at returns the named directive on exactly the given line, if any.
+func (d *fileDirectives) at(line int, name string) (directive, bool) {
+	for _, dir := range d.byLine[line] {
+		if dir.name == name {
+			return dir, true
+		}
+	}
+	return directive{}, false
+}
+
+// covering returns the named directive covering a node: on the node's own
+// line (trailing comment) or on the line above it (preceding comment).
+func (d *fileDirectives) covering(pos token.Pos, name string) (directive, bool) {
+	line := d.fset.Position(pos).Line
+	if dir, ok := d.at(line, name); ok {
+		return dir, true
+	}
+	return d.at(line-1, name)
+}
+
+// fileOf returns the *ast.File of the pass containing pos.
+func fileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// pathHasSuffix reports whether an import path ends with the given
+// slash-separated suffix on a segment boundary ("a/internal/engine" matches
+// "internal/engine"; "a/myengine" does not).
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}

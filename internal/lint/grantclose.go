@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dynopt/internal/lint/analysis"
+)
+
+// GrantClose enforces the resource-release contract of the memory governor
+// and the spill manager: a *cluster.Grant obtained from Governor.Grant()
+// must reach Close() on every exit path of the acquiring function, and a
+// *storage.SpillManager from NewSpillManager must reach Sweep() — normally
+// via defer, the only form that survives errors and panics. A value that
+// escapes the function (returned, stored in a field or composite literal,
+// passed to another call) transfers the obligation and is not flagged.
+// Test files are exempt: lifecycle tests close, double-close, and contend
+// grants mid-stream by design.
+var GrantClose = &analysis.Analyzer{
+	Name: "grantclose",
+	Doc: "Governor.Grant() results must be defer-Closed and NewSpillManager results " +
+		"defer-Swept on every exit path of the acquiring function (or escape it)",
+	Run: runGrantClose,
+}
+
+// acquisition describes one tracked resource acquisition form.
+type acquisition struct {
+	kind    string // human label
+	release string // required method name
+}
+
+func runGrantClose(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.FileStart) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFuncAcquisitions(pass, fd)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// acquisitionOf classifies a call expression as a tracked acquisition.
+func acquisitionOf(call *ast.CallExpr) (acquisition, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Grant":
+			if len(call.Args) == 0 {
+				return acquisition{kind: "governor grant", release: "Close"}, true
+			}
+		case "NewSpillManager":
+			return acquisition{kind: "spill manager", release: "Sweep"}, true
+		}
+	case *ast.Ident:
+		if fun.Name == "NewSpillManager" {
+			return acquisition{kind: "spill manager", release: "Sweep"}, true
+		}
+	}
+	return acquisition{}, false
+}
+
+func checkFuncAcquisitions(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != len(as.Lhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			acq, ok := acquisitionOf(call)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue // field/index store: the target owns the release now
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "%s discarded: the result must be bound so %s() can run on every exit path", acq.kind, acq.release)
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if escapes(pass, fd, obj) {
+				continue // ownership transferred; the receiver releases it
+			}
+			if !deferredRelease(pass, fd, obj, acq.release) {
+				pass.Reportf(call.Pos(),
+					"%s %s is never defer-%s'd: an error or panic between here and the release leaks it (defer %s.%s(), or let it escape to an owner)",
+					acq.kind, id.Name, acq.release, id.Name, acq.release)
+			}
+		}
+		return true
+	})
+}
+
+// deferredRelease reports whether the function defers obj.<release>() —
+// directly, or inside a deferred func literal.
+func deferredRelease(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object, release string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		if callsMethodOn(pass, ds.Call, obj, release) {
+			found = true
+			return false
+		}
+		if fl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && callsMethodOn(pass, call, obj, release) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// callsMethodOn reports whether call is obj.<name>(...).
+func callsMethodOn(pass *analysis.Pass, call *ast.CallExpr, obj types.Object, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+// escapes reports whether obj leaves the function's hands: returned, passed
+// as a call argument, stored into a field, composite literal, index, map,
+// channel, or another variable. Any such use transfers the release
+// obligation beyond what a per-function check can see.
+func escapes(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	esc := false
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj || len(stack) < 2 {
+			return true
+		}
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.SelectorExpr:
+			// obj.Method(...) or obj.Field — receiver/field access, local use.
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if rhs == ast.Expr(id) {
+					esc = true // aliased into another variable (or field)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if arg == ast.Expr(id) {
+					esc = true
+				}
+			}
+		case *ast.ReturnStmt, *ast.KeyValueExpr, *ast.CompositeLit,
+			*ast.SendStmt, *ast.IndexExpr, *ast.UnaryExpr:
+			esc = true
+		}
+		return true
+	})
+	return esc
+}

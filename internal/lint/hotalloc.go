@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dynopt/internal/lint/analysis"
+)
+
+// HotAlloc enforces the README's allocation-free contract for operator hot
+// paths: inside a region annotated //dynopt:hotpath (a function, or a
+// for/range statement), no construct that heap-allocates per row may appear
+// unless waived with //dynopt:alloc-ok <reason>. Flagged constructs:
+// make/new, &T{...} and slice/map composite literals, append that does not
+// reuse its destination (x = append(x, ...)), fmt.* calls, func literals
+// (closure allocation), and implicit interface boxing of non-pointer-shaped
+// values. Non-annotated code is never inspected.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "hot-path regions annotated //dynopt:hotpath must not allocate per row; " +
+		"waive deliberate amortized allocations with //dynopt:alloc-ok <reason>",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		dirs := parseDirectives(pass.Fset, f)
+		roots := hotRegions(pass, f, dirs)
+		seen := map[ast.Node]bool{}
+		for _, root := range roots {
+			checkHotRegion(pass, dirs, root, seen)
+		}
+	}
+	return nil, nil
+}
+
+// hotRegions returns the file's //dynopt:hotpath-annotated regions: the
+// bodies of annotated function declarations and annotated for/range
+// statements. Regions nested inside another region are dropped so each
+// violation reports once.
+func hotRegions(pass *analysis.Pass, f *ast.File, dirs *fileDirectives) []ast.Node {
+	var roots []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if funcIsHot(pass, dirs, n) {
+				roots = append(roots, n)
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			if _, ok := dirs.covering(n.Pos(), dirHotpath); ok {
+				roots = append(roots, n)
+			}
+		}
+		return true
+	})
+	var out []ast.Node
+	for _, r := range roots {
+		nested := false
+		for _, outer := range roots {
+			if outer != r && outer.Pos() <= r.Pos() && r.End() <= outer.End() {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// funcIsHot reports whether a function declaration carries the hotpath
+// directive, in its doc comment or on the line above the declaration.
+func funcIsHot(pass *analysis.Pass, dirs *fileDirectives, fd *ast.FuncDecl) bool {
+	start := analysis.Line(pass.Fset, fd.Pos()) - 1
+	if fd.Doc != nil {
+		start = analysis.Line(pass.Fset, fd.Doc.Pos())
+	}
+	end := analysis.Line(pass.Fset, fd.Pos())
+	for line := start; line <= end; line++ {
+		if _, ok := dirs.at(line, dirHotpath); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotRegion walks one hot region and reports allocation sites.
+func checkHotRegion(pass *analysis.Pass, dirs *fileDirectives, root ast.Node, seen map[ast.Node]bool) {
+	// Appends of the reuse form x = append(x, ...) are the sanctioned way to
+	// fill preallocated buffers; collect them first so the walk below flags
+	// only non-reusing appends.
+	reusedAppends := map[*ast.CallExpr]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if ok && builtinName(pass, call) == "append" && len(call.Args) > 0 &&
+				exprEqual(pass, as.Lhs[i], call.Args[0]) {
+				reusedAppends[call] = true
+			}
+		}
+		return true
+	})
+
+	var sig *types.Signature // enclosing function results, for return boxing
+	if fd, ok := root.(*ast.FuncDecl); ok {
+		if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			sig = obj.Signature()
+		}
+	}
+
+	report := func(n ast.Node, format string, args ...any) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if dir, ok := dirs.covering(n.Pos(), dirAllocOK); ok {
+			if dir.reason == "" {
+				pass.Reportf(dir.pos, "//dynopt:alloc-ok needs a reason")
+			}
+			return
+		}
+		pass.Reportf(n.Pos(), "hot path: "+format+" (waive with //dynopt:alloc-ok <reason>)", args...)
+	}
+
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch builtinName(pass, n) {
+			case "make":
+				report(n, "make allocates")
+				return true
+			case "new":
+				report(n, "new allocates")
+				return true
+			case "append":
+				if !reusedAppends[n] {
+					report(n, "append onto a non-reused slice allocates; use x = append(x, ...) over a preallocated buffer")
+				}
+				return true
+			}
+			if pkg := calleePackage(pass, n); pkg == "fmt" {
+				report(n, "fmt call allocates")
+				return true
+			}
+			checkCallBoxing(pass, n, report)
+		case *ast.FuncLit:
+			report(n, "func literal allocates a closure")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					report(cl, "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n, "slice/map literal allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					lt := pass.TypesInfo.TypeOf(n.Lhs[i])
+					if boxes(pass, rhs, lt) {
+						report(rhs, "assignment boxes %s into interface %s", typeName(pass, rhs), lt)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && sig.Results().Len() == len(n.Results) {
+				for i, res := range n.Results {
+					if boxes(pass, res, sig.Results().At(i).Type()) {
+						report(res, "return boxes %s into interface %s", typeName(pass, res), sig.Results().At(i).Type())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCallBoxing flags concrete values boxed into interface parameters
+// (including variadic ...any) and explicit interface conversions I(x).
+func checkCallBoxing(pass *analysis.Pass, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: I(x).
+		if len(call.Args) == 1 && boxes(pass, call.Args[0], tv.Type) {
+			report(call, "conversion boxes %s into interface %s", typeName(pass, call.Args[0]), tv.Type)
+		}
+		return
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, arg, pt) {
+			report(arg, "argument boxes %s into interface %s", typeName(pass, arg), pt)
+		}
+	}
+}
+
+// boxes reports whether assigning expr to target heap-allocates an
+// interface box: target is an interface, expr's concrete type is not
+// already an interface, not untyped nil, and not pointer-shaped (pointers,
+// channels, maps, and funcs fit an interface word without allocating).
+func boxes(pass *analysis.Pass, expr ast.Expr, target types.Type) bool {
+	if target == nil {
+		return false
+	}
+	if _, isTP := target.(*types.TypeParam); isTP {
+		return false
+	}
+	if !types.IsInterface(target.Underlying()) {
+		return false
+	}
+	et := pass.TypesInfo.TypeOf(expr)
+	if et == nil || types.IsInterface(et.Underlying()) {
+		return false
+	}
+	if b, ok := et.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch et.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	if b, ok := et.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+func typeName(pass *analysis.Pass, expr ast.Expr) string {
+	if t := pass.TypesInfo.TypeOf(expr); t != nil {
+		return t.String()
+	}
+	return "value"
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(pass *analysis.Pass, call *ast.CallExpr) string {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// calleePackage returns the import path of the package a selector call
+// resolves into (e.g. "fmt" for fmt.Sprintf), or "".
+func calleePackage(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// exprEqual reports structural equality for the destination-reuse check:
+// identifiers resolving to the same object, matching selector chains, and
+// matching index expressions.
+func exprEqual(pass *analysis.Pass, a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := pass.TypesInfo.ObjectOf(a)
+		bo := pass.TypesInfo.ObjectOf(b)
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && exprEqual(pass, a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && exprEqual(pass, a.X, b.X) && exprEqual(pass, a.Index, b.Index)
+	case *ast.BasicLit:
+		b, ok := b.(*ast.BasicLit)
+		return ok && a.Kind == b.Kind && a.Value == b.Value
+	case *ast.ParenExpr:
+		return exprEqual(pass, a.X, b)
+	}
+	if p, ok := b.(*ast.ParenExpr); ok {
+		return exprEqual(pass, a, p.X)
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package lint
+
+import "dynopt/internal/lint/analysis"
+
+// All returns the full dynoptlint analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotAlloc,
+		MeterSize,
+		GrantClose,
+		CtxCancel,
+		TempName,
+		BenchAllocs,
+	}
+}

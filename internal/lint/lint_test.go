@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"dynopt/internal/lint/analysis"
+)
+
+func TestHotAllocFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", HotAlloc, "hotalloc/hot")
+}
+
+func TestMeterSizeFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", MeterSize, "metersize/internal/engine", "metersize/other")
+}
+
+func TestGrantCloseFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", GrantClose, "grantclose/fix")
+}
+
+func TestCtxCancelFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", CtxCancel, "ctxcancel/internal/engine", "ctxcancel/other")
+}
+
+func TestTempNameFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", TempName, "tempname/app", "tempname/internal/catalog")
+}
+
+func TestBenchAllocsFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", BenchAllocs, "benchallocs/bench")
+}
+
+// TestEmptyReasonDirectives: an escape hatch without a reason must be
+// flagged, never honored silently. (Checked outside the want-comment
+// machinery: the diagnostic lands on the directive's own line, which the
+// directive comment already occupies.)
+func TestEmptyReasonDirectives(t *testing.T) {
+	pkgs, err := analysis.LoadGOPATH("testdata", "noreason/internal/engine", "noreason/hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"//dynopt:size-ok needs a reason",
+		"//dynopt:cancel-ok needs a reason",
+		"//dynopt:alloc-ok needs a reason",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q in %v", want, diags)
+		}
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(diags), len(wantSubstrings), diags)
+	}
+}
+
+// TestSeededSelfTest mirrors the CI self-test: the seeded violation tree
+// must trip every analyzer in the suite.
+func TestSeededSelfTest(t *testing.T) {
+	pkgs, err := analysis.LoadGOPATH("testdata", "seeded/pkg", "seeded/internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	for _, a := range All() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s did not fire on the seeded tree", a.Name)
+		}
+	}
+}
+
+// TestLoadModule smoke-tests the go list loader against a real module
+// package, including its test-augmented variant.
+func TestLoadModule(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./internal/sketch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	sawTestFile := false
+	for _, p := range pkgs {
+		if p.PkgPath != "dynopt/internal/sketch" {
+			t.Errorf("unexpected package %s", p.PkgPath)
+		}
+		for _, isTest := range p.TestFiles {
+			sawTestFile = sawTestFile || isTest
+		}
+	}
+	if !sawTestFile {
+		t.Error("test-augmented variant not loaded: no _test.go files seen")
+	}
+}

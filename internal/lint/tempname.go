@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"dynopt/internal/lint/analysis"
+)
+
+// tempNamePackage is the one layer allowed to spell the temp-namespace
+// prefix: the catalog owns temp-relation naming (and the DropPrefix sweep
+// that keys off it), so every other package must go through
+// catalog.TempPrefix / Context.TempName.
+const tempNamePackage = "internal/catalog"
+
+// TempName enforces the temp-relation naming contract: the "tmp_" prefix is
+// an implementation detail of the catalog's temp namespace, and hand-built
+// "tmp_..." strings elsewhere silently bypass scope-qualified naming — the
+// relation then survives QueryCtx's DropPrefix sweep or, worse, collides
+// across concurrent queries. Test files may spell the prefix: leak tests
+// probe the namespace by literal on purpose.
+var TempName = &analysis.Analyzer{
+	Name: "tempname",
+	Doc: `"tmp_"-prefixed string literals are only allowed in internal/catalog; ` +
+		"everywhere else temp names must come from catalog.TempPrefix/Context.TempName",
+	Run: runTempName,
+}
+
+func runTempName(pass *analysis.Pass) (any, error) {
+	if pathHasSuffix(pass.PkgPath, tempNamePackage) {
+		return nil, nil
+	}
+	// The analyzer itself must spell the prefix to detect it.
+	if pathHasSuffix(pass.PkgPath, "internal/lint") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.FileStart) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			val := strings.Trim(lit.Value, "`\"")
+			if strings.HasPrefix(val, "tmp_") {
+				pass.Reportf(lit.Pos(),
+					`hand-built temp name %s bypasses the catalog's temp namespace; use catalog.TempPrefix or Context.TempName`, lit.Value)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,27 @@
+// Package bench (fixture) exercises benchallocs: every Benchmark* function
+// taking *testing.B must call ReportAllocs.
+package bench
+
+import "testing"
+
+func BenchmarkMissing(b *testing.B) { // want `BenchmarkMissing never calls b.ReportAllocs`
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func BenchmarkHas(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+func BenchmarkSubBench(b *testing.B) {
+	b.ReportAllocs()
+	b.Run("sub", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+		}
+	})
+}
+
+// BenchmarkHelper does not have the benchmark signature: skipped.
+func BenchmarkHelper(n int) int { return n }

@@ -1,0 +1,55 @@
+// Package engine (fixture) exercises ctxcancel: chunk-pulling loops in an
+// internal/engine path must check Err() at the chunk boundary.
+package engine
+
+type ctxT struct{}
+
+func (ctxT) Err() error { return nil }
+
+type cursor struct{}
+
+func (*cursor) Next() (int, error) { return 0, nil }
+
+func bad(cur *cursor) {
+	for { // want `chunk loop pulls rows but never checks Err`
+		if _, err := cur.Next(); err != nil {
+			return
+		}
+	}
+}
+
+func badRange(ctx ctxT, curs []*cursor) {
+	for _, cur := range curs { // want `chunk loop pulls rows but never checks Err`
+		if _, err := cur.Next(); err != nil {
+			return
+		}
+	}
+}
+
+func good(ctx ctxT, cur *cursor) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return
+		}
+		if _, err := cur.Next(); err != nil {
+			return
+		}
+	}
+}
+
+func waived(cur *cursor) {
+	//dynopt:cancel-ok fixture: upstream producer checks per chunk
+	for {
+		if _, err := cur.Next(); err != nil {
+			return
+		}
+	}
+}
+
+// closures run on their own schedule; a Next inside one does not make the
+// enclosing loop a chunk loop.
+func loopWithClosure(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}

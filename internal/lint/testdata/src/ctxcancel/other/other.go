@@ -1,0 +1,15 @@
+// Package other (fixture) is outside the ctxcancel scope: cursor loops here
+// are not query execution paths.
+package other
+
+type cursor struct{}
+
+func (*cursor) Next() (int, error) { return 0, nil }
+
+func pump(cur *cursor) {
+	for {
+		if _, err := cur.Next(); err != nil {
+			return
+		}
+	}
+}

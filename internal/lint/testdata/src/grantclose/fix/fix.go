@@ -1,0 +1,70 @@
+// Package fix exercises grantclose: local stand-ins for the governor grant
+// and the spill manager, acquired with and without the deferred release.
+package fix
+
+type Grant struct{}
+
+func (*Grant) Close() {}
+
+func (*Grant) Reserve(n int64) bool { return true }
+
+type Governor struct{}
+
+func (Governor) Grant() *Grant { return &Grant{} }
+
+type SpillManager struct{}
+
+func (*SpillManager) Sweep() error { return nil }
+
+func NewSpillManager(root, prefix string) *SpillManager { return &SpillManager{} }
+
+type holder struct{ g *Grant }
+
+func leaky(gov Governor) {
+	gr := gov.Grant() // want `governor grant gr is never defer-Close'd`
+	gr.Reserve(1)
+}
+
+func closedInline(gov Governor) {
+	gr := gov.Grant() // want `governor grant gr is never defer-Close'd`
+	gr.Reserve(1)
+	gr.Close() // a plain call does not survive errors or panics
+}
+
+func ok(gov Governor) {
+	gr := gov.Grant()
+	defer gr.Close()
+	gr.Reserve(1)
+}
+
+func okFuncLit(gov Governor) {
+	gr := gov.Grant()
+	defer func() {
+		gr.Close()
+	}()
+}
+
+func escapesByReturn(gov Governor) *Grant {
+	gr := gov.Grant()
+	return gr
+}
+
+func escapesByStore(gov Governor, h *holder) {
+	gr := gov.Grant()
+	h.g = gr
+}
+
+func discarded(gov Governor) {
+	_ = gov.Grant() // want `governor grant discarded`
+}
+
+func leakySpill() {
+	sm := NewSpillManager("root", "q1_") // want `spill manager sm is never defer-Sweep'd`
+	sm.Sweep()
+}
+
+func okSpill() error {
+	sm := NewSpillManager("root", "q1_")
+	defer sm.Sweep()
+	return nil
+}

@@ -1,0 +1,100 @@
+// Package hot exercises the hotalloc analyzer: every allocating construct
+// inside a //dynopt:hotpath region, the alloc-ok escape hatch, and silence
+// on non-annotated code.
+package hot
+
+import "fmt"
+
+type sinkT struct{}
+
+func (sinkT) accept(v interface{}) {}
+
+//dynopt:hotpath
+func hotMake(n int) []int {
+	buf := make([]int, n) // want `hot path: make allocates`
+	return buf
+}
+
+//dynopt:hotpath
+func hotNew() *int {
+	return new(int) // want `hot path: new allocates`
+}
+
+//dynopt:hotpath
+func hotAppend(dst, src []int) []int {
+	out := dst
+	for _, v := range src {
+		out = append(out, v) // reused destination: no diagnostic
+	}
+	other := append(src, 1) // want `append onto a non-reused slice`
+	_ = other
+	return out
+}
+
+//dynopt:hotpath
+func hotFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want `hot path: fmt call allocates`
+}
+
+//dynopt:hotpath
+func hotClosure() int {
+	f := func() int { return 1 } // want `func literal allocates a closure`
+	return f()
+}
+
+//dynopt:hotpath
+func hotCompositePtr() *sinkT {
+	return &sinkT{} // want `&composite literal escapes to the heap`
+}
+
+//dynopt:hotpath
+func hotSliceLit() {
+	xs := []int{1, 2} // want `slice/map literal allocates`
+	_ = xs
+}
+
+//dynopt:hotpath
+func hotArgBox(s sinkT, v int) {
+	s.accept(v) // want `argument boxes int`
+}
+
+//dynopt:hotpath
+func hotAssignBox(v int) {
+	var i interface{}
+	i = v // want `assignment boxes int`
+	_ = i
+}
+
+//dynopt:hotpath
+func hotReturnBox(v int) interface{} {
+	return v // want `return boxes int`
+}
+
+//dynopt:hotpath
+func hotConvertBox(v int) {
+	_ = any(v) // want `conversion boxes int`
+}
+
+//dynopt:hotpath
+func hotWaived(n int) []int {
+	//dynopt:alloc-ok amortized: buffer grows geometrically across chunks
+	return make([]int, n)
+}
+
+// warmOutside is not annotated as a whole: only the marked loop is hot.
+func warmOutside(n int) {
+	xs := make([]int, 0, n) // outside the region: no diagnostic
+	//dynopt:hotpath
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+		ys := make([]int, 1) // want `hot path: make allocates`
+		_ = ys
+	}
+	_ = xs
+}
+
+// coldAllocates has no directive anywhere: hotalloc must stay silent no
+// matter how freely it allocates.
+func coldAllocates() []string {
+	return []string{fmt.Sprint(1)}
+}

@@ -1,0 +1,21 @@
+// Package engine (fixture) exercises metersize: its import path ends in
+// internal/engine, so direct size walks are banned here.
+package engine
+
+type tuple []int
+
+func (t tuple) EncodedSize() int { return len(t) }
+
+func bytesOf(t tuple) int { return len(t) }
+
+func bad(t tuple) int {
+	return t.EncodedSize() // want `direct EncodedSize call`
+}
+
+func alsoBad(t tuple) int {
+	return bytesOf(t) // want `direct bytesOf call`
+}
+
+func seeding(t tuple) int {
+	return t.EncodedSize() //dynopt:size-ok fixture stands in for the one cache-seeding pass
+}

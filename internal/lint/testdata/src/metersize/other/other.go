@@ -1,0 +1,11 @@
+// Package other (fixture) is outside the metersize scope: direct size
+// walks here are fine.
+package other
+
+type tuple []int
+
+func (t tuple) EncodedSize() int { return len(t) }
+
+func allowed(t tuple) int {
+	return t.EncodedSize()
+}

@@ -1,0 +1,9 @@
+// Package hot (fixture) carries an alloc-ok directive with the reason
+// omitted: it must be flagged, not honored silently.
+package hot
+
+//dynopt:hotpath
+func hotWaivedBadly(n int) []int {
+	//dynopt:alloc-ok
+	return make([]int, n)
+}

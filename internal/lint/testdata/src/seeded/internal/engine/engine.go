@@ -1,0 +1,22 @@
+// Package engine (seeded) deliberately violates the metersize and ctxcancel
+// contracts for the CI self-test.
+package engine
+
+type row []byte
+
+func (r row) EncodedSize() int { return len(r) }
+
+type cursor struct{}
+
+func (*cursor) Next() (row, error) { return nil, nil }
+
+func pump(c *cursor) int {
+	total := 0
+	for { // ctxcancel must fire here
+		r, err := c.Next()
+		if err != nil {
+			return total
+		}
+		total += r.EncodedSize() // metersize must fire here
+	}
+}

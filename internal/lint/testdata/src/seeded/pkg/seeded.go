@@ -1,0 +1,34 @@
+// Package pkg deliberately violates the hotalloc, grantclose, tempname, and
+// benchallocs contracts. The CI self-test runs the multichecker against the
+// seeded tree and asserts the gate fires with every analyzer; if a check
+// goes silent, the self-test fails before the check can rot.
+package pkg
+
+import "testing"
+
+type grant struct{}
+
+func (*grant) Close() {}
+
+type governor struct{}
+
+func (governor) Grant() *grant { return &grant{} }
+
+//dynopt:hotpath
+func hotSeed(n int) []int {
+	return make([]int, n) // hotalloc must fire here
+}
+
+func leakSeed(g governor) {
+	gr := g.Grant() // grantclose must fire here
+	gr.Close()
+}
+
+func tempSeed() string {
+	return "tmp_seeded" // tempname must fire here
+}
+
+func BenchmarkSeeded(b *testing.B) { // benchallocs must fire here
+	for i := 0; i < b.N; i++ {
+	}
+}

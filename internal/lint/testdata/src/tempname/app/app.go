@@ -1,0 +1,11 @@
+// Package app (fixture) exercises tempname: hand-built temp prefixes
+// outside internal/catalog are flagged.
+package app
+
+func tempFor(scope string) string {
+	return "tmp_" + scope // want `hand-built temp name`
+}
+
+func unrelated() string {
+	return "tmpdir" // no tmp_ prefix: fine
+}

@@ -1,0 +1,5 @@
+package app
+
+// Test files may spell the prefix: leak tests probe the namespace by
+// literal on purpose.
+func probeName() string { return "tmp_probe" }

@@ -1,0 +1,5 @@
+// Package catalog (fixture) owns the temp namespace: spelling the prefix
+// here is the one allowed place.
+package catalog
+
+func TempPrefix(scope string) string { return "tmp_" + scope }

@@ -92,7 +92,7 @@ func (s *PilotRun) samplePhase(ctx *engine.Context, g *sqlpp.Graph, r *core.Repo
 		for p := range ds.Parts {
 			for row := range ds.Parts[p] {
 				scanned++
-				scannedBytes += int64(ds.Parts[p][row].EncodedSize())
+				scannedBytes += int64(ds.Parts[p][row].EncodedSize()) //dynopt:size-ok pilot sampling meters exactly the rows it touches; no cache exists for a sample prefix
 				if compiled != nil {
 					v, err := compiled(ds.Parts[p][row])
 					if err != nil {

@@ -65,6 +65,8 @@ func (g *GK) Count() int64 {
 }
 
 // Insert adds one observation to the sketch.
+//
+//dynopt:hotpath
 func (g *GK) Insert(v float64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()

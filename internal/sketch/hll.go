@@ -43,6 +43,8 @@ func fmix64(x uint64) uint64 {
 }
 
 // Add records one pre-hashed observation.
+//
+//dynopt:hotpath
 func (h *HLL) Add(hash uint64) {
 	hash = fmix64(hash)
 	idx := hash >> (64 - h.p)

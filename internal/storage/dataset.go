@@ -160,6 +160,7 @@ func build(name string, schema *types.Schema, pk []string, rows []types.Tuple, n
 	st := stats.NewDatasetStats(name)
 	partBytes := make([]int64, nparts)
 	var totalBytes int64
+	//dynopt:hotpath
 	for i, row := range rows {
 		p := partOf(i)
 		ds.Parts[p] = append(ds.Parts[p], row)

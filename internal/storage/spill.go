@@ -89,7 +89,9 @@ func (m *SpillManager) Sweep() error {
 	m.dir = ""
 	m.mu.Unlock()
 	for _, sf := range open {
-		sf.close()
+		// Error discarded: these are force-closed mid-write during an abort
+		// sweep, and RemoveAll below deletes their directory regardless.
+		_ = sf.close()
 	}
 	if dir == "" {
 		return nil
@@ -120,12 +122,12 @@ func (s *SpillFile) Rows() int64 { return s.w.Rows() }
 // on-disk byte size — the figure spill accounting charges.
 func (s *SpillFile) Finish() (int64, error) {
 	if err := s.w.Flush(); err != nil {
-		s.close()
+		_ = s.close() // already failing; the Flush error is the one to report
 		return 0, err
 	}
 	info, err := s.f.Stat()
 	if err != nil {
-		s.close()
+		_ = s.close() // already failing; the Stat error is the one to report
 		return 0, err
 	}
 	s.bytes = info.Size()
@@ -165,9 +167,14 @@ func (s *SpillFile) Reader() (*SpillReader, error) {
 }
 
 // Remove deletes the run file from disk (after its sub-join consumed it).
+// A close error on a still-open (unfinished) file is reported after the
+// unlink is attempted — removal is the caller's primary intent.
 func (s *SpillFile) Remove() error {
-	s.close()
-	return os.Remove(s.path)
+	cerr := s.close()
+	if err := os.Remove(s.path); err != nil {
+		return err
+	}
+	return cerr
 }
 
 // SpillReader streams tuples back out of a run file.
