@@ -1,0 +1,152 @@
+package dynopt
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"dynopt/internal/faults/leakcheck"
+)
+
+// chaosEnv is the shared fixture for the seeded chaos matrix: one DB with
+// both Figure-7 workloads loaded, real spilling at a small per-node budget
+// so every fault point on the spill path is reachable, the plan memo on so
+// replay faults are reachable, and a seeded fault registry armed and
+// re-armed per scenario.
+type chaosEnv struct {
+	db  *DB
+	reg *FaultRegistry
+	dir string
+}
+
+func newChaosEnv(t *testing.T) *chaosEnv {
+	t.Helper()
+	dir := t.TempDir()
+	reg := NewFaultRegistry(0xD15EA5E)
+	db := Open(Config{
+		Nodes:            4,
+		SpillDir:         dir,
+		PlanCacheEntries: 8,
+		Faults:           reg,
+	})
+	if _, err := LoadTPCH(db, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTPCDS(db, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Small enough that the Figure-7 joins overflow and spill; large enough
+	// that the suite is not dominated by run-file churn.
+	db.ctx.Cluster.SetMemoryPerNodeBytes(32 << 10)
+	return &chaosEnv{db: db, reg: reg, dir: dir}
+}
+
+// checkInvariants asserts the chaos contract for one finished run: the rows
+// are byte-identical to the fault-free baseline OR the error is cleanly
+// classified, and either way the governor balances to zero, the spill
+// directory is empty, and the visible catalog is unchanged.
+func (e *chaosEnv) checkInvariants(t *testing.T, res *Result, err error, want, baseDatasets []string) {
+	t.Helper()
+	if err != nil {
+		var qe *QueryError
+		if !errors.Is(err, ErrTransient) && !errors.Is(err, ErrOverCapacity) &&
+			!errors.Is(err, ErrAdmission) && !errors.As(err, &qe) {
+			t.Errorf("unclassified error: %v", err)
+		}
+	} else {
+		got := sortedResultRows(res)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("rows diverged from fault-free baseline: got %d rows, want %d", len(got), len(want))
+		}
+	}
+	if used := e.db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced after run: %d bytes still held", used)
+	}
+	dirEmpty(t, e.dir)
+	if ds := e.db.Datasets(); !reflect.DeepEqual(ds, baseDatasets) {
+		t.Errorf("Datasets() changed: got %v, want %v", ds, baseDatasets)
+	}
+}
+
+// TestChaosMatrix drives every Figure-7 query under every strategy through
+// a matrix of injected failures — spill-device write and read errors, grant
+// denials, an operator panic mid-probe, a stalled-then-failed exchange
+// consumer, and a faulted memo replay — all from one fixed seed, under
+// -race in CI. Every single run must end in byte-identical rows or a
+// cleanly classified error, with no leaked goroutines, a balanced governor,
+// an empty spill directory, and an unchanged catalog.
+func TestChaosMatrix(t *testing.T) {
+	env := newChaosEnv(t)
+	leakcheck.Check(t)
+
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"tpcds_q17", TPCDSQ17()},
+		{"tpcds_q50", TPCDSQ50()},
+		{"tpch_q8", TPCHQ8()},
+		{"tpch_q9", TPCHQ9()},
+	}
+
+	// Fault-free baselines, one per query x strategy cell. These runs also
+	// warm the plan memo so the replay-fault scenario has plans to replay.
+	baseline := map[string][]string{}
+	for _, q := range queries {
+		for _, s := range allStrategies {
+			res, err := env.db.Query(q.sql, &QueryOptions{Strategy: s})
+			if err != nil {
+				t.Fatalf("baseline %s/%s: %v", q.name, s, err)
+			}
+			baseline[q.name+"/"+string(s)] = sortedResultRows(res)
+		}
+	}
+	baseDatasets := env.db.Datasets()
+
+	scenarios := []struct {
+		name  string
+		rules []FaultRule
+	}{
+		// Every 7th run-file append fails: queries either ride the DHHJ
+		// degradation rung or surface a classified spill-I/O error.
+		{"spill-write", []FaultRule{{Point: "spill.append", EveryN: 7}}},
+		// The first run-file open on the probe side fails once.
+		{"spill-read", []FaultRule{{Point: "spill.read", OneShot: true}}},
+		// Every 3rd grant reservation is denied: pure pressure, so every
+		// run must still succeed with identical rows (broadcast falls back
+		// to partitioned, resident builds fall back to spilling).
+		{"grant-denial", []FaultRule{{Point: "governor.reserve", EveryN: 3}}},
+		// One probe worker panics mid-drain: containment must convert it
+		// to a *QueryError after cleanup, never crash the process.
+		{"operator-panic", []FaultRule{{Point: "probe.drain", OneShot: true, Panic: true}}},
+		// One exchange consumer stalls, then its stream fails: producers
+		// must notice teardown instead of blocking on full channels.
+		{"exchange-stall", []FaultRule{{Point: "exchange.consume", OneShot: true, Stall: 5 * time.Millisecond}}},
+		// The first memo replay faults: the query must fall back to the
+		// full dynamic loop and still answer correctly.
+		{"replay-fault", []FaultRule{{Point: "memo.replay", OneShot: true}}},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			for _, q := range queries {
+				for _, s := range allStrategies {
+					t.Run(fmt.Sprintf("%s/%s", q.name, s), func(t *testing.T) {
+						env.reg.Reset()
+						for _, r := range sc.rules {
+							env.reg.Arm(r)
+						}
+						res, err := env.db.Query(q.sql, &QueryOptions{Strategy: s, Timeout: 2 * time.Minute})
+						env.checkInvariants(t, res, err, baseline[q.name+"/"+string(s)], baseDatasets)
+						if sc.name == "grant-denial" && err != nil {
+							t.Errorf("grant denial is pressure, not failure: %v", err)
+						}
+					})
+				}
+			}
+			env.reg.Reset()
+		})
+	}
+}

@@ -21,15 +21,19 @@ package dynopt
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dynopt/internal/catalog"
 	"dynopt/internal/cluster"
 	"dynopt/internal/core"
 	"dynopt/internal/engine"
 	"dynopt/internal/expr"
+	"dynopt/internal/faults"
 	"dynopt/internal/memo"
 	"dynopt/internal/optimizer"
 	"dynopt/internal/sqlpp"
@@ -79,6 +83,40 @@ var (
 
 // F is shorthand for a schema field.
 func F(name string, kind Kind) Field { return Field{Name: name, Kind: kind} }
+
+// The failure taxonomy (re-exported from the internal faults package so
+// callers classify with errors.Is against dynopt names). See the README's
+// "Failure model" section.
+var (
+	// ErrTransient marks failures that may not recur; Config.Retry re-runs
+	// queries whose error chains carry it.
+	ErrTransient = faults.ErrTransient
+	// ErrSpillIO marks spill-device I/O failures (transient).
+	ErrSpillIO = faults.ErrSpillIO
+	// ErrAdmission marks a query that timed out or was cancelled while
+	// queued for an admission slot; nothing was executed.
+	ErrAdmission = faults.ErrAdmission
+	// ErrOverCapacity marks a query the memory governor refused with no
+	// degraded path able to absorb the shortfall.
+	ErrOverCapacity = faults.ErrOverCapacity
+)
+
+// QueryError is the structured failure of one query execution: the pipeline
+// stage and operator that failed, whether it was a contained panic (with
+// the recovered stack), and the underlying cause, unwrappable to the
+// sentinel taxonomy. Retrieve with errors.As.
+type QueryError = faults.QueryError
+
+// FaultRegistry is the deterministic fault-injection registry armed through
+// Config.Faults (test-only; see internal/faults for rules and triggers).
+type FaultRegistry = faults.Registry
+
+// FaultRule arms one injection point on a FaultRegistry.
+type FaultRule = faults.Rule
+
+// NewFaultRegistry returns a registry whose probabilistic triggers draw
+// from seed. Arm rules on it and pass it as Config.Faults.
+func NewFaultRegistry(seed int64) *FaultRegistry { return faults.New(seed) }
 
 // NewSchema builds a schema from fields.
 func NewSchema(fields ...Field) *Schema { return types.NewSchema(fields...) }
@@ -157,6 +195,39 @@ type Config struct {
 	// (or fewer than 1/ReplayTolerance×) the recorded rows falls back to
 	// the dynamic loop. Values <= 1 mean the default (8).
 	ReplayTolerance float64
+	// Faults arms the test-only fault-injection registry: named points in
+	// the spill, governor, exchange, catalog, and memo layers fire the rules
+	// armed on it. Nil (production, the default) leaves every injection site
+	// a single nil check with zero allocations.
+	Faults *FaultRegistry
+	// Retry re-runs queries whose failures are classified transient
+	// (errors.Is(err, ErrTransient)). Safe by construction: every attempt's
+	// side effects — temp datasets, spill files, memory reservations — are
+	// swept on its exit path before the next attempt starts.
+	Retry RetryPolicy
+}
+
+// RetryPolicy configures transient-failure retry for Config.Retry.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts per query; <= 1 disables retry.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the second attempt, doubling per
+	// attempt; 0 retries immediately.
+	BaseBackoff time.Duration
+	// Jitter in (0, 1] randomizes each backoff by ±Jitter of its value.
+	Jitter float64
+}
+
+// backoff returns the sleep after a failed attempt (1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff << (attempt - 1)
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rand.Float64()-1)))
+	}
+	return d
 }
 
 // DB is one simulated BDMS instance: a cluster, a catalog, and a UDF
@@ -179,6 +250,9 @@ type DB struct {
 	pmu    sync.RWMutex // guards ctx.Params against SetParam during serving
 	admit  chan struct{}
 	qidSeq atomic.Int64
+
+	faults *faults.Registry
+	retry  RetryPolicy
 }
 
 // Open creates a DB.
@@ -201,9 +275,14 @@ func Open(cfg Config) *DB {
 		algo:        algo,
 		reoptBudget: cfg.ReoptBudget,
 		spillDir:    cfg.SpillDir,
+		faults:      cfg.Faults,
+		retry:       cfg.Retry,
 	}
 	if cfg.MemoryPerNodeBytes != 0 {
 		db.ctx.Cluster.SetMemoryPerNodeBytes(cfg.MemoryPerNodeBytes)
+	}
+	if cfg.Faults != nil {
+		db.ctx.Cluster.Governor().SetFaults(cfg.Faults)
 	}
 	if cfg.MaxConcurrentQueries > 0 {
 		db.admit = make(chan struct{}, cfg.MaxConcurrentQueries)
@@ -291,8 +370,11 @@ func (db *DB) paramsFor(opts *QueryOptions) map[string]Value {
 	return merged
 }
 
-// Datasets lists the registered dataset names.
-func (db *DB) Datasets() []string { return db.ctx.Catalog.Names() }
+// Datasets lists the registered base dataset names. Per-query temp
+// intermediates are excluded: they belong to in-flight execution scopes,
+// and surfacing them here made the listing flicker under concurrent
+// queries.
+func (db *DB) Datasets() []string { return db.ctx.Catalog.BaseNames() }
 
 // Metrics reports what one query execution did and cost.
 type Metrics struct {
@@ -323,6 +405,10 @@ type Metrics struct {
 	// fell back to the dynamic loop from the already-materialized
 	// intermediate (results are always correct either way).
 	ReplayFellBack bool
+	// Attempts is how many executions this result took under Config.Retry
+	// (1 when the first attempt succeeded or retry is disabled). Metrics
+	// describe the final, successful attempt only.
+	Attempts int
 }
 
 // Result is a finished query.
@@ -355,6 +441,10 @@ type QueryOptions struct {
 	// recording. Queries with NoCache behave exactly as if
 	// Config.PlanCacheEntries were 0.
 	NoCache bool
+	// Timeout bounds this query end to end — including time spent queued
+	// for an admission slot (expiry there returns ErrAdmission) and all
+	// retry attempts. 0 means no per-query deadline beyond ctx's own.
+	Timeout time.Duration
 }
 
 // effectiveAlgo resolves the per-query join-algorithm configuration:
@@ -429,28 +519,78 @@ func (db *DB) Query(sql string, opts *QueryOptions) (*Result, error) {
 // QueryCtx is Query with cancellation: the query stops at the next stage
 // boundary (scan, join, materialization, or re-optimization point) once ctx
 // is cancelled, and a call waiting on admission control gives up its place
-// in line. Each call runs in a private execution scope — its own cost
-// accountant, so Metrics meters exactly this query's work no matter how
-// many others run concurrently, and its own temp-dataset namespace, swept
-// on every exit path so a failing query leaves the catalog unchanged.
+// in line (returning ErrAdmission, which also wraps the deadline or cancel
+// cause). Each query attempt runs in a private execution scope — its own
+// cost accountant, so Metrics meters exactly this query's work no matter
+// how many others run concurrently, and its own temp-dataset namespace,
+// swept on every exit path so a failing query leaves the catalog unchanged.
+// A panic anywhere in execution is contained at the query boundary into a
+// *QueryError after the scope's cleanup has run. With Config.Retry set,
+// transient failures re-run the query under the same admission slot.
 func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Result, error) {
-	s, err := db.strategyFor(opts)
-	if err != nil {
+	// Validate the strategy before queueing: a bad option should not spend
+	// time waiting for an admission slot.
+	if _, err := db.strategyFor(opts); err != nil {
 		return nil, err
+	}
+	if opts != nil && opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
 	}
 	if db.admit != nil {
 		select {
 		case db.admit <- struct{}{}:
 			defer func() { <-db.admit }()
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, fmt.Errorf("dynopt: %w: %w", ErrAdmission, ctx.Err())
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	attempts := db.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		res, err := db.runOnce(ctx, sql, opts)
+		if err == nil {
+			res.Metrics.Attempts = attempt
+			return res, nil
+		}
+		// Retry only failures classified transient, never a caller's own
+		// cancellation, and never past the attempt budget. Each attempt's
+		// scope was fully swept on its way out, so a re-run starts clean.
+		if attempt >= attempts || !errors.Is(err, ErrTransient) || ctx.Err() != nil {
+			return nil, err
+		}
+		if d := db.retry.backoff(attempt); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+}
+
+// runOnce executes one attempt in a fresh execution scope. The recover is
+// registered before the cleanup defers, so on a panic the temp namespace is
+// dropped, the grant closed, and the spill directory swept before the panic
+// is converted to a *QueryError.
+func (db *DB) runOnce(ctx context.Context, sql string, opts *QueryOptions) (out *Result, err error) {
+	s, err := db.strategyFor(opts)
+	if err != nil {
+		return nil, err
+	}
 	scope := fmt.Sprintf("q%d_", db.qidSeq.Add(1))
+	defer func() {
+		if v := recover(); v != nil {
+			out, err = nil, error(faults.FromPanic("query", scope, v))
+		}
+	}()
 	// Backstop sweep: the dynamic driver drops its temps itself, but if a
 	// strategy errors or panics between materializing and registering its
 	// cleanup, the query's unique namespace guarantees nothing survives.
@@ -472,12 +612,14 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Re
 		Scope:   scope,
 		Cancel:  ctx,
 		Grant:   grant,
+		Faults:  db.faults,
 	}
 	if db.spillDir != "" {
 		// Disk half of the query's execution scope: run files live in a
 		// lazily created per-query directory, swept on every exit path like
 		// the catalog temp namespace above.
 		sm := storage.NewSpillManager(db.spillDir, scope)
+		sm.Faults = db.faults
 		defer sm.Sweep()
 		qctx.Spill = sm
 	}
@@ -485,7 +627,7 @@ func (db *DB) QueryCtx(ctx context.Context, sql string, opts *QueryOptions) (*Re
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Columns: res.Columns, Rows: res.Rows}
+	out = &Result{Columns: res.Columns, Rows: res.Rows}
 	out.Metrics = Metrics{
 		Strategy:       rep.Strategy,
 		Plan:           rep.Compact(),

@@ -1,0 +1,327 @@
+package dynopt
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dynopt/internal/faults/leakcheck"
+	"dynopt/internal/memo"
+)
+
+// faultDB wires a seeded registry into the standard test DB the same way
+// Open(Config{Faults: ...}) does, with real spilling at the given budget.
+func faultDB(t *testing.T, budget int64, seed int64) (*DB, *FaultRegistry, string) {
+	t.Helper()
+	db := testDB(t)
+	dir := t.TempDir()
+	reg := NewFaultRegistry(seed)
+	db.spillDir = dir
+	db.faults = reg
+	db.ctx.Cluster.Governor().SetFaults(reg)
+	db.ctx.Cluster.SetMemoryPerNodeBytes(budget)
+	return db, reg, dir
+}
+
+// TestRetryTransientSpillIO: a one-shot spill-device read failure is
+// classified transient, so with Config.Retry armed the query succeeds on
+// the second attempt with rows identical to the fault-free run, and
+// Metrics.Attempts records both executions.
+func TestRetryTransientSpillIO(t *testing.T) {
+	leakcheck.Check(t)
+	want := sortedResultRows(mustQuery(t, testDB(t), apiQuery, nil))
+
+	db, reg, dir := faultDB(t, 256, 42)
+	db.retry = RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}
+
+	// Without retry, the same fault fails the query with a classified error.
+	reg.Arm(FaultRule{Point: "spill.read", OneShot: true})
+	db.retry = RetryPolicy{}
+	if _, err := db.Query(apiQuery, nil); err == nil {
+		t.Fatal("one-shot spill.read fault did not surface without retry")
+	} else if !errors.Is(err, ErrSpillIO) || !errors.Is(err, ErrTransient) {
+		t.Fatalf("spill fault not classified as transient spill I/O: %v", err)
+	}
+	dirEmpty(t, dir)
+
+	// With retry, attempt 1 consumes the one-shot fault and attempt 2
+	// succeeds: the failed attempt's scope was fully swept, so the re-run
+	// starts clean.
+	db.retry = RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}
+	reg.Reset()
+	reg.Arm(FaultRule{Point: "spill.read", OneShot: true})
+	res, err := db.Query(apiQuery, nil)
+	if err != nil {
+		t.Fatalf("retry did not recover from one-shot spill fault: %v", err)
+	}
+	if res.Metrics.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", res.Metrics.Attempts)
+	}
+	if fired := reg.Fired("spill.read"); fired != 1 {
+		t.Errorf("spill.read fired %d times, want 1", fired)
+	}
+	if got := sortedResultRows(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("retried rows diverged from fault-free baseline")
+	}
+	if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced: %d bytes", used)
+	}
+	dirEmpty(t, dir)
+}
+
+// TestDegradeSpillFailureToResident: when the spill device fails on the
+// very first eviction and the governor still has aggregate headroom, the
+// DHHJ degrades to a fully resident build instead of failing the query.
+// Grant denials force the spilling path even though the budget is huge, so
+// the only pressure is injected.
+func TestDegradeSpillFailureToResident(t *testing.T) {
+	leakcheck.Check(t)
+	want := sortedResultRows(mustQuery(t, testDB(t), apiQuery, nil))
+
+	db, reg, dir := faultDB(t, 1<<30, 43)
+	reg.Arm(FaultRule{Point: "governor.reserve", EveryN: 1})
+	reg.Arm(FaultRule{Point: "spill.create", OneShot: true})
+	res, err := db.Query(apiQuery, nil)
+	if err != nil {
+		t.Fatalf("spill failure with governor headroom must degrade, not fail: %v", err)
+	}
+	if fired := reg.Fired("spill.create"); fired != 1 {
+		t.Errorf("spill.create fired %d times, want 1", fired)
+	}
+	if got := sortedResultRows(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("degraded rows diverged from fault-free baseline")
+	}
+	if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced: %d bytes", used)
+	}
+	dirEmpty(t, dir)
+}
+
+// TestDegradeSpillFailureOverCapacity: the same spill-device failure with
+// no governor headroom (another query holds the cluster over capacity)
+// cannot degrade — holding the build resident would break the memory
+// contract — so the query fails classified ErrOverCapacity, with the
+// spill-I/O cause preserved in the chain.
+func TestDegradeSpillFailureOverCapacity(t *testing.T) {
+	leakcheck.Check(t)
+	db, reg, dir := faultDB(t, 256, 44)
+
+	hog := db.ctx.Cluster.Governor().Grant()
+	hog.Reserve(1 << 40)
+	defer hog.Close()
+
+	reg.Arm(FaultRule{Point: "spill.create", EveryN: 1})
+	_, err := db.Query(apiQuery, nil)
+	if err == nil {
+		t.Fatal("spill failure with no governor headroom must fail the query")
+	}
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Errorf("not classified ErrOverCapacity: %v", err)
+	}
+	if !errors.Is(err, ErrSpillIO) {
+		t.Errorf("spill-I/O cause lost from the chain: %v", err)
+	}
+	dirEmpty(t, dir)
+	hog.Close()
+	if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced: %d bytes", used)
+	}
+}
+
+// TestFaultPanicContainedAsQueryError: an injected panic in a probe worker
+// is contained into a *QueryError carrying the stage, the stack, and a
+// transient classification — it never crashes the process and never skips
+// scope cleanup.
+func TestFaultPanicContainedAsQueryError(t *testing.T) {
+	leakcheck.Check(t)
+	db, reg, dir := faultDB(t, 1<<30, 45)
+	base := db.Datasets()
+
+	reg.Arm(FaultRule{Point: "probe.drain", OneShot: true, Panic: true})
+	_, err := db.Query(apiQuery, nil)
+	if err == nil {
+		t.Fatal("injected probe panic did not surface")
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("panic not contained as *QueryError: %v", err)
+	}
+	if !qe.Panicked {
+		t.Error("QueryError.Panicked = false for an injected panic")
+	}
+	if len(qe.Stack) == 0 {
+		t.Error("QueryError.Stack empty")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("injected panic not classified transient (retryable): %v", err)
+	}
+	if ds := db.Datasets(); !reflect.DeepEqual(ds, base) {
+		t.Errorf("Datasets() changed after contained panic: %v", ds)
+	}
+	if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced: %d bytes", used)
+	}
+	dirEmpty(t, dir)
+}
+
+// TestFaultCatalogRegisterKeepsDatasetsStable is the regression test for
+// the half-registered-dataset race: a failure (or panic) at the
+// registration point must leave the visible catalog exactly as it was, and
+// concurrent Datasets() callers must never observe a temp dataset or a
+// partial listing while a query stages intermediates.
+func TestFaultCatalogRegisterKeepsDatasetsStable(t *testing.T) {
+	leakcheck.Check(t)
+	db, reg, _ := faultDB(t, 1<<30, 46)
+	base := db.Datasets()
+
+	// Error variant: registration fails cleanly. StrategyIngres decomposes
+	// every filtered dataset, so the run is guaranteed to stage (and
+	// register) at least one intermediate.
+	reg.Arm(FaultRule{Point: "catalog.register", OneShot: true})
+	if _, err := db.Query(apiQuery, &QueryOptions{Strategy: StrategyIngres}); err == nil {
+		t.Fatal("catalog.register fault did not surface")
+	} else if !errors.Is(err, ErrTransient) {
+		t.Fatalf("registration fault not classified transient: %v", err)
+	}
+	if ds := db.Datasets(); !reflect.DeepEqual(ds, base) {
+		t.Fatalf("Datasets() changed after faulted registration: %v", ds)
+	}
+
+	// Panic variant, with a concurrent poller: every snapshot a reader
+	// takes mid-query must equal the stable base listing.
+	reg.Reset()
+	reg.Arm(FaultRule{Point: "catalog.register", OneShot: true, Panic: true})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var racy atomic_string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if ds := db.Datasets(); !reflect.DeepEqual(ds, base) {
+				racy.store(ds)
+				return
+			}
+		}
+	}()
+	_, err := db.Query(apiQuery, &QueryOptions{Strategy: StrategyIngres})
+	close(stop)
+	wg.Wait()
+	if err == nil {
+		t.Fatal("catalog.register panic did not surface")
+	}
+	var qe *QueryError
+	if !errors.As(err, &qe) || !qe.Panicked {
+		t.Fatalf("registration panic not contained as *QueryError: %v", err)
+	}
+	if bad := racy.load(); bad != nil {
+		t.Fatalf("concurrent Datasets() observed an unstable listing: %v", bad)
+	}
+	if ds := db.Datasets(); !reflect.DeepEqual(ds, base) {
+		t.Fatalf("Datasets() changed after contained registration panic: %v", ds)
+	}
+}
+
+// atomic_string guards the poller's failure sample without a data race.
+type atomic_string struct {
+	mu sync.Mutex
+	v  []string
+}
+
+func (a *atomic_string) store(v []string) { a.mu.Lock(); a.v = v; a.mu.Unlock() }
+func (a *atomic_string) load() []string   { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+// TestAdmissionTimeoutWhileQueued: a query whose QueryOptions.Timeout
+// expires while it waits for an admission slot gives up its place in line
+// with an error classified both ErrAdmission and deadline-exceeded.
+func TestAdmissionTimeoutWhileQueued(t *testing.T) {
+	leakcheck.Check(t)
+	db := testDB(t)
+	db.admit = make(chan struct{}, 1)
+	db.admit <- struct{}{} // occupy the only slot
+	defer func() { <-db.admit }()
+
+	start := time.Now()
+	_, err := db.Query(apiQuery, &QueryOptions{Timeout: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("queued query with expired timeout did not fail")
+	}
+	if !errors.Is(err, ErrAdmission) {
+		t.Errorf("not classified ErrAdmission: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline cause lost from the chain: %v", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("queued query waited %v past its 50ms timeout", waited)
+	}
+}
+
+// TestAdmissionCancelWhileQueued: cancelling the caller's context while
+// queued gives up the admission wait with ErrAdmission wrapping the cancel
+// cause.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	leakcheck.Check(t)
+	db := testDB(t)
+	db.admit = make(chan struct{}, 1)
+	db.admit <- struct{}{}
+	defer func() { <-db.admit }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(20*time.Millisecond, cancel)
+	_, err := db.QueryCtx(ctx, apiQuery, nil)
+	if err == nil {
+		t.Fatal("queued query with cancelled context did not fail")
+	}
+	if !errors.Is(err, ErrAdmission) {
+		t.Errorf("not classified ErrAdmission: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancel cause lost from the chain: %v", err)
+	}
+}
+
+// TestFaultReplayFallsBackToDynamic: a faulted memo replay must re-optimize
+// through the full dynamic loop — same rows, fallback noted in the plan
+// narrative — rather than fail the query.
+func TestFaultReplayFallsBackToDynamic(t *testing.T) {
+	leakcheck.Check(t)
+	db := testDB(t)
+	reg := NewFaultRegistry(47)
+	db.faults = reg
+	db.memo = memo.NewStore(8, memo.Options{})
+	db.ctx.Catalog.SetBaseHook(db.memo.InvalidateDataset)
+
+	// Warm the memo, then fault the replay.
+	want := sortedResultRows(mustQuery(t, db, apiQuery, &QueryOptions{Strategy: StrategyDynamic}))
+	mustQuery(t, db, apiQuery, &QueryOptions{Strategy: StrategyDynamic})
+
+	reg.Arm(FaultRule{Point: "memo.replay", OneShot: true})
+	res := mustQuery(t, db, apiQuery, &QueryOptions{Strategy: StrategyDynamic})
+	if fired := reg.Fired("memo.replay"); fired != 1 {
+		t.Fatalf("memo.replay fired %d times, want 1 (memo never replayed?)", fired)
+	}
+	if got := sortedResultRows(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback rows diverged from baseline")
+	}
+	if !res.Metrics.ReplayFellBack {
+		t.Error("Metrics.ReplayFellBack = false after a faulted replay")
+	}
+}
+
+func mustQuery(t *testing.T, db *DB, sql string, opts *QueryOptions) *Result {
+	t.Helper()
+	res, err := db.Query(sql, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

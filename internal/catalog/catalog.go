@@ -118,6 +118,23 @@ func (c *Catalog) Names() []string {
 	return out
 }
 
+// BaseNames returns the sorted names of non-temp datasets only — the stable
+// catalog surface a client sees. Per-query temp intermediates come and go
+// with query execution; exposing them from Datasets() made the listing
+// flicker under concurrent queries (and leak names of half-done stages).
+func (c *Catalog) BaseNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.datasets))
+	for n, ds := range c.datasets {
+		if !ds.Temp {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TempPrefix returns the temp-relation name prefix for a query scope. The
 // temp namespace literal is owned by the catalog — DropPrefix(TempPrefix(scope))
 // sweeps exactly one query's intermediates — and the tempname analyzer keeps

@@ -3,6 +3,8 @@ package cluster
 import (
 	"sync"
 	"sync/atomic"
+
+	"dynopt/internal/faults"
 )
 
 // Governor arbitrates query memory across everything a cluster serves
@@ -19,13 +21,23 @@ import (
 // partitions to disk; operators that cannot (aggregation state) keep their
 // reservation and let the joins around them spill harder instead.
 type Governor struct {
-	c    *Cluster
-	used atomic.Int64
+	c      *Cluster
+	used   atomic.Int64
+	faults *faults.Registry
 }
 
+// SetFaults arms the governor's injection points (test-only; nil disables).
+func (g *Governor) SetFaults(r *faults.Registry) { g.faults = r }
+
 // Capacity returns the current grantable byte total, or 0 when memory
-// governance is disabled (MemoryPerNodeBytes <= 0).
+// governance is disabled (MemoryPerNodeBytes <= 0). While a capacity-
+// collapse fault is armed it reports a single byte — the mid-query
+// budget-revocation scenario, in which every subsequent reservation is
+// over capacity and every join must shed what it can.
 func (g *Governor) Capacity() int64 {
+	if g.faults.Trip(faults.Point("governor.collapse")) {
+		return 1
+	}
 	per := g.c.MemoryPerNodeBytes()
 	if per <= 0 {
 		return 0
@@ -35,6 +47,14 @@ func (g *Governor) Capacity() int64 {
 
 // Used returns the bytes currently reserved across all grants.
 func (g *Governor) Used() int64 { return g.used.Load() }
+
+// WithinCapacity reports whether current reservations fit the current
+// capacity — the check degraded paths make before electing to hold a build
+// in memory despite a spill-device failure.
+func (g *Governor) WithinCapacity() bool {
+	capacity := g.Capacity()
+	return capacity == 0 || g.used.Load() <= capacity
+}
 
 // Grant opens a per-query reservation scope. Close it on every query exit
 // path; any bytes still held are released then.
@@ -68,8 +88,20 @@ func (gr *Grant) Reserve(n int64) bool {
 		gr.peak = gr.used
 	}
 	gr.mu.Unlock()
+	if gr.gov.faults.Trip(faults.Point("governor.reserve")) {
+		return false // injected denial: bytes stay charged, pressure reported
+	}
 	capacity := gr.gov.Capacity()
 	return capacity == 0 || total <= capacity
+}
+
+// WithinCapacity reports the governor-wide capacity check for this grant's
+// governor (see Governor.WithinCapacity).
+func (gr *Grant) WithinCapacity() bool {
+	if gr == nil {
+		return true
+	}
+	return gr.gov.WithinCapacity()
 }
 
 // Release returns n bytes to the governor.

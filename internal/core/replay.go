@@ -6,6 +6,7 @@ import (
 
 	"dynopt/internal/engine"
 	"dynopt/internal/expr"
+	"dynopt/internal/faults"
 	"dynopt/internal/memo"
 	"dynopt/internal/plan"
 	"dynopt/internal/sqlpp"
@@ -55,6 +56,14 @@ func (d *Dynamic) tryReplay(rs *runState, r *Report) (*engine.Result, error) {
 		// derived from no longer describe the data.
 		d.Memo.RemoveEntry(e)
 		r.StagePlans = append(r.StagePlans, "memo: stale fingerprint ("+reason+"), re-optimizing")
+		return nil, nil
+	}
+	if err := rs.ctx.Faults.Fire(faults.Point("memo.replay")); err != nil {
+		// A faulted replay degrades exactly like a guardrail breach: the
+		// dynamic loop runs the query from scratch; nothing was executed yet.
+		r.StagePlans = append(r.StagePlans, "memo: replay faulted, re-optimizing: "+err.Error())
+		r.ReplayFellBack = true
+		d.Memo.NoteFallback()
 		return nil, nil
 	}
 	res, err := rs.replayPlan(e)

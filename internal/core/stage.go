@@ -6,6 +6,7 @@ import (
 
 	"dynopt/internal/engine"
 	"dynopt/internal/expr"
+	"dynopt/internal/faults"
 	"dynopt/internal/memo"
 	"dynopt/internal/plan"
 	"dynopt/internal/sqlpp"
@@ -242,11 +243,17 @@ func (rs *runState) executePushDown(alias string) error {
 			delete(tst.Fields, f)
 		}
 	}
+	// Track the temp before registering it: if registration faults or
+	// panics partway, cleanup still knows the name and the catalog is left
+	// with no half-registered dataset for concurrent queries to trip on.
+	rs.tempNames = append(rs.tempNames, tempName)
+	if err := rs.ctx.Faults.Fire(faults.Point("catalog.register")); err != nil {
+		return err
+	}
 	if err := rs.ctx.Catalog.Register(tds, tst); err != nil {
 		return err
 	}
 	rs.est.Reg.Put(tst) // feedback into the planner registry (no-op when shared)
-	rs.tempNames = append(rs.tempNames, tempName)
 	if !rs.replay {
 		// A replayed push-down still executes and materializes, but nothing
 		// blocks on it to re-plan, so it is not a re-optimization point.
@@ -419,11 +426,17 @@ func (rs *runState) executeJoinStage(edge *sqlpp.JoinEdge, estCard int64, tables
 	// Figure-2 feedback: what this stage actually spilled informs the next
 	// stage's join pick.
 	rs.observedSpillBytes = rs.ctx.Accounting().SpillBytes.Load() - spillBefore
+	// Track the temp before registering it: if registration faults or
+	// panics partway, cleanup still knows the name and the catalog is left
+	// with no half-registered dataset for concurrent queries to trip on.
+	rs.tempNames = append(rs.tempNames, tempName)
+	if err := rs.ctx.Faults.Fire(faults.Point("catalog.register")); err != nil {
+		return err
+	}
 	if err := rs.ctx.Catalog.Register(tds, tst); err != nil {
 		return err
 	}
 	rs.est.Reg.Put(tst) // feedback into the planner registry (no-op when shared)
-	rs.tempNames = append(rs.tempNames, tempName)
 	if !rs.replay {
 		// Replayed stages materialize like any stage, but no blocking
 		// re-optimization pass follows them: Reopts stays 0 on a clean
@@ -615,10 +628,12 @@ func (rs *runState) runJoinJobStream(edge *sqlpp.JoinEdge, lt, rt *TableInfo, al
 		// regardless of build side.
 		if algo == plan.AlgoBroadcast {
 			// A broadcast build side is replicated whole; scan it into the
-			// relation the shared table is built from.
-			build, err := engine.Scan(rs.ctx, buildDS, buildInfo.Alias, buildInfo.Filter, buildInfo.Project)
-			if err != nil {
-				return nil, nil, nil, err
+			// relation the shared table is built from. The scan gets its own
+			// error variable: `build, err :=` would shadow the outer err and
+			// silently drop the join's failure at the shared check below.
+			build, serr := engine.Scan(rs.ctx, buildDS, buildInfo.Alias, buildInfo.Filter, buildInfo.Project)
+			if serr != nil {
+				return nil, nil, nil, serr
 			}
 			err = engine.BroadcastJoinStream(rs.ctx, build, probe, buildKeys, probeKeys, buildLeft, mkSink(probe.Parts()))
 		} else {

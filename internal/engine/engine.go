@@ -16,6 +16,7 @@ import (
 	"dynopt/internal/catalog"
 	"dynopt/internal/cluster"
 	"dynopt/internal/expr"
+	"dynopt/internal/faults"
 	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
@@ -54,6 +55,10 @@ type Context struct {
 	// counters and produce identical rows; streaming (the default) avoids
 	// materializing probe sides and re-walking sink inputs.
 	Batch bool
+	// Faults is the query's fault-injection registry (nil in production):
+	// the engine-layer injection points — exchange sends and receives,
+	// scan-cursor opens, probe drains, sink seals — fire against it.
+	Faults *faults.Registry
 }
 
 // Env builds an expression environment against a schema.
@@ -156,13 +161,27 @@ func (r *Relation) PartitionedOn(cols []int) bool {
 // previous goroutine-per-partition behavior.
 func forEachPart(nparts int, fn func(p int) error) error {
 	errs := make([]error, nparts)
+	// Contain operator panics at the partition boundary: a panicking
+	// partition goroutine becomes that partition's error instead of killing
+	// the process. fn's own defers (channel closes, grant releases) run
+	// during the unwind before recover fires, so the exchange-drain and
+	// cleanup invariants hold on the panic path exactly as on the error
+	// path.
+	run := func(p int) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = faults.FromPanic("partition", fmt.Sprintf("partition %d", p), v)
+			}
+		}()
+		return fn(p)
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nparts {
 		workers = nparts
 	}
 	if workers <= 1 {
 		for p := 0; p < nparts; p++ {
-			errs[p] = fn(p)
+			errs[p] = run(p)
 		}
 	} else {
 		var next atomic.Int64
@@ -176,7 +195,7 @@ func forEachPart(nparts int, fn func(p int) error) error {
 					if p >= nparts {
 						return
 					}
-					errs[p] = fn(p)
+					errs[p] = run(p)
 				}
 			}()
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dynopt/internal/expr"
+	"dynopt/internal/faults"
 	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
@@ -55,6 +56,9 @@ func (w *probeState) consume(c *Chunk) error {
 }
 
 func (w *probeState) drain(st probeStream) error {
+	if err := w.ctx.Faults.Fire(faults.Point("probe.drain")); err != nil {
+		return err
+	}
 	for {
 		if err := w.ctx.Err(); err != nil {
 			return err

@@ -9,6 +9,7 @@ import (
 
 	"dynopt/internal/cluster"
 	"dynopt/internal/expr"
+	"dynopt/internal/faults/leakcheck"
 	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
@@ -99,6 +100,7 @@ func runBothModes(t *testing.T, nodes int, load func(ctx *Context),
 // boundaries, including empty partitions (more partitions than rows) and
 // selective filters that empty entire scan windows.
 func TestStreamMatchesBatchChunkBoundaries(t *testing.T) {
+	leakcheck.Check(t)
 	payFilter := func() expr.Expr {
 		return &expr.Compare{Op: expr.CmpGe,
 			L: &expr.Column{Qualifier: "f", Name: "pay"}, R: &expr.Literal{Val: types.Int(900)}}
@@ -275,6 +277,7 @@ func TestStreamMatchesBatchChunkBoundaries(t *testing.T) {
 // TestStreamMatchesBatchEmptyInputs: zero-row probe and build sides flow
 // through the pipeline without emitting chunks.
 func TestStreamMatchesBatchEmptyInputs(t *testing.T) {
+	leakcheck.Check(t)
 	withChunkCap(t, 2)
 	load := func(ctx *Context) {
 		register(t, ctx, "fact", []string{"id"}, []string{"id", "fk", "pay"}, nil)
@@ -313,6 +316,7 @@ func TestStreamMatchesBatchEmptyInputs(t *testing.T) {
 // a budget forcing eviction: identical rows and identical spill metering,
 // with the streaming probe arriving chunk-by-chunk.
 func TestStreamSpillMatchesBatch(t *testing.T) {
+	leakcheck.Check(t)
 	withChunkCap(t, 7)
 	type res struct {
 		rows []string

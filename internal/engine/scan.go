@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dynopt/internal/expr"
+	"dynopt/internal/faults"
 	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
@@ -194,6 +195,9 @@ func (s *scanSource) PartBytesHint(p int) int64 {
 }
 
 func (s *scanSource) Open(p int) (Cursor, error) {
+	if err := s.ctx.Faults.Fire(faults.Point("scan.open")); err != nil {
+		return nil, err
+	}
 	meterScanPart(s.ctx, s.ds, p)
 	return &scanCursor{ctx: s.ctx, prep: s.prep, r: s.ds.ChunkReader(p, chunkCap)}, nil
 }

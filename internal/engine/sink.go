@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 
+	"dynopt/internal/faults"
 	"dynopt/internal/sqlpp"
 	"dynopt/internal/stats"
 	"dynopt/internal/storage"
@@ -108,6 +110,9 @@ func (s *StreamSink) Finish() (*storage.Dataset, *stats.DatasetStats, error) {
 	if err := s.ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	if err := s.ctx.Faults.Fire(faults.Point("sink.finish")); err != nil {
+		return nil, nil, err
+	}
 	ds := &storage.Dataset{
 		Name:    s.name,
 		Schema:  s.flat,
@@ -155,6 +160,9 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	if err := ctx.Faults.Fire(faults.Point("sink.finish")); err != nil {
+		return nil, nil, err
+	}
 	flat := flattenSchema(rel.Schema)
 	ds := &storage.Dataset{
 		Name:    name,
@@ -175,11 +183,20 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 
 	acct := ctx.Accounting()
 	partStats := make([]*stats.DatasetStats, len(rel.Parts))
+	errs := make([]error, len(rel.Parts))
 	var wg sync.WaitGroup
 	for p := range rel.Parts {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			// Contain panics on the stats goroutines: a panicking sketch
+			// observer becomes this partition's error instead of killing the
+			// process with the WaitGroup never satisfied.
+			defer func() {
+				if v := recover(); v != nil {
+					errs[p] = faults.FromPanic("sink", fmt.Sprintf("materialize partition %d", p), v)
+				}
+			}()
 			st := stats.NewDatasetStats(name)
 			st.RecordCount = int64(len(rel.Parts[p]))
 			st.ByteSize = rel.PartBytes(p)
@@ -201,6 +218,11 @@ func Materialize(ctx *Context, rel *Relation, name string, statsFields map[strin
 		}(p)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	pb := make([]int64, len(rel.Parts))
 	for p := range rel.Parts {
 		ds.Parts[p] = rel.Parts[p]

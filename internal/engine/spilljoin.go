@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"dynopt/internal/cluster"
+	"dynopt/internal/faults"
 	"dynopt/internal/storage"
 	"dynopt/internal/types"
 )
@@ -144,6 +146,11 @@ type spillJoin struct {
 	// sink path); out then only buffers up to one chunk between flushes.
 	// Nil accumulates the whole partition's output in out (the batch path).
 	emit func(rows []types.Tuple) error
+	// noSpill marks the degraded mode entered when the spill device fails
+	// before any run file landed: the join holds its whole build side
+	// resident — reserving the bytes but ignoring budget and pressure, like
+	// the depth-capped inMemory fallback — instead of failing the query.
+	noSpill bool
 }
 
 // maybeFlush hands the buffered output to the emit hook once a chunk's
@@ -282,6 +289,10 @@ func (j *spillJoin) run(level int, build, probe rowSeq) error {
 		}
 		for _, t := range rows[s] {
 			if err := f.Append(t); err != nil {
+				// The victim stays resident (its rows and reservation are
+				// only cleared below, after every append succeeded); drop the
+				// partial run so the failed eviction leaves no residue.
+				_ = f.Remove()
 				return err
 			}
 		}
@@ -289,6 +300,30 @@ func (j *spillJoin) run(level int, build, probe rowSeq) error {
 		resident -= bytes[s]
 		rows[s], hashes[s], bytes[s] = nil, nil, 0
 		bFile[s] = f
+		return nil
+	}
+	// tryEvict is evict plus the graceful-degradation rung: when the spill
+	// device fails before anything from this level landed on disk, and the
+	// governor still has room, the join degrades to holding the build
+	// resident (noSpill) instead of failing the query. Once a run file
+	// exists the data is already partly on the failed device and only an
+	// error can surface it; without governor room the resident set would be
+	// an unbounded over-reservation, so the failure is classified
+	// over-capacity on top of the spill cause.
+	tryEvict := func(v int) error {
+		err := evict(v)
+		if err == nil || !errors.Is(err, faults.ErrSpillIO) {
+			return err
+		}
+		for s := 0; s < spillFanout; s++ {
+			if bFile[s] != nil {
+				return err
+			}
+		}
+		if !j.grant.WithinCapacity() {
+			return fmt.Errorf("engine: spill device failed with no governor room to hold the build resident: %w (%w)", err, faults.ErrOverCapacity)
+		}
+		j.noSpill = true
 		return nil
 	}
 
@@ -320,35 +355,37 @@ func (j *spillJoin) run(level int, build, probe rowSeq) error {
 		if sz < 0 {
 			sz = int64(t.EncodedSize()) //dynopt:size-ok run-file rows carry no cached size; walked once on re-read
 		}
-		for resident+sz > j.budget {
-			v := largest()
-			if v < 0 {
-				break
+		if !j.noSpill {
+			for resident+sz > j.budget && !j.noSpill {
+				v := largest()
+				if v < 0 {
+					break
+				}
+				if err := tryEvict(v); err != nil {
+					return err
+				}
 			}
-			if err := evict(v); err != nil {
-				return err
+			if bFile[s] == nil && !j.noSpill && resident+sz > j.budget {
+				// Everything else is already on disk and this row alone breaks
+				// the budget: spill its own (empty or not) sub-partition.
+				if err := tryEvict(s); err != nil {
+					return err
+				}
 			}
-		}
-		if bFile[s] == nil && resident+sz > j.budget {
-			// Everything else is already on disk and this row alone breaks
-			// the budget: spill its own (empty or not) sub-partition.
-			if err := evict(s); err != nil {
-				return err
+			if bFile[s] != nil {
+				if err := bFile[s].Append(t); err != nil {
+					return err
+				}
+				continue
 			}
-		}
-		if bFile[s] != nil {
-			if err := bFile[s].Append(t); err != nil {
-				return err
-			}
-			continue
 		}
 		rows[s] = append(rows[s], t)
 		hashes[s] = append(hashes[s], h)
 		bytes[s] += sz
 		resident += sz
-		if !j.grant.Reserve(sz) {
+		if !j.grant.Reserve(sz) && !j.noSpill {
 			if v := largest(); v >= 0 {
-				if err := evict(v); err != nil {
+				if err := tryEvict(v); err != nil {
 					return err
 				}
 			}

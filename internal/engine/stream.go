@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"dynopt/internal/faults"
 	"dynopt/internal/types"
 )
 
@@ -144,7 +145,18 @@ func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []
 	bufs := make([]*Chunk, n)
 	var hashBuf []uint64
 	var localRows, totalRows, localBytes, totalBytes int64
+	// The flush select also watches the caller's cancellation: with a
+	// stalled (injected or genuinely wedged) consumer the bounded channel
+	// never drains, and without this case a QueryOptions.Timeout would
+	// expire while the producer sat blocked forever on the send.
+	var cancelled <-chan struct{}
+	if ctx.Cancel != nil {
+		cancelled = ctx.Cancel.Done()
+	}
 	flush := func(d int) error {
+		if err := ctx.Faults.Fire(faults.Point("exchange.produce")); err != nil {
+			return err
+		}
 		c := bufs[d]
 		bufs[d] = nil
 		select {
@@ -152,6 +164,8 @@ func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []
 			return nil
 		case <-ex.done:
 			return errExchangeCancelled
+		case <-cancelled:
+			return ctx.Cancel.Err()
 		}
 	}
 	for {
@@ -207,6 +221,24 @@ func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []
 
 var errExchangeCancelled = fmt.Errorf("engine: exchange cancelled by failed consumer")
 
+// faultingStream interposes the exchange.consume injection point on a
+// destination's probe stream — one Fire per received chunk, so consumer
+// errors and consumer stalls land mid-exchange, with producers still live
+// and channels still full. Only wrapped around the primary consumer when a
+// registry is armed; the drain-after-failure streams stay raw so teardown
+// cannot be re-faulted into a deadlock.
+type faultingStream struct {
+	st  probeStream
+	reg *faults.Registry
+}
+
+func (s *faultingStream) next() (*Chunk, error) {
+	if err := s.reg.Fire(faults.Point("exchange.consume")); err != nil {
+		return nil, err
+	}
+	return s.st.next()
+}
+
 // mergeStream is destination dst's side of the scatter: it drains source 0's
 // channel to exhaustion, then source 1's, and so on, reproducing the batch
 // exchange's source-block order exactly. It also guards the int32 row-index
@@ -258,7 +290,24 @@ func runScatter(ctx *Context, src Source, keyCols []int, consume func(p int, st 
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			if err := consume(d, &mergeStream{ex: ex, dst: d}); err != nil {
+			st := probeStream(&mergeStream{ex: ex, dst: d})
+			if ctx.Faults != nil {
+				st = &faultingStream{st: st, reg: ctx.Faults}
+			}
+			// Contain consumer panics here, on the consumer's own goroutine:
+			// a panicking probe worker becomes this destination's error and
+			// flows into the same cancel-and-drain teardown as an error
+			// return, instead of killing the process with producers blocked
+			// on full channels.
+			err := func() (err error) {
+				defer func() {
+					if v := recover(); v != nil {
+						err = faults.FromPanic("exchange", fmt.Sprintf("consumer %d", d), v)
+					}
+				}()
+				return consume(d, st)
+			}()
+			if err != nil {
 				consErrs[d] = err
 				ex.cancel()
 				// Keep draining so producers targeting this destination can
@@ -323,6 +372,10 @@ func (ex *replicateExchange) produce(ctx *Context, src Source) (totalRows, total
 			close(ch)
 		}
 	}()
+	var cancelled <-chan struct{}
+	if ctx.Cancel != nil {
+		cancelled = ctx.Cancel.Done()
+	}
 	for p := 0; p < src.Parts(); p++ {
 		cur, err := src.Open(p)
 		if err != nil {
@@ -341,6 +394,9 @@ func (ex *replicateExchange) produce(ctx *Context, src Source) (totalRows, total
 			if err != nil {
 				return totalRows, totalBytes, err
 			}
+			if err := ctx.Faults.Fire(faults.Point("exchange.produce")); err != nil {
+				return totalRows, totalBytes, err
+			}
 			out := &Chunk{Rows: append([]types.Tuple(nil), c.Rows...)}
 			totalRows += int64(len(c.Rows))
 			if hint < 0 {
@@ -353,6 +409,8 @@ func (ex *replicateExchange) produce(ctx *Context, src Source) (totalRows, total
 				case ch <- out:
 				case <-ex.done:
 					return totalRows, totalBytes, errExchangeCancelled
+				case <-cancelled:
+					return totalRows, totalBytes, ctx.Cancel.Err()
 				}
 			}
 		}
@@ -388,7 +446,19 @@ func runReplicate(ctx *Context, src Source, n int, consume func(p int, st probeS
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
-			if err := consume(d, &chanStream{ch: ex.chans[d]}); err != nil {
+			st := probeStream(&chanStream{ch: ex.chans[d]})
+			if ctx.Faults != nil {
+				st = &faultingStream{st: st, reg: ctx.Faults}
+			}
+			err := func() (err error) {
+				defer func() {
+					if v := recover(); v != nil {
+						err = faults.FromPanic("exchange", fmt.Sprintf("consumer %d", d), v)
+					}
+				}()
+				return consume(d, st)
+			}()
+			if err != nil {
 				consErrs[d] = err
 				ex.cancel()
 				for range ex.chans[d] { // drain so the producer can finish
@@ -396,7 +466,18 @@ func runReplicate(ctx *Context, src Source, n int, consume func(p int, st probeS
 			}
 		}(d)
 	}
-	totalRows, totalBytes, prodErr := ex.produce(ctx, src)
+	// The producer runs inline on the caller's goroutine; contain its panics
+	// the same way forEachPart does for scatter producers. produce's own
+	// channel-close defer runs during the unwind, so consumers still see end
+	// of stream.
+	totalRows, totalBytes, prodErr := func() (tr, tb int64, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = faults.FromPanic("exchange", "replicate producer", v)
+			}
+		}()
+		return ex.produce(ctx, src)
+	}()
 	wg.Wait()
 	if prodErr != nil && prodErr != errExchangeCancelled {
 		return totalRows, totalBytes, prodErr

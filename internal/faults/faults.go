@@ -1,0 +1,268 @@
+// Package faults is the engine's failure model: a deterministic
+// fault-injection registry for the layers that can actually fail (spill
+// I/O, the memory governor, the exchanges, catalog registration, memo
+// replay), the sentinel error taxonomy the serving layer classifies and
+// retries on, and the panic-to-error conversion used at operator-goroutine
+// and query boundaries.
+//
+// The registry is test-only machinery armed through Config.Faults; in
+// production every injection site holds a nil *Registry and the Fire/Trip
+// fast path is a single nil check — no allocation, no lock, no map lookup.
+// Triggers are seeded and deterministic (every-Nth hit, probability under a
+// seeded PRNG, one-shot), so a chaos run replays identically from its seed.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// The sentinel error taxonomy. Layers wrap these with fmt.Errorf("%w", ...)
+// so callers classify failures with errors.Is regardless of how many
+// context layers accumulated on the way up.
+var (
+	// ErrTransient marks failures that may not recur: a retry of the whole
+	// query (whose side effects are swept on every exit path) is safe and
+	// plausibly useful. ErrInjected and ErrSpillIO wrap it.
+	ErrTransient = errors.New("transient failure")
+	// ErrInjected is the default error of a fired injection point.
+	ErrInjected = fmt.Errorf("injected fault (%w)", ErrTransient)
+	// ErrSpillIO marks run-file I/O failures — create, append, flush, seal,
+	// read-back, or unlink of a spill file.
+	ErrSpillIO = fmt.Errorf("spill I/O failure (%w)", ErrTransient)
+	// ErrAdmission marks a query that gave up while queued for an admission
+	// slot: its context was cancelled or its timeout expired before a slot
+	// opened. The query never started, so nothing was executed.
+	ErrAdmission = errors.New("admission wait expired")
+	// ErrOverCapacity marks a query the memory governor refused: it needed
+	// resident memory the cluster could not grant and no degraded path
+	// (eviction, in-memory fallback) could absorb the shortfall.
+	ErrOverCapacity = errors.New("memory grant over capacity")
+)
+
+// QueryError is the structured failure of one query execution: which stage
+// of the pipeline failed, which operator (or goroutine role) raised it, and
+// — for contained panics — the recovered value's stack. Unwrap exposes the
+// underlying cause so errors.Is sees through to the sentinel taxonomy.
+type QueryError struct {
+	// Stage is the pipeline stage or boundary that failed: "query",
+	// "partition", "exchange", "admission", ...
+	Stage string
+	// Operator names the operator or goroutine role within the stage.
+	Operator string
+	// Panicked reports that this error is a contained panic.
+	Panicked bool
+	// Stack is the panicking goroutine's stack, captured at recover time.
+	Stack []byte
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *QueryError) Error() string {
+	kind := "failed"
+	if e.Panicked {
+		kind = "panicked"
+	}
+	if e.Operator != "" {
+		return fmt.Sprintf("dynopt: %s %s in %s: %v", e.Stage, kind, e.Operator, e.Err)
+	}
+	return fmt.Sprintf("dynopt: %s %s: %v", e.Stage, kind, e.Err)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// FromPanic converts a recovered panic value into a *QueryError, capturing
+// the stack of the recovering goroutine. Error panic values (including
+// injected ones, which carry the transient sentinel) become the underlying
+// cause directly so the taxonomy survives containment.
+func FromPanic(stage, operator string, v any) *QueryError {
+	err, ok := v.(error)
+	if !ok {
+		err = fmt.Errorf("panic: %v", v)
+	}
+	return &QueryError{
+		Stage:    stage,
+		Operator: operator,
+		Panicked: true,
+		Stack:    debug.Stack(),
+		Err:      err,
+	}
+}
+
+// Rule arms one injection point. The trigger is EveryN when set, else P
+// when set, else every hit; OneShot disarms the rule after its first
+// firing. The effect is Panic when set, else the Err (default: ErrInjected
+// wrapped with the point name); Stall sleeps before the effect either way,
+// and a Stall-only rule (no Panic, nil Err, Benign) just delays.
+type Rule struct {
+	// Point is the registered injection point name (see Point / the point
+	// table in points.go).
+	Point string
+	// EveryN fires on every Nth hit of the point (1 = every hit).
+	EveryN int
+	// P fires each hit with this probability under the registry's seeded
+	// PRNG (used when EveryN == 0).
+	P float64
+	// OneShot disarms the rule after its first firing.
+	OneShot bool
+	// Stall sleeps this long when the rule fires (consumer-stall and
+	// send-timeout scenarios).
+	Stall time.Duration
+	// Panic panics with an injected transient error instead of returning
+	// one.
+	Panic bool
+	// Err overrides the injected error.
+	Err error
+	// Benign makes a firing report no error: the rule only stalls (and
+	// counts). Meaningless combined with Panic.
+	Benign bool
+}
+
+// Registry is a set of armed rules keyed by injection point, with
+// deterministic seeded triggers. The zero of interest is the nil *Registry:
+// every method is nil-receiver safe and free of effects, so production
+// injection sites cost one nil check.
+type Registry struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string]*armed
+	fired map[string]int
+}
+
+type armed struct {
+	rule Rule
+	hits int
+	done bool // one-shot consumed
+}
+
+// New returns a registry whose probabilistic triggers draw from seed.
+func New(seed int64) *Registry {
+	return &Registry{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: map[string]*armed{},
+		fired: map[string]int{},
+	}
+}
+
+// Arm installs (or replaces) the rule for rule.Point. The point must be
+// registered in the point table; arming a typo'd dead point is a test bug
+// worth failing loudly over.
+func (r *Registry) Arm(rule Rule) {
+	if !Known(rule.Point) {
+		panic(fmt.Sprintf("faults: Arm(%q): point not in the registered point table", rule.Point))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rules[rule.Point] = &armed{rule: rule}
+}
+
+// Disarm removes the rule for a point, keeping its fired count.
+func (r *Registry) Disarm(point string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.rules, point)
+}
+
+// Reset disarms every rule and clears all fired counts (the PRNG keeps its
+// sequence: scenario order still matters to probabilistic rules, which is
+// why chaos suites use fixed scenario orders).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rules = map[string]*armed{}
+	r.fired = map[string]int{}
+}
+
+// Fired returns how many times the point's rule has fired.
+func (r *Registry) Fired(point string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fired[point]
+}
+
+// hit evaluates the point's trigger, returning the firing rule (by value)
+// or ok == false. Stalls and panics are applied by the caller outside the
+// lock.
+func (r *Registry) hit(point string) (Rule, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.rules[point]
+	if a == nil || a.done {
+		return Rule{}, false
+	}
+	a.hits++
+	fire := true
+	switch {
+	case a.rule.EveryN > 0:
+		fire = a.hits%a.rule.EveryN == 0
+	case a.rule.P > 0:
+		fire = r.rng.Float64() < a.rule.P
+	}
+	if !fire {
+		return Rule{}, false
+	}
+	if a.rule.OneShot {
+		a.done = true
+	}
+	r.fired[point]++
+	return a.rule, true
+}
+
+// Fire is the injection-site entry point: it evaluates the point's trigger
+// and applies the armed effect — sleep for Stall, panic with an injected
+// transient error for Panic, else return the injected error. A nil
+// registry, an unarmed point, or a non-firing trigger all return nil.
+func (r *Registry) Fire(point string) error {
+	if r == nil {
+		return nil
+	}
+	rule, ok := r.hit(point)
+	if !ok {
+		return nil
+	}
+	if rule.Stall > 0 {
+		time.Sleep(rule.Stall)
+	}
+	err := rule.Err
+	if err == nil {
+		err = fmt.Errorf("%w at %q", ErrInjected, point)
+	}
+	if rule.Panic {
+		panic(err)
+	}
+	if rule.Benign {
+		return nil
+	}
+	return err
+}
+
+// Trip is Fire for forced-denial sites (governor pressure, capacity
+// collapse): it reports whether the rule fired instead of returning an
+// error, applying Stall and Panic effects the same way.
+func (r *Registry) Trip(point string) bool {
+	if r == nil {
+		return false
+	}
+	rule, ok := r.hit(point)
+	if !ok {
+		return false
+	}
+	if rule.Stall > 0 {
+		time.Sleep(rule.Stall)
+	}
+	if rule.Panic {
+		err := rule.Err
+		if err == nil {
+			err = fmt.Errorf("%w at %q", ErrInjected, point)
+		}
+		panic(err)
+	}
+	return true
+}

@@ -1,0 +1,210 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEveryNDeterministic(t *testing.T) {
+	r := New(1)
+	r.Arm(Rule{Point: "spill.append", EveryN: 3})
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if r.Fire(Point("spill.append")) != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if got := r.Fired("spill.append"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestProbabilitySeeded(t *testing.T) {
+	count := func(seed int64) int {
+		r := New(seed)
+		r.Arm(Rule{Point: "spill.append", P: 0.5})
+		n := 0
+		for i := 0; i < 100; i++ {
+			if r.Fire(Point("spill.append")) != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(42), count(42)
+	if a != b {
+		t.Fatalf("same seed, different firings: %d vs %d", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("p=0.5 fired %d/100 times", a)
+	}
+}
+
+func TestOneShot(t *testing.T) {
+	r := New(1)
+	r.Arm(Rule{Point: "spill.read", OneShot: true})
+	if r.Fire(Point("spill.read")) == nil {
+		t.Fatal("one-shot did not fire on first hit")
+	}
+	for i := 0; i < 5; i++ {
+		if r.Fire(Point("spill.read")) != nil {
+			t.Fatal("one-shot fired twice")
+		}
+	}
+	if got := r.Fired("spill.read"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestTaxonomy(t *testing.T) {
+	r := New(1)
+	r.Arm(Rule{Point: "spill.finish", EveryN: 1})
+	err := r.Fire(Point("spill.finish"))
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrTransient) {
+		t.Fatalf("injected error %v not classifiable as injected+transient", err)
+	}
+	custom := errors.New("boom")
+	r.Arm(Rule{Point: "spill.finish", EveryN: 1, Err: custom})
+	if err := r.Fire(Point("spill.finish")); !errors.Is(err, custom) {
+		t.Fatalf("Err override not honored: %v", err)
+	}
+	if !errors.Is(ErrSpillIO, ErrTransient) {
+		t.Fatal("ErrSpillIO must be transient")
+	}
+}
+
+func TestPanicRuleAndFromPanic(t *testing.T) {
+	r := New(1)
+	r.Arm(Rule{Point: "probe.drain", EveryN: 1, Panic: true})
+	var qe *QueryError
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				qe = FromPanic("partition", "probe", v)
+			}
+		}()
+		_ = r.Fire(Point("probe.drain"))
+	}()
+	if qe == nil {
+		t.Fatal("panic rule did not panic")
+	}
+	if !qe.Panicked || len(qe.Stack) == 0 {
+		t.Fatalf("FromPanic lost panic metadata: %+v", qe)
+	}
+	if !errors.Is(qe, ErrTransient) {
+		t.Fatalf("contained injected panic %v not transient", qe)
+	}
+	if qe.Error() == "" || qe.Unwrap() == nil {
+		t.Fatal("QueryError must render and unwrap")
+	}
+}
+
+func TestTripAndBenign(t *testing.T) {
+	r := New(1)
+	r.Arm(Rule{Point: "governor.reserve", EveryN: 2})
+	if r.Trip(Point("governor.reserve")) {
+		t.Fatal("EveryN=2 tripped on first hit")
+	}
+	if !r.Trip(Point("governor.reserve")) {
+		t.Fatal("EveryN=2 did not trip on second hit")
+	}
+	r.Arm(Rule{Point: "exchange.consume", EveryN: 1, Benign: true, Stall: time.Microsecond})
+	if err := r.Fire(Point("exchange.consume")); err != nil {
+		t.Fatalf("benign stall returned error %v", err)
+	}
+	if r.Fired("exchange.consume") != 1 {
+		t.Fatal("benign firing not counted")
+	}
+}
+
+func TestArmUnknownPointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Arm of an unregistered point did not panic")
+		}
+	}()
+	New(1).Arm(Rule{Point: "no.such.point"})
+}
+
+func TestResetAndDisarm(t *testing.T) {
+	r := New(1)
+	r.Arm(Rule{Point: "scan.open", EveryN: 1})
+	if r.Fire(Point("scan.open")) == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Disarm("scan.open")
+	if r.Fire(Point("scan.open")) != nil {
+		t.Fatal("disarmed point fired")
+	}
+	if r.Fired("scan.open") != 1 {
+		t.Fatal("Disarm cleared the fired count")
+	}
+	r.Reset()
+	if r.Fired("scan.open") != 0 {
+		t.Fatal("Reset kept the fired count")
+	}
+}
+
+// TestDisabledPathZeroAlloc is the contract the whole design leans on: with
+// no registry armed (the production configuration), an injection site is a
+// nil check — zero allocations, zero effects.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var nilReg *Registry
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := nilReg.Fire(Point("spill.append")); err != nil {
+			t.Fatal(err)
+		}
+		if nilReg.Trip(Point("governor.reserve")) {
+			t.Fatal("nil registry tripped")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled fault point allocates: %v allocs/op", n)
+	}
+	// Armed registry, unarmed point: still zero allocations.
+	r := New(1)
+	r.Arm(Rule{Point: "memo.replay", OneShot: true})
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := r.Fire(Point("spill.append")); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("unarmed fault point allocates: %v allocs/op", n)
+	}
+}
+
+// BenchmarkDisabledFire backs the CI no-faults guard: the reported
+// allocs/op for the disabled hot path must stay at zero.
+func BenchmarkDisabledFire(b *testing.B) {
+	var nilReg *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := nilReg.Fire(Point("spill.append")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestKnownAndNames(t *testing.T) {
+	if !Known("spill.create") || Known("bogus") {
+		t.Fatal("Known misclassifies points")
+	}
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty point table")
+	}
+	for _, n := range names {
+		if !Known(n) {
+			t.Fatalf("Names returned unknown point %q", n)
+		}
+	}
+}

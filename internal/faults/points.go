@@ -1,0 +1,45 @@
+package faults
+
+// The package-level point table: every injection point threaded through the
+// engine, by layer. Arm panics on names missing from this table, and the
+// dynoptlint faultpoint analyzer statically rejects any faults.Point("...")
+// literal not listed here — a typo'd point can neither arm nor compile into
+// an injection site silently.
+var points = map[string]string{
+	"spill.create":     "storage: opening a fresh spill run file",
+	"spill.append":     "storage: appending one tuple to a run file",
+	"spill.finish":     "storage: flushing and sealing a run file",
+	"spill.read":       "storage: opening a finished run for read-back",
+	"spill.remove":     "storage: unlinking a consumed run file",
+	"governor.reserve": "cluster: memory grant reservation (fired = denied)",
+	"governor.collapse": "cluster: capacity collapse — Capacity() reports " +
+		"1 byte while armed",
+	"exchange.produce": "engine: producer-side chunk send into the exchange",
+	"exchange.consume": "engine: consumer-side chunk receive from the exchange",
+	"scan.open":        "engine: opening a partition scan cursor",
+	"probe.drain":      "engine: draining residual probe chunks",
+	"sink.finish":      "engine: sealing the streamed result dataset",
+	"catalog.register": "core: registering a stage's materialized temp dataset",
+	"memo.replay":      "core: replaying a memoized plan for a repeated shape",
+}
+
+// Point marks a fault-injection point name at its call site. It is the
+// identity function — the indirection exists so injection sites are
+// greppable and so dynoptlint's faultpoint analyzer can check every literal
+// against the point table at build time.
+func Point(name string) string { return name }
+
+// Known reports whether name is in the registered point table.
+func Known(name string) bool {
+	_, ok := points[name]
+	return ok
+}
+
+// Names returns every registered point name, unordered.
+func Names() []string {
+	out := make([]string, 0, len(points))
+	for name := range points {
+		out = append(out, name)
+	}
+	return out
+}

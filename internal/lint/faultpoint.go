@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dynopt/internal/faults"
+	"dynopt/internal/lint/analysis"
+)
+
+// FaultPoint enforces the fault-injection point contract: every
+// faults.Point("name") literal must name an entry in the package-level
+// point table in internal/faults. A point spelled only at an injection site
+// is a dead point — Arm panics on it, so no test can ever trigger it, and
+// the site silently never fires. The argument must be a string literal:
+// a computed name defeats both this check and greppability. The table is
+// the real one — the analyzer imports internal/faults — so the check cannot
+// drift from the registry it guards.
+var FaultPoint = &analysis.Analyzer{
+	Name: "faultpoint",
+	Doc: "faults.Point arguments must be string literals registered in the " +
+		"internal/faults point table",
+	Run: runFaultPoint,
+}
+
+func runFaultPoint(pass *analysis.Pass) (any, error) {
+	// The faults package itself defines Point and exercises arbitrary names
+	// in its own tests.
+	if pathHasSuffix(pass.PkgPath, "internal/faults") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Point" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !isFaultsPkgName(pass, id) {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Reportf(call.Args[0].Pos(),
+					"faults.Point argument must be a string literal so the point table is checkable statically")
+				return true
+			}
+			name := strings.Trim(lit.Value, "`\"")
+			if !faults.Known(name) {
+				pass.Reportf(lit.Pos(),
+					"injection point %q is not in the internal/faults point table — a dead point no test can arm", name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isFaultsPkgName reports whether the identifier resolves to an imported
+// package whose path's last segment is "faults" (type information when
+// available, the spelled name as fallback for partially typed fixtures).
+func isFaultsPkgName(pass *analysis.Pass, id *ast.Ident) bool {
+	if pass.TypesInfo != nil {
+		if obj, ok := pass.TypesInfo.Uses[id]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pathHasSuffix(pn.Imported().Path(), "faults")
+		}
+	}
+	return id.Name == "faults"
+}

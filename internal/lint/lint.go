@@ -11,5 +11,6 @@ func All() []*analysis.Analyzer {
 		CtxCancel,
 		TempName,
 		BenchAllocs,
+		FaultPoint,
 	}
 }

@@ -31,6 +31,10 @@ func TestBenchAllocsFixture(t *testing.T) {
 	analysis.RunFixture(t, "testdata", BenchAllocs, "benchallocs/bench")
 }
 
+func TestFaultPointFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", FaultPoint, "faultpoint/app")
+}
+
 // TestEmptyReasonDirectives: an escape hatch without a reason must be
 // flagged, never honored silently. (Checked outside the want-comment
 // machinery: the diagnostic lands on the directive's own line, which the

@@ -1,0 +1,27 @@
+// Package app (fixture) exercises faultpoint: injection point names must be
+// string literals registered in the real internal/faults point table.
+package app
+
+import "faultpoint/faults"
+
+func use(r *faults.Registry) error {
+	if err := r.Fire(faults.Point("spill.append")); err != nil { // registered: fine
+		return err
+	}
+	if err := r.Fire(faults.Point("spill.appnd")); err != nil { // want `not in the internal/faults point table`
+		return err
+	}
+	name := "spill.create"
+	return r.Fire(faults.Point(name)) // want `must be a string literal`
+}
+
+// pointless is not the registry's Point: a same-named method on another
+// receiver stays out of scope.
+type grid struct{}
+
+func (grid) Point(name string) string { return name }
+
+func unrelated() string {
+	var g grid
+	return g.Point("whatever") // not faults.Point: fine
+}

@@ -1,0 +1,11 @@
+// Package faults (fixture) stands in for dynopt/internal/faults: the
+// analyzer treats any imported package whose path ends in "faults" as the
+// injection registry, but always validates point names against the real
+// point table.
+package faults
+
+func Point(name string) string { return name }
+
+type Registry struct{}
+
+func (*Registry) Fire(point string) error { return nil }

@@ -1,0 +1,6 @@
+// Package faults (fixture) is the seeded tree's stand-in injection
+// registry, so seeded/pkg can spell a dead point for the faultpoint
+// self-test.
+package faults
+
+func Point(name string) string { return name }

@@ -1,10 +1,15 @@
-// Package pkg deliberately violates the hotalloc, grantclose, tempname, and
-// benchallocs contracts. The CI self-test runs the multichecker against the
-// seeded tree and asserts the gate fires with every analyzer; if a check
-// goes silent, the self-test fails before the check can rot.
+// Package pkg deliberately violates the hotalloc, grantclose, tempname,
+// benchallocs, and faultpoint contracts. The CI self-test runs the
+// multichecker against the seeded tree and asserts the gate fires with
+// every analyzer; if a check goes silent, the self-test fails before the
+// check can rot.
 package pkg
 
-import "testing"
+import (
+	"testing"
+
+	"seeded/faults"
+)
 
 type grant struct{}
 
@@ -26,6 +31,10 @@ func leakSeed(g governor) {
 
 func tempSeed() string {
 	return "tmp_seeded" // tempname must fire here
+}
+
+func pointSeed() string {
+	return faults.Point("no.such.point") // faultpoint must fire here
 }
 
 func BenchmarkSeeded(b *testing.B) { // benchallocs must fire here

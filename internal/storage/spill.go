@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"dynopt/internal/faults"
 	"dynopt/internal/types"
 )
 
@@ -21,6 +22,13 @@ import (
 type SpillManager struct {
 	root  string
 	scope string
+
+	// Faults is the query's fault-injection registry (nil in production).
+	// Spill I/O is the layer most worth injecting into: it is the only part
+	// of query execution that touches a device that can genuinely fail
+	// mid-query. All injected and real I/O errors surface wrapped in
+	// faults.ErrSpillIO so the join can degrade and the server can retry.
+	Faults *faults.Registry
 
 	mu      sync.Mutex
 	dir     string // created lazily by the first Create
@@ -53,15 +61,18 @@ func (m *SpillManager) BytesWritten() int64 {
 // Create opens a fresh append-only run file. label names the file for
 // debugging (partition/level/sub-partition of the join that spilled it).
 func (m *SpillManager) Create(label string) (*SpillFile, error) {
+	if err := m.Faults.Fire(faults.Point("spill.create")); err != nil {
+		return nil, fmt.Errorf("storage: spill file %q: %w: %w", label, faults.ErrSpillIO, err)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.dir == "" {
 		if err := os.MkdirAll(m.root, 0o755); err != nil {
-			return nil, fmt.Errorf("storage: spill root: %w", err)
+			return nil, fmt.Errorf("storage: spill root: %w: %w", faults.ErrSpillIO, err)
 		}
 		dir, err := os.MkdirTemp(m.root, "spill_"+m.scope)
 		if err != nil {
-			return nil, fmt.Errorf("storage: spill dir: %w", err)
+			return nil, fmt.Errorf("storage: spill dir: %w: %w", faults.ErrSpillIO, err)
 		}
 		m.dir = dir
 	}
@@ -69,7 +80,7 @@ func (m *SpillManager) Create(label string) (*SpillFile, error) {
 	path := filepath.Join(m.dir, fmt.Sprintf("run%04d_%s", m.seq, label))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("storage: spill file: %w", err)
+		return nil, fmt.Errorf("storage: spill file: %w: %w", faults.ErrSpillIO, err)
 	}
 	sf := &SpillFile{m: m, path: path, f: f, w: types.NewRunWriter(f)}
 	m.open[sf] = struct{}{}
@@ -112,7 +123,13 @@ type SpillFile struct {
 
 // Append writes one tuple to the run.
 func (s *SpillFile) Append(t types.Tuple) error {
-	return s.w.Append(t)
+	if err := s.m.Faults.Fire(faults.Point("spill.append")); err != nil {
+		return fmt.Errorf("storage: spill append: %w: %w", faults.ErrSpillIO, err)
+	}
+	if err := s.w.Append(t); err != nil {
+		return fmt.Errorf("storage: spill append: %w: %w", faults.ErrSpillIO, err)
+	}
+	return nil
 }
 
 // Rows returns the number of tuples appended so far.
@@ -121,14 +138,18 @@ func (s *SpillFile) Rows() int64 { return s.w.Rows() }
 // Finish flushes and closes the write side, returning the file's actual
 // on-disk byte size — the figure spill accounting charges.
 func (s *SpillFile) Finish() (int64, error) {
+	if err := s.m.Faults.Fire(faults.Point("spill.finish")); err != nil {
+		_ = s.close()
+		return 0, fmt.Errorf("storage: spill finish: %w: %w", faults.ErrSpillIO, err)
+	}
 	if err := s.w.Flush(); err != nil {
 		_ = s.close() // already failing; the Flush error is the one to report
-		return 0, err
+		return 0, fmt.Errorf("storage: spill flush: %w: %w", faults.ErrSpillIO, err)
 	}
 	info, err := s.f.Stat()
 	if err != nil {
 		_ = s.close() // already failing; the Stat error is the one to report
-		return 0, err
+		return 0, fmt.Errorf("storage: spill stat: %w: %w", faults.ErrSpillIO, err)
 	}
 	s.bytes = info.Size()
 	if err := s.close(); err != nil {
@@ -159,9 +180,12 @@ func (s *SpillFile) close() error {
 
 // Reader opens the finished run for sequential read-back.
 func (s *SpillFile) Reader() (*SpillReader, error) {
+	if err := s.m.Faults.Fire(faults.Point("spill.read")); err != nil {
+		return nil, fmt.Errorf("storage: spill read: %w: %w", faults.ErrSpillIO, err)
+	}
 	f, err := os.Open(s.path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("storage: spill read: %w: %w", faults.ErrSpillIO, err)
 	}
 	return &SpillReader{f: f, r: types.NewRunReader(f)}, nil
 }
@@ -170,9 +194,12 @@ func (s *SpillFile) Reader() (*SpillReader, error) {
 // A close error on a still-open (unfinished) file is reported after the
 // unlink is attempted — removal is the caller's primary intent.
 func (s *SpillFile) Remove() error {
+	if err := s.m.Faults.Fire(faults.Point("spill.remove")); err != nil {
+		return fmt.Errorf("storage: spill remove: %w: %w", faults.ErrSpillIO, err)
+	}
 	cerr := s.close()
 	if err := os.Remove(s.path); err != nil {
-		return err
+		return fmt.Errorf("storage: spill remove: %w: %w", faults.ErrSpillIO, err)
 	}
 	return cerr
 }

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"testing"
+
+	"dynopt/internal/faults/leakcheck"
 )
 
 // spillDB builds the standard test DB with real spilling enabled at a
@@ -51,6 +53,7 @@ func dirEmpty(t *testing.T, dir string) {
 // every strategy spills — and checks the rows match the in-memory run
 // exactly, actual spill I/O was metered, and no run files survive.
 func TestSpillDirAllStrategiesIdenticalResults(t *testing.T) {
+	leakcheck.Check(t)
 	memDB := testDB(t)
 	dir := t.TempDir()
 	db := spillDB(t, dir, 256)
@@ -89,6 +92,7 @@ func TestSpillDirAllStrategiesIdenticalResults(t *testing.T) {
 // largest input) completes with results identical to the in-memory run,
 // meters real run-file I/O, and leaves the spill directory empty.
 func TestTPCHQ9SpillIdenticalResults(t *testing.T) {
+	leakcheck.Check(t)
 	memDB := Open(Config{Nodes: 4, MemoryPerNodeBytes: 1 << 30})
 	if _, err := LoadTPCH(memDB, 1); err != nil {
 		t.Fatal(err)
@@ -140,6 +144,7 @@ func TestTPCHQ9SpillIdenticalResults(t *testing.T) {
 // disk: a query that spills in its joins and then fails in the final
 // projection must leave no run files behind.
 func TestFailingQueryLeavesSpillDirEmpty(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	db := spillDB(t, dir, 256)
 	if err := db.RegisterUDF("boom", func(args []Value) (Value, error) {
@@ -171,6 +176,7 @@ func TestFailingQueryLeavesSpillDirEmpty(t *testing.T) {
 // TestCancelledQueryLeavesSpillDirEmpty: cancellation mid-run releases the
 // grant and sweeps the spill directory.
 func TestCancelledQueryLeavesSpillDirEmpty(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	db := spillDB(t, dir, 256)
 	blocked := make(chan struct{})
@@ -201,6 +207,7 @@ func TestCancelledQueryLeavesSpillDirEmpty(t *testing.T) {
 // spilling queries concurrently: results stay correct and the spill root
 // ends empty — the disk counterpart of the catalog temp-leak regression.
 func TestConcurrentSpillingQueriesClean(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	db := spillDB(t, dir, 256)
 	if err := db.RegisterUDF("boom", func(args []Value) (Value, error) {
