@@ -18,6 +18,10 @@
 //	                            cold (dynamic loop) vs hot (memo replay)
 //	                            queries/sec, hit-rate and row equality
 //	                            checked
+//	joinbench -vecjson FILE     vectorization snapshot: scalar-vs-vector
+//	                            predicate and hash micros plus the Figure-7
+//	                            queries streamed with column-major execution
+//	                            off and on, rows+counters equality checked
 //	joinbench -all              everything
 //
 // Flags -sf (comma-separated scale factors, default 1,5,25 standing in for
@@ -47,6 +51,7 @@ func main() {
 	spillJSON := flag.String("spilljson", "", "write a memory-budget spill sweep snapshot to this file")
 	pipeJSON := flag.String("pipejson", "", "write a streaming-vs-batch pipeline comparison snapshot to this file")
 	serveJSON := flag.String("servejson", "", "write a cold-vs-hot plan-memo serving snapshot to this file")
+	vecJSON := flag.String("vecjson", "", "write a scalar-vs-vector execution snapshot to this file")
 	pipeRuns := flag.Int("runs", 5, "runs per mode for the -pipejson and -servejson medians")
 	joinRows := flag.Int("joinrows", 50000, "fact rows for the -joinjson and -spilljson benchmarks")
 	sfFlag := flag.String("sf", "1,5,25", "comma-separated scale factors")
@@ -163,6 +168,28 @@ func main() {
 		for _, p := range pts {
 			fmt.Printf("  %-5s %2d bindings  cold %7.1f q/s  hot %7.1f q/s  %+6.1f%%  hit %.0f%%  fallbacks %d\n",
 				p.Query, p.Bindings, p.ColdQPS, p.HotQPS, p.SpeedupPct, 100*p.HitRate, p.Fallbacks)
+		}
+	}
+	if *vecJSON != "" {
+		ran = true
+		fmt.Printf("== Vectorized execution vs scalar (sf %d, %d nodes, %d runs) -> %s ==\n",
+			sfs[0], *nodes, *pipeRuns, *vecJSON)
+		rep, err := bench.WriteVectorJSON(*vecJSON, sfs[0], *nodes, *pipeRuns)
+		if err != nil {
+			fatal(err)
+		}
+		for _, m := range rep.FilterMicros {
+			fmt.Printf("  filter %-14s sel %4.0f%%  scalar %6.2f ns/row  vector %6.2f ns/row  %5.2fx\n",
+				m.Name, 100*m.Selectivity, m.ScalarNsPerRow, m.VectorNsPerRow, m.Speedup)
+		}
+		for _, m := range rep.HashMicros {
+			fmt.Printf("  %-21s row %6.2f ns/row  columnar %6.2f ns/row  %5.2fx\n",
+				m.Name, m.ScalarNsPerRow, m.VectorNsPerRow, m.Speedup)
+		}
+		for _, p := range rep.E2E {
+			fmt.Printf("  %-4s scalar %8.2f ms  vector %8.2f ms  %+6.1f%%   alloc %10d -> %10d B\n",
+				p.Query, p.ScalarMedianMs, p.VectorMedianMs, p.ImprovementPct,
+				p.ScalarAllocBytes, p.VectorAllocBytes)
 		}
 	}
 	if !ran {

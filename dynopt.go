@@ -178,6 +178,13 @@ type Config struct {
 	// MemoryPerNodeBytes overrides the per-node join-memory budget
 	// (default 512 KiB; negative disables the budget entirely).
 	MemoryPerNodeBytes int64
+	// ChunkRows sets the streaming pipeline's chunk capacity in rows — the
+	// batch size every cursor, exchange buffer, and vectorized predicate
+	// kernel works in. Validated at Open: zero or negative selects the
+	// default (1024). Smaller values shrink the resident working set of a
+	// stage (O(nodes² × ChunkRows) tuple headers) at the cost of more
+	// per-chunk overhead; results are identical at any value.
+	ChunkRows int
 	// PlanCacheEntries enables the adaptive plan memo with a bounded LRU of
 	// this many canonical query shapes. The dynamic strategy records what
 	// its re-optimization loop converged to — join order, per-join
@@ -265,12 +272,16 @@ func Open(cfg Config) *DB {
 		algo.BroadcastThresholdBytes = cfg.BroadcastThresholdBytes
 	}
 	algo.EnableINLJ = cfg.EnableINLJ
+	if cfg.ChunkRows < 0 {
+		cfg.ChunkRows = 0 // normalized here so every Context copy is valid
+	}
 	db := &DB{
 		ctx: &engine.Context{
-			Cluster: cluster.New(cfg.Nodes),
-			Catalog: catalog.New(),
-			UDFs:    expr.NewRegistry(),
-			Params:  map[string]Value{},
+			Cluster:   cluster.New(cfg.Nodes),
+			Catalog:   catalog.New(),
+			UDFs:      expr.NewRegistry(),
+			Params:    map[string]Value{},
+			ChunkRows: cfg.ChunkRows,
 		},
 		algo:        algo,
 		reoptBudget: cfg.ReoptBudget,
@@ -604,15 +615,16 @@ func (db *DB) runOnce(ctx context.Context, sql string, opts *QueryOptions) (out 
 	defer grant.Close()
 
 	qctx := &engine.Context{
-		Cluster: db.ctx.Cluster,
-		Catalog: db.ctx.Catalog,
-		UDFs:    db.ctx.UDFs,
-		Params:  db.paramsFor(opts),
-		Acct:    &cluster.Accounting{},
-		Scope:   scope,
-		Cancel:  ctx,
-		Grant:   grant,
-		Faults:  db.faults,
+		Cluster:   db.ctx.Cluster,
+		Catalog:   db.ctx.Catalog,
+		UDFs:      db.ctx.UDFs,
+		Params:    db.paramsFor(opts),
+		Acct:      &cluster.Accounting{},
+		Scope:     scope,
+		Cancel:    ctx,
+		Grant:     grant,
+		Faults:    db.faults,
+		ChunkRows: db.ctx.ChunkRows,
 	}
 	if db.spillDir != "" {
 		// Disk half of the query's execution scope: run files live in a
@@ -657,10 +669,11 @@ func (db *DB) runOnce(ctx context.Context, sql string, opts *QueryOptions) (out 
 func (db *DB) Explain(sql string, opts *QueryOptions) (string, error) {
 	shadow := &DB{
 		ctx: &engine.Context{
-			Cluster: cluster.New(db.ctx.Cluster.Nodes()),
-			Catalog: db.ctx.Catalog.CloneBases(),
-			UDFs:    db.ctx.UDFs,
-			Params:  db.paramsFor(nil),
+			Cluster:   cluster.New(db.ctx.Cluster.Nodes()),
+			Catalog:   db.ctx.Catalog.CloneBases(),
+			UDFs:      db.ctx.UDFs,
+			Params:    db.paramsFor(nil),
+			ChunkRows: db.ctx.ChunkRows,
 		},
 		algo:        db.algo,
 		reoptBudget: db.reoptBudget,

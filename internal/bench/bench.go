@@ -58,6 +58,10 @@ type Env struct {
 	// chunked streaming pipeline — the reference the equivalence tests and
 	// the pipeline benchmark compare against.
 	Batch bool
+	// NoVec disables column-major execution (vector predicate kernels and
+	// columnar key hashing) while staying on the streaming pipeline — the
+	// ablation the vectorization benchmark prices.
+	NoVec bool
 }
 
 // NewEnv loads both workloads at sf on an n-node layout. withIndexes adds
@@ -96,6 +100,7 @@ func (e *Env) Fresh() *engine.Context {
 		UDFs:    e.udfs,
 		Params:  map[string]types.Value{},
 		Batch:   e.Batch,
+		NoVec:   e.NoVec,
 	}
 }
 

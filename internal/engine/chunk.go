@@ -15,23 +15,95 @@ import (
 // or Dataset: the paper's materialize-between-stages contract is the stage
 // boundary, and streaming applies strictly within it.
 
-// chunkCap is the row capacity of one pipeline chunk. Large enough to
-// amortize per-chunk costs (channel handoff in the exchange, prehash calls)
-// over a thousand rows, small enough that a chunk and its prehash/size
-// sidecars stay cache-resident through the scatter→probe→sink pass. Tests
-// shrink it to exercise chunk-boundary edges.
-var chunkCap = 1024
+// defaultChunkRows is the default row capacity of one pipeline chunk. Large
+// enough to amortize per-chunk costs (channel handoff in the exchange,
+// prehash calls) over a thousand rows, small enough that a chunk and its
+// prehash/size sidecars stay cache-resident through the scatter→probe→sink
+// pass. Config.ChunkRows overrides it per DB, threaded here through
+// Context.ChunkRows; tests shrink it to exercise chunk-boundary edges.
+const defaultChunkRows = 1024
+
+// chunkRows returns this execution's chunk capacity.
+func (c *Context) chunkRows() int {
+	if c.ChunkRows > 0 {
+		return c.ChunkRows
+	}
+	return defaultChunkRows
+}
 
 // Chunk is one batch of tuples flowing through a stage pipeline, with
-// optional sidecars the producer computed anyway: join-key prehashes
-// (exchange scatter) and per-row encoded byte sizes (shuffle metering).
-// A chunk handed out by a Cursor is valid only until the next Next call;
-// consumers that retain rows copy the tuple headers (the values themselves
-// live in arena or dataset storage and stay valid).
+// optional sidecars the producer computed anyway: a selection vector, typed
+// column vectors, join-key prehashes (exchange scatter), and per-row
+// encoded byte sizes (shuffle metering). A chunk handed out by a Cursor is
+// valid only until the next Next call; consumers that retain rows copy the
+// tuple headers (the values themselves live in arena or dataset storage and
+// stay valid).
+//
+// Selection semantics: when Sel is non-nil it lists the live row indexes
+// into Rows, ascending — the fused scan filter marks rows instead of
+// copying tuple headers. Hashes and Sizes always align with the LIVE rows
+// (Hashes[k] belongs to Rows[Sel[k]]), so sidecar consumers never index
+// through dead rows. Operators that need a dense slice flatten via the
+// selection on output (RunToSink, the exchange producers); everything else
+// iterates the selection in place.
 type Chunk struct {
 	Rows   []types.Tuple
-	Hashes []uint64 // key prehashes aligned with Rows, nil when not computed
-	Sizes  []int64  // encoded byte sizes aligned with Rows, nil when not computed
+	Sel    []int32  // live row indexes into Rows, ascending; nil = all rows live
+	Hashes []uint64 // key prehashes aligned with live rows, nil when not computed
+	Sizes  []int64  // encoded byte sizes aligned with live rows, nil when not computed
+	// Cols serves typed column vectors over Rows (NOT selection-filtered:
+	// vectors align with Rows, and consumers apply Sel themselves). Nil when
+	// the producer has no columnar form; valid until the next Next call.
+	Cols types.ColSource
+}
+
+// Live returns the number of live rows in the chunk.
+func (c *Chunk) Live() int {
+	if c.Sel != nil {
+		return len(c.Sel)
+	}
+	return len(c.Rows)
+}
+
+// appendLive appends the chunk's live rows to dst in order.
+func (c *Chunk) appendLive(dst []types.Tuple) []types.Tuple {
+	if c.Sel == nil {
+		return append(dst, c.Rows...)
+	}
+	for _, r := range c.Sel {
+		dst = append(dst, c.Rows[r])
+	}
+	return dst
+}
+
+// chunkKeyHashes computes the chunk's join-key prehashes into dst (reused
+// across chunks), aligned with the live rows. When the producer attached a
+// columnar form and every key column gathers cleanly, the hash runs a
+// column at a time (types.HashColsInto — bit-identical to the row form);
+// Mixed columns or row-only chunks take the row path. String key columns
+// decline too: gathering string headers costs more than the per-value kind
+// dispatch the columnar fold saves, so row hashing wins there. vecs is
+// caller-owned scratch for the gathered key vectors.
+func chunkKeyHashes(c *Chunk, keyCols []int, dst []uint64, vecs []*types.ColVec) ([]uint64, []*types.ColVec) {
+	if c.Cols != nil {
+		vecs = vecs[:0]
+		clean := true
+		for _, kc := range keyCols {
+			v := c.Cols.Col(kc)
+			if v == nil || v.Mixed || v.Kind == types.KindString {
+				clean = false
+				break
+			}
+			vecs = append(vecs, v)
+		}
+		if clean {
+			return types.HashColsInto(vecs, c.Sel, len(c.Rows), dst), vecs
+		}
+	}
+	if c.Sel != nil {
+		return types.HashKeysSelInto(c.Rows, c.Sel, keyCols, dst), vecs
+	}
+	return types.HashKeysInto(c.Rows, keyCols, dst), vecs
 }
 
 // Cursor streams one partition's chunks. Next returns io.EOF at a clean
@@ -93,13 +165,15 @@ func (s *relationSink) Emit(p int, rows []types.Tuple) error {
 // RunToSink streams a source straight into a sink, partition-parallel —
 // the fused scan→sink pipeline of a push-down stage: filter, projection,
 // statistics observation, and write metering all happen in the one pass
-// over each chunk.
+// over each chunk. Chunks carrying a selection vector are flattened through
+// a reusable buffer here — sinks see dense row slices.
 func RunToSink(ctx *Context, src Source, sink Sink) error {
 	return forEachPart(src.Parts(), func(p int) error {
 		cur, err := src.Open(p)
 		if err != nil {
 			return err
 		}
+		var dense []types.Tuple
 		for {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -111,7 +185,12 @@ func RunToSink(ctx *Context, src Source, sink Sink) error {
 			if err != nil {
 				return err
 			}
-			if err := sink.Emit(p, c.Rows); err != nil {
+			rows := c.Rows
+			if c.Sel != nil {
+				dense = c.appendLive(dense[:0])
+				rows = dense
+			}
+			if err := sink.Emit(p, rows); err != nil {
 				return err
 			}
 		}
@@ -121,11 +200,16 @@ func RunToSink(ctx *Context, src Source, sink Sink) error {
 // relationSource adapts a materialized Relation to the Source interface:
 // cursors slide fixed-capacity windows over the partition slices, zero-copy.
 type relationSource struct {
-	rel *Relation
+	rel   *Relation
+	rows  int
+	noVec bool
 }
 
-// SourceOf returns a streaming view over a materialized relation.
-func SourceOf(rel *Relation) Source { return &relationSource{rel: rel} }
+// SourceOf returns a streaming view over a materialized relation, windowed
+// at the execution's configured chunk capacity.
+func SourceOf(ctx *Context, rel *Relation) Source {
+	return &relationSource{rel: rel, rows: ctx.chunkRows(), noVec: ctx.NoVec}
+}
 
 func (s *relationSource) Schema() *types.Schema { return s.rel.Schema }
 func (s *relationSource) Parts() int            { return len(s.rel.Parts) }
@@ -140,13 +224,21 @@ func (s *relationSource) PartBytesHint(p int) int64 {
 }
 
 func (s *relationSource) Open(p int) (Cursor, error) {
-	return &sliceCursor{rows: s.rel.Parts[p]}, nil
+	cur := &sliceCursor{rows: s.rel.Parts[p], size: s.rows}
+	if !s.noVec {
+		cur.cols = types.NewColCache(s.rel.Schema)
+	}
+	return cur, nil
 }
 
-// sliceCursor windows an in-memory row slice into chunks.
+// sliceCursor windows an in-memory row slice into chunks, with the same
+// lazy columnar access a storage ChunkReader provides — relation-backed
+// probe sides feed the columnar prehash too.
 type sliceCursor struct {
 	rows []types.Tuple
+	size int
 	off  int
+	cols *types.ColCache
 	c    Chunk
 }
 
@@ -154,11 +246,16 @@ func (c *sliceCursor) Next() (*Chunk, error) {
 	if c.off >= len(c.rows) {
 		return nil, io.EOF
 	}
-	end := c.off + chunkCap
+	end := c.off + c.size
 	if end > len(c.rows) {
 		end = len(c.rows)
 	}
-	c.c = Chunk{Rows: c.rows[c.off:end]}
+	win := c.rows[c.off:end]
 	c.off = end
+	c.c = Chunk{Rows: win}
+	if c.cols != nil {
+		c.cols.SetWindow(win)
+		c.c.Cols = c.cols
+	}
 	return &c.c, nil
 }

@@ -12,14 +12,16 @@ import (
 	"dynopt/internal/types"
 )
 
-// testCtx builds a context with a fresh catalog on an n-node cluster.
+// testCtx builds a context with a fresh catalog on an n-node cluster,
+// honoring any chunk capacity installed by withChunkCap.
 func testCtx(t *testing.T, nodes int) *Context {
 	t.Helper()
 	return &Context{
-		Cluster: cluster.New(nodes),
-		Catalog: catalog.New(),
-		UDFs:    expr.NewRegistry(),
-		Params:  map[string]types.Value{},
+		Cluster:   cluster.New(nodes),
+		Catalog:   catalog.New(),
+		UDFs:      expr.NewRegistry(),
+		Params:    map[string]types.Value{},
+		ChunkRows: testChunkRows,
 	}
 }
 

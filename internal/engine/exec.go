@@ -86,7 +86,7 @@ func sourceForNode(ctx *Context, n *plan.Node) (Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return SourceOf(rel), nil
+	return SourceOf(ctx, rel), nil
 }
 
 // executeHashLikeStreamed wires a hash or broadcast join node as a stage

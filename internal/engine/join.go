@@ -318,6 +318,45 @@ func (ht *hashTable) joinInto(out []types.Tuple, arena *types.Arena, probeRows [
 	return out
 }
 
+// joinSelInto is joinInto over a selection-vector chunk: probe row k of the
+// sidecars lives at probeRows[sel[k]], so the filter that produced the
+// selection never copied a tuple header. Match semantics and output order
+// are identical to flattening the selection and calling joinInto.
+//
+//dynopt:hotpath
+func (ht *hashTable) joinSelInto(out []types.Tuple, arena *types.Arena, probeRows []types.Tuple, sel []int32, hashes []uint64, probeCols []int, buildFirst bool) []types.Tuple {
+	starts, idx, hs, bRows, mask := ht.starts, ht.idx, ht.hashes, ht.rows, ht.mask
+	singleKey := len(probeCols) == 1 && len(ht.keyCols) == 1
+	var bCol0, pCol0 int
+	if singleKey {
+		bCol0, pCol0 = ht.keyCols[0], probeCols[0]
+	}
+	for k, r := range sel {
+		pt := probeRows[r]
+		h := hashes[k]
+		b := h & mask
+		for _, ri := range idx[starts[b]:starts[b+1]] {
+			if hs[ri] != h {
+				continue
+			}
+			bt := bRows[ri]
+			if singleKey {
+				if !bt[bCol0].Equal(pt[pCol0]) {
+					continue
+				}
+			} else if !bt.KeysEqual(ht.keyCols, pt, probeCols) {
+				continue
+			}
+			if buildFirst {
+				out = append(out, arena.Concat(bt, pt))
+			} else {
+				out = append(out, arena.Concat(pt, bt))
+			}
+		}
+	}
+	return out
+}
+
 // HashJoin is the repartitioning dynamic hash join of §3: both inputs are
 // hash-exchanged on the join keys (skipped for pre-partitioned inputs), then
 // each partition builds a table over the build side and streams the probe

@@ -37,7 +37,7 @@ type probeState struct {
 
 //dynopt:hotpath
 func (w *probeState) consume(c *Chunk) error {
-	w.probeRows += int64(len(c.Rows))
+	w.probeRows += int64(c.Live())
 	if c.Sizes != nil {
 		for _, sz := range c.Sizes {
 			w.probeBytes += sz
@@ -48,7 +48,11 @@ func (w *probeState) consume(c *Chunk) error {
 	// reusable buffer whose capacity converges after a few chunks, and the
 	// arena grows geometrically — so the streaming probe pays one pass over
 	// the buckets, not two.
-	w.rows = w.ht.joinInto(w.rows[:0], &w.arena, c.Rows, c.Hashes, w.pCols, w.buildFirst)
+	if c.Sel != nil {
+		w.rows = w.ht.joinSelInto(w.rows[:0], &w.arena, c.Rows, c.Sel, c.Hashes, w.pCols, w.buildFirst)
+	} else {
+		w.rows = w.ht.joinInto(w.rows[:0], &w.arena, c.Rows, c.Hashes, w.pCols, w.buildFirst)
+	}
 	if len(w.rows) == 0 {
 		return nil
 	}
@@ -443,9 +447,15 @@ func IndexNLJoinStream(ctx *Context, outer Source, inner *storage.Dataset, inner
 			}
 			// Pass 1: resolve every outer row's index range once; the range
 			// widths bound the chunk's output exactly (pre-filter), sizing
-			// the header slice and arena up front.
+			// the header slice and arena up front. Replicated chunks are
+			// dense (the broadcast flattens selections), so c.Rows is the
+			// live set.
 			if cap(ranges) < 2*len(c.Rows) {
-				ranges = make([]int32, 0, 2*chunkCap)
+				want := 2 * ctx.chunkRows()
+				if want < 2*len(c.Rows) {
+					want = 2 * len(c.Rows)
+				}
+				ranges = make([]int32, 0, want)
 			}
 			ranges = ranges[:2*len(c.Rows)]
 			var fetched int64

@@ -14,14 +14,19 @@ import (
 	"dynopt/internal/types"
 )
 
+// testChunkRows, when nonzero, is applied by testCtx to Context.ChunkRows —
+// the same field Config.ChunkRows feeds through Open — so chunk-boundary
+// tests exercise the real configuration path rather than a test backdoor.
+var testChunkRows int
+
 // withChunkCap shrinks the pipeline chunk size for the duration of a test
 // so chunk boundaries (size-1 chunks, rows exactly at capacity) are
 // exercised on small inputs.
 func withChunkCap(t *testing.T, n int) {
 	t.Helper()
-	old := chunkCap
-	chunkCap = n
-	t.Cleanup(func() { chunkCap = old })
+	old := testChunkRows
+	testChunkRows = n
+	t.Cleanup(func() { testChunkRows = old })
 }
 
 // relRows flattens a relation partition-by-partition for exact (order
@@ -310,6 +315,216 @@ func TestStreamMatchesBatchEmptyInputs(t *testing.T) {
 				return HashJoinStreamSources(ctx, dsrc, fsrc, []string{"d.id"}, []string{"f.fk"}, false, mk)
 			})
 		})
+}
+
+// registerTyped registers a dataset with an explicit schema, for tests that
+// need non-int columns alongside the int helpers.
+func registerTyped(t *testing.T, ctx *Context, name string, pk []string, schema *types.Schema, rows []types.Tuple) *storage.Dataset {
+	t.Helper()
+	ds, st, err := storage.Build(name, schema, pk, rows, ctx.Cluster.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Catalog.Register(ds, st); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestStreamMatchesBatchSelChunks pins the selection-vector chunk form
+// end-to-end: a filter without projection emits stored windows with a Sel
+// sidecar, which must flow through the scatter exchange, the local join
+// pipeline (joinSelInto), and columnar key hashing with results and counters
+// identical to the dense batch reference. Covers the vectorized int and
+// string kernels, NULLs in filtered columns, and the scalar fallback for UDF
+// predicates.
+func TestStreamMatchesBatchSelChunks(t *testing.T) {
+	leakcheck.Check(t)
+	strRows := func(n int) []types.Tuple {
+		names := []string{"ash", "mint", "zinc", "kelp", "moss", "alder"}
+		rows := make([]types.Tuple, n)
+		for i := range rows {
+			nm := types.Str(names[i%len(names)])
+			if i%11 == 0 {
+				nm = types.Null() // NULL never passes the filter, both modes
+			}
+			rows[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i % 3)), nm}
+		}
+		return rows
+	}
+	strSchema := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt},
+		types.Field{Name: "fk", Kind: types.KindInt},
+		types.Field{Name: "name", Kind: types.KindString},
+	)
+	joinStream := func(probe, build string, probeKey, buildKey string, filter expr.Expr) func(ctx *Context) (*Relation, error) {
+		return func(ctx *Context) (*Relation, error) {
+			pds, _ := ctx.Catalog.Get(probe)
+			bds, _ := ctx.Catalog.Get(build)
+			return collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+				psrc, err := ScanSource(ctx, pds, "f", filter, nil)
+				if err != nil {
+					return err
+				}
+				bsrc, err := ScanSource(ctx, bds, "d", nil, nil)
+				if err != nil {
+					return err
+				}
+				return HashJoinStreamSources(ctx, bsrc, psrc, []string{buildKey}, []string{probeKey}, false, mk)
+			})
+		}
+	}
+	joinBatch := func(probe, build string, probeKey, buildKey string, filter expr.Expr) func(ctx *Context) (*Relation, error) {
+		return func(ctx *Context) (*Relation, error) {
+			f, err := ScanByName(ctx, probe, "f", filter, nil)
+			if err != nil {
+				return nil, err
+			}
+			d, err := ScanByName(ctx, build, "d", nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			return HashJoin(ctx, f, d, []string{probeKey}, []string{buildKey}, false)
+		}
+	}
+	for _, cc := range []int{3, 25} {
+		t.Run(fmt.Sprintf("chunkCap=%d", cc), func(t *testing.T) {
+			withChunkCap(t, cc)
+			loadInt := func(ctx *Context) {
+				register(t, ctx, "fact", []string{"id"}, []string{"id", "fk", "pay"}, seqTable(100, 3))
+				register(t, ctx, "dim", []string{"id"}, []string{"id", "attr"}, [][]int64{{0, 10}, {1, 11}, {2, 12}})
+			}
+			t.Run("int-filter-scattered", func(t *testing.T) {
+				// Partial-pass windows (pay%70<35 keeps runs of rows) emit sel
+				// chunks into the scatter exchange: columnar hashing walks Sel.
+				filt := &expr.Compare{Op: expr.CmpLt,
+					L: &expr.Column{Qualifier: "f", Name: "pay"}, R: &expr.Literal{Val: types.Int(500)}}
+				runBothModes(t, 4, loadInt,
+					joinBatch("fact", "dim", "f.fk", "d.id", filt),
+					joinStream("fact", "dim", "f.fk", "d.id", filt))
+			})
+			t.Run("int-filter-prepartitioned", func(t *testing.T) {
+				// Probe pre-partitioned on the join key: sel chunks skip the
+				// exchange and hit joinSelInto directly.
+				filt := &expr.Compare{Op: expr.CmpGe,
+					L: &expr.Column{Qualifier: "f", Name: "pay"}, R: &expr.Literal{Val: types.Int(300)}}
+				runBothModes(t, 4, loadInt,
+					joinBatch("fact", "dim", "f.id", "d.id", filt),
+					joinStream("fact", "dim", "f.id", "d.id", filt))
+			})
+			t.Run("string-filter", func(t *testing.T) {
+				// String comparison kernel over a column with NULLs.
+				load := func(ctx *Context) {
+					registerTyped(t, ctx, "fact", []string{"id"}, strSchema, strRows(90))
+					register(t, ctx, "dim", []string{"id"}, []string{"id", "attr"}, [][]int64{{0, 10}, {1, 11}, {2, 12}})
+				}
+				filt := &expr.Compare{Op: expr.CmpGe,
+					L: &expr.Column{Qualifier: "f", Name: "name"}, R: &expr.Literal{Val: types.Str("m")}}
+				runBothModes(t, 4, load,
+					joinBatch("fact", "dim", "f.fk", "d.id", filt),
+					joinStream("fact", "dim", "f.fk", "d.id", filt))
+			})
+			t.Run("udf-filter", func(t *testing.T) {
+				// A Call predicate has no kernel: the cursor filters with the
+				// scalar Compiled but still emits sel chunks.
+				load := func(ctx *Context) {
+					loadInt(ctx)
+					if err := ctx.UDFs.Register(expr.UDF{Name: "selmod", Fn: func(args []types.Value) (types.Value, error) {
+						if args[0].IsNull() {
+							return types.Null(), nil
+						}
+						return types.Int(args[0].I() % 7), nil
+					}}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				filt := &expr.Compare{Op: expr.CmpNe,
+					L: &expr.Call{Name: "selmod", Args: []expr.Expr{&expr.Column{Qualifier: "f", Name: "id"}}},
+					R: &expr.Literal{Val: types.Int(0)}}
+				runBothModes(t, 4, load,
+					joinBatch("fact", "dim", "f.fk", "d.id", filt),
+					joinStream("fact", "dim", "f.fk", "d.id", filt))
+			})
+		})
+	}
+}
+
+// TestStreamSpillSelChunks drives sel chunks into the spilling DHHJ probe:
+// a filtered, unprojected probe side streams Rows+Sel chunks whose live rows
+// and per-row hashes chunkSeq must walk through the selection.
+func TestStreamSpillSelChunks(t *testing.T) {
+	leakcheck.Check(t)
+	withChunkCap(t, 7)
+	filt := func() expr.Expr {
+		return &expr.Compare{Op: expr.CmpGe,
+			L: &expr.Column{Qualifier: "d", Name: "attr"}, R: &expr.Literal{Val: types.Int(60)}}
+	}
+	run := func(batch bool) ([]string, cluster.Snapshot) {
+		ctx := testCtx(t, 2)
+		ctx.Batch = batch
+		register(t, ctx, "fact", []string{"id"}, []string{"id", "fk", "pay"}, seqTable(4000, 64))
+		dim := make([][]int64, 64)
+		for i := range dim {
+			dim[i] = []int64{int64(i), int64(i * 3)}
+		}
+		register(t, ctx, "dim", []string{"id"}, []string{"id", "attr"}, dim)
+		fact, _ := ctx.Catalog.Get("fact")
+		ctx.Cluster.SetMemoryPerNodeBytes(fact.ByteSize() / int64(2*8))
+		ctx.Spill = storage.NewSpillManager(t.TempDir(), "selspill_")
+		ctx.Grant = ctx.Cluster.Governor().Grant()
+		defer ctx.Grant.Close()
+		var rel *Relation
+		var err error
+		if batch {
+			var f, d *Relation
+			f, err = ScanByName(ctx, "fact", "f", nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err = ScanByName(ctx, "dim", "d", filt(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, err = HashJoin(ctx, f, d, []string{"f.fk"}, []string{"d.id"}, true)
+		} else {
+			fds, _ := ctx.Catalog.Get("fact")
+			dds, _ := ctx.Catalog.Get("dim")
+			rel, err = collectStream(ctx.Cluster.Nodes(), func(mk SinkFactory) error {
+				fsrc, serr := ScanSource(ctx, fds, "f", nil, nil)
+				if serr != nil {
+					return serr
+				}
+				dsrc, serr := ScanSource(ctx, dds, "d", filt(), nil)
+				if serr != nil {
+					return serr
+				}
+				return HashJoinStreamSources(ctx, fsrc, dsrc, []string{"f.fk"}, []string{"d.id"}, true, mk)
+			})
+		}
+		if err != nil {
+			t.Fatalf("batch=%v: %v", batch, err)
+		}
+		if err := ctx.Spill.Sweep(); err != nil {
+			t.Fatal(err)
+		}
+		return relRows(rel), ctx.Cluster.Acct().Snapshot()
+	}
+	brows, bsnap := run(true)
+	srows, ssnap := run(false)
+	if bsnap.SpillBytes == 0 {
+		t.Fatal("budget did not force spilling; test is vacuous")
+	}
+	if bsnap != ssnap {
+		t.Errorf("counters diverged\nbatch:  %+v\nstream: %+v", bsnap, ssnap)
+	}
+	if len(brows) != len(srows) {
+		t.Fatalf("row count diverged: %d vs %d", len(brows), len(srows))
+	}
+	for i := range brows {
+		if brows[i] != srows[i] {
+			t.Fatalf("row %d diverged: %s vs %s", i, brows[i], srows[i])
+		}
+	}
 }
 
 // TestStreamSpillMatchesBatch runs the real-spill DHHJ in both modes under

@@ -16,6 +16,11 @@ import (
 type scanPrep struct {
 	qualified *types.Schema
 	pred      expr.Compiled
+	// vpred is the predicate's vectorized form, nil when the expression has
+	// no kernel (UDF calls, arithmetic, unsupported shapes) — the streaming
+	// cursor then filters row-at-a-time with pred. The batch path always
+	// uses pred: it is the reference implementation.
+	vpred     expr.VecPred
 	projIdx   []int
 	outSchema *types.Schema
 	partCols  []int
@@ -35,6 +40,15 @@ func prepareScan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Ex
 		sp.pred, err = expr.Compile(filter, env)
 		if err != nil {
 			return nil, err
+		}
+		// A vectorized kernel is an optimization, never a requirement: any
+		// compile refusal (unsupported node, unresolved column) silently
+		// keeps the scalar path, and the kernels themselves fall back per
+		// chunk when a column gathers mixed-kind.
+		if !ctx.NoVec {
+			if vp, ok, verr := expr.CompileVec(filter, env); verr == nil && ok {
+				sp.vpred = vp
+			}
 		}
 	}
 	sp.outSchema = sp.qualified
@@ -199,7 +213,11 @@ func (s *scanSource) Open(p int) (Cursor, error) {
 		return nil, err
 	}
 	meterScanPart(s.ctx, s.ds, p)
-	return &scanCursor{ctx: s.ctx, prep: s.prep, r: s.ds.ChunkReader(p, chunkCap)}, nil
+	cur := &scanCursor{ctx: s.ctx, prep: s.prep, r: s.ds.ChunkReader(p, s.ctx.chunkRows())}
+	if !s.ctx.NoVec {
+		cur.cols = cur.r
+	}
+	return cur, nil
 }
 
 // materialize runs the scan as the batch pass instead of streaming —
@@ -210,16 +228,51 @@ func (s *scanSource) materialize(ctx *Context) (*Relation, error) {
 }
 
 // scanCursor streams one partition, fusing filter and projection into the
-// decode pass. The chunk's row-header buffer is reused between Next calls;
-// projected values are carved from a growing arena whose filled chunks
-// become garbage once downstream consumers drop the tuples.
+// decode pass. A filter-only scan never copies tuple headers: the predicate
+// (vectorized over the reader's column vectors when a kernel compiled,
+// row-at-a-time otherwise) marks live rows in a reused selection vector and
+// the chunk goes out as Rows+Sel over the stored window. Only a projection
+// gathers survivors densely, carving projected tuples from a growing arena
+// whose filled chunks become garbage once downstream consumers drop them.
 type scanCursor struct {
-	ctx   *Context
-	prep  *scanPrep
-	r     *storage.ChunkReader
+	ctx  *Context
+	prep *scanPrep
+	r    *storage.ChunkReader
+	// cols is the reader's columnar face, nil under Context.NoVec so emitted
+	// chunks carry no column source and downstream stays fully scalar.
+	cols  types.ColSource
 	arena types.Arena
 	rows  []types.Tuple
+	sel   []int32
 	c     Chunk
+}
+
+// filterWindow runs the fused predicate over the window and returns the
+// live selection (ascending, aliasing the cursor's reused buffer).
+func (c *scanCursor) filterWindow(win []types.Tuple) ([]int32, error) {
+	if cap(c.sel) < len(win) {
+		c.sel = make([]int32, len(win))
+	}
+	sel := c.sel[:len(win)]
+	if c.prep.vpred != nil {
+		//dynopt:hotpath
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		return c.prep.vpred(win, c.r, sel)
+	}
+	sel = sel[:0]
+	//dynopt:hotpath
+	for i, t := range win {
+		v, err := c.prep.pred(t)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsTrue() {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel, nil
 }
 
 func (c *scanCursor) Next() (*Chunk, error) {
@@ -232,32 +285,46 @@ func (c *scanCursor) Next() (*Chunk, error) {
 			return nil, io.EOF
 		}
 		if c.prep.passThrough() {
-			c.c = Chunk{Rows: win}
+			c.c = Chunk{Rows: win, Cols: c.cols}
+			return &c.c, nil
+		}
+		var sel []int32
+		if c.prep.pred != nil {
+			var err error
+			sel, err = c.filterWindow(win)
+			if err != nil {
+				return nil, err
+			}
+			if len(sel) == 0 {
+				continue // a fully filtered window yields no chunk; keep pulling
+			}
+		}
+		if c.prep.projIdx == nil {
+			// Filter without projection: emit the stored window with its
+			// selection — no tuple-header copies. A full pass drops the
+			// selection so downstream stays on the dense fast path.
+			if len(sel) == len(win) {
+				sel = nil
+			}
+			c.c = Chunk{Rows: win, Sel: sel, Cols: c.cols}
 			return &c.c, nil
 		}
 		c.rows = c.rows[:0]
-		for _, t := range win {
-			if c.prep.pred != nil {
-				v, err := c.prep.pred(t)
-				if err != nil {
-					return nil, err
-				}
-				if !v.IsTrue() {
-					continue
-				}
+		gather := func(t types.Tuple) {
+			pt := c.arena.Make(len(c.prep.projIdx))
+			for i, idx := range c.prep.projIdx {
+				pt[i] = t[idx]
 			}
-			if c.prep.projIdx != nil {
-				pt := c.arena.Make(len(c.prep.projIdx))
-				for i, idx := range c.prep.projIdx {
-					pt[i] = t[idx]
-				}
-				c.rows = append(c.rows, pt)
-			} else {
-				c.rows = append(c.rows, t)
-			}
+			c.rows = append(c.rows, pt)
 		}
-		if len(c.rows) == 0 {
-			continue // a fully filtered window yields no chunk; keep pulling
+		if sel != nil {
+			for _, r := range sel {
+				gather(win[r])
+			}
+		} else {
+			for _, t := range win {
+				gather(t)
+			}
 		}
 		c.c = Chunk{Rows: c.rows}
 		return &c.c, nil

@@ -98,20 +98,26 @@ type chunkSeq struct {
 
 func (s *chunkSeq) next() (types.Tuple, uint64, int64, error) {
 	//dynopt:cancel-ok row-granular adapter: the DHHJ build/probe loops downstream check ctx.Err() on a row stride
-	for s.c == nil || s.i >= len(s.c.Rows) {
+	for s.c == nil || s.i >= s.c.Live() {
 		c, err := s.st.next()
 		if err != nil {
 			return nil, 0, 0, err // io.EOF passes through as the clean end
 		}
 		s.c, s.i = c, 0
 	}
+	// i walks the live rows: sidecars index directly, the tuple through the
+	// selection when one is present.
 	i := s.i
 	s.i++
 	sz := int64(-1)
 	if s.c.Sizes != nil {
 		sz = s.c.Sizes[i]
 	}
-	return s.c.Rows[i], s.c.Hashes[i], sz, nil
+	r := i
+	if s.c.Sel != nil {
+		r = int(s.c.Sel[i])
+	}
+	return s.c.Rows[r], s.c.Hashes[i], sz, nil
 }
 
 // fileSeq streams a run file, recomputing each row's key prehash (run
@@ -157,7 +163,7 @@ type spillJoin struct {
 // worth has accumulated. The buffer is reused: sinks copy the headers they
 // keep.
 func (j *spillJoin) maybeFlush() error {
-	if j.emit == nil || len(j.out) < chunkCap {
+	if j.emit == nil || len(j.out) < j.ctx.chunkRows() {
 		return nil
 	}
 	return j.flush()

@@ -25,7 +25,7 @@ import (
 //                INLJ outer side).
 //
 // All buffering is bounded: per-(src,dst) chunk buffers plus a small channel
-// depth, so a stage's resident probe memory is O(parts² × chunkCap) tuple
+// depth, so a stage's resident probe memory is O(parts² × chunkRows) tuple
 // headers regardless of relation size.
 
 // probeStream delivers one destination partition's probe chunks, prehashed
@@ -36,13 +36,16 @@ type probeStream interface {
 
 // localStream adapts a partition cursor into a probe stream, computing key
 // prehashes (and per-row encoded sizes when metering needs them) chunk by
-// chunk into reusable buffers.
+// chunk into reusable buffers. Selection vectors pass through untouched —
+// the prehash and size sidecars are computed for the live rows only, via
+// the columnar hash when the cursor attached column vectors.
 type localStream struct {
 	cur       Cursor
 	keyCols   []int
 	wantSizes bool
 	hashBuf   []uint64
 	sizeBuf   []int64
+	vecBuf    []*types.ColVec
 	c         Chunk
 }
 
@@ -51,15 +54,21 @@ func (s *localStream) next() (*Chunk, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.hashBuf = types.HashKeysInto(c.Rows, s.keyCols, s.hashBuf[:0])
-	sc := Chunk{Rows: c.Rows, Hashes: s.hashBuf, Sizes: c.Sizes}
+	s.hashBuf, s.vecBuf = chunkKeyHashes(c, s.keyCols, s.hashBuf, s.vecBuf)
+	sc := Chunk{Rows: c.Rows, Sel: c.Sel, Hashes: s.hashBuf, Sizes: c.Sizes}
 	if s.wantSizes && sc.Sizes == nil {
-		if cap(s.sizeBuf) < len(c.Rows) {
-			s.sizeBuf = make([]int64, 0, chunkCap)
+		if cap(s.sizeBuf) < c.Live() {
+			s.sizeBuf = make([]int64, 0, c.Live())
 		}
 		s.sizeBuf = s.sizeBuf[:0]
-		for _, t := range c.Rows {
-			s.sizeBuf = append(s.sizeBuf, int64(t.EncodedSize())) //dynopt:size-ok seeds the per-chunk Sizes cache every downstream consumer reuses
+		if c.Sel != nil {
+			for _, r := range c.Sel {
+				s.sizeBuf = append(s.sizeBuf, int64(c.Rows[r].EncodedSize())) //dynopt:size-ok seeds the per-chunk Sizes cache every downstream consumer reuses
+			}
+		} else {
+			for _, t := range c.Rows {
+				s.sizeBuf = append(s.sizeBuf, int64(t.EncodedSize())) //dynopt:size-ok seeds the per-chunk Sizes cache every downstream consumer reuses
+			}
 		}
 		sc.Sizes = s.sizeBuf
 	}
@@ -79,14 +88,16 @@ type scatterExchange struct {
 	chans     [][]chan *Chunk // [src][dst]
 	free      chan *Chunk
 	done      chan struct{}
+	rows      int // per-chunk row capacity (the execution's chunkRows)
 	closeOnce sync.Once
 }
 
-func newScatterExchange(n int) *scatterExchange {
+func newScatterExchange(n, rows int) *scatterExchange {
 	ex := &scatterExchange{
 		chans: make([][]chan *Chunk, n),
 		free:  make(chan *Chunk, n*n*(exchangeChanDepth+2)),
 		done:  make(chan struct{}),
+		rows:  rows,
 	}
 	for s := range ex.chans {
 		ex.chans[s] = make([]chan *Chunk, n)
@@ -97,7 +108,7 @@ func newScatterExchange(n int) *scatterExchange {
 	return ex
 }
 
-// get returns a recycled chunk with empty, capacity-chunkCap buffers, or a
+// get returns a recycled chunk with empty, full-row-capacity buffers, or a
 // fresh one.
 func (ex *scatterExchange) get() *Chunk {
 	select {
@@ -106,9 +117,9 @@ func (ex *scatterExchange) get() *Chunk {
 		return c
 	default:
 		return &Chunk{
-			Rows:   make([]types.Tuple, 0, chunkCap),
-			Hashes: make([]uint64, 0, chunkCap),
-			Sizes:  make([]int64, 0, chunkCap),
+			Rows:   make([]types.Tuple, 0, ex.rows),
+			Hashes: make([]uint64, 0, ex.rows),
+			Sizes:  make([]int64, 0, ex.rows),
 		}
 	}
 }
@@ -144,6 +155,7 @@ func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []
 	}()
 	bufs := make([]*Chunk, n)
 	var hashBuf []uint64
+	var vecBuf []*types.ColVec
 	var localRows, totalRows, localBytes, totalBytes int64
 	// The flush select also watches the caller's cancellation: with a
 	// stalled (injected or genuinely wedged) consumer the bounded channel
@@ -168,6 +180,33 @@ func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []
 			return ctx.Cancel.Err()
 		}
 	}
+	// route places one live row (whose prehash sits at sidecar index k) into
+	// its destination buffer, flushing the buffer when it fills. Declared
+	// once per producer — the chunk loop below reassigns hashBuf and the
+	// closure reads it through the captured variable.
+	route := func(k int, t types.Tuple) error {
+		h := hashBuf[k]
+		d := int(h % uint64(n))
+		sz := int64(t.EncodedSize()) //dynopt:size-ok scatter seeds shuffle metering and downstream size hints in one walk
+		totalRows++
+		totalBytes += sz
+		if d == src {
+			localRows++
+			localBytes += sz
+		}
+		b := bufs[d]
+		if b == nil {
+			b = ex.get()
+			bufs[d] = b
+		}
+		b.Rows = append(b.Rows, t)
+		b.Hashes = append(b.Hashes, h)
+		b.Sizes = append(b.Sizes, sz)
+		if len(b.Rows) == ex.rows {
+			return flush(d)
+		}
+		return nil
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -179,30 +218,20 @@ func (ex *scatterExchange) produce(ctx *Context, src int, cur Cursor, keyCols []
 		if err != nil {
 			return err
 		}
-		hashBuf = types.HashKeysInto(c.Rows, keyCols, hashBuf[:0])
-		//dynopt:hotpath
-		for r, t := range c.Rows {
-			h := hashBuf[r]
-			d := int(h % uint64(n))
-			sz := int64(t.EncodedSize()) //dynopt:size-ok scatter seeds shuffle metering and downstream size hints in one walk
-			totalRows++
-			totalBytes += sz
-			if d == src {
-				localRows++
-				localBytes += sz
-			}
-			b := bufs[d]
-			if b == nil {
-				b = ex.get()
-				bufs[d] = b
-			}
-			b.Rows = append(b.Rows, t)
-			b.Hashes = append(b.Hashes, h)
-			b.Sizes = append(b.Sizes, sz)
-			if len(b.Rows) == chunkCap {
-				if err := flush(d); err != nil {
+		hashBuf, vecBuf = chunkKeyHashes(c, keyCols, hashBuf, vecBuf)
+		if c.Sel != nil {
+			//dynopt:hotpath
+			for k, r := range c.Sel {
+				if err := route(k, c.Rows[r]); err != nil {
 					return err
 				}
+			}
+			continue
+		}
+		//dynopt:hotpath
+		for r, t := range c.Rows {
+			if err := route(r, t); err != nil {
+				return err
 			}
 		}
 	}
@@ -283,7 +312,7 @@ func (m *mergeStream) next() (*Chunk, error) {
 // producer errors taking precedence over the cancellations they cause.
 func runScatter(ctx *Context, src Source, keyCols []int, consume func(p int, st probeStream) error) error {
 	n := src.Parts()
-	ex := newScatterExchange(n)
+	ex := newScatterExchange(n, ctx.chunkRows())
 	consErrs := make([]error, n)
 	var wg sync.WaitGroup
 	for d := 0; d < n; d++ {
@@ -397,10 +426,13 @@ func (ex *replicateExchange) produce(ctx *Context, src Source) (totalRows, total
 			if err := ctx.Faults.Fire(faults.Point("exchange.produce")); err != nil {
 				return totalRows, totalBytes, err
 			}
-			out := &Chunk{Rows: append([]types.Tuple(nil), c.Rows...)}
-			totalRows += int64(len(c.Rows))
+			// Flatten any selection on the copy the consumers share: the
+			// broadcast copies headers anyway, so dead rows are dropped here
+			// rather than shipped to every destination.
+			out := &Chunk{Rows: c.appendLive(make([]types.Tuple, 0, c.Live()))}
+			totalRows += int64(len(out.Rows))
 			if hint < 0 {
-				for _, t := range c.Rows {
+				for _, t := range out.Rows {
 					partBytes += int64(t.EncodedSize()) //dynopt:size-ok fallback when the producer attached no size hint; replicate meters bytes shipped per node
 				}
 			}
@@ -527,7 +559,7 @@ func materializeSource(ctx *Context, src Source) (*Relation, error) {
 			if err != nil {
 				return err
 			}
-			rows = append(rows, c.Rows...)
+			rows = c.appendLive(rows)
 		}
 		out.Parts[p] = rows
 		return nil
@@ -563,7 +595,22 @@ func collectExchanged(ctx *Context, src Source, keyCols []int, wantSizes bool) (
 		}
 		bs := make([]bucket, n)
 		var hashBuf []uint64
+		var vecBuf []*types.ColVec
 		var totalRows, totalBytes int64
+		place := func(k int, t types.Tuple) {
+			h := hashBuf[k]
+			d := int(h % uint64(n))
+			sz := int64(t.EncodedSize()) //dynopt:size-ok collect path seeds shuffle metering for exchanged partitions in one walk
+			totalRows++
+			totalBytes += sz
+			b := &bs[d]
+			b.rows = append(b.rows, t)
+			b.hashes = append(b.hashes, h)
+			if wantSizes {
+				b.sizes = append(b.sizes, sz)
+			}
+			b.bytes += sz
+		}
 		for {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -575,20 +622,15 @@ func collectExchanged(ctx *Context, src Source, keyCols []int, wantSizes bool) (
 			if err != nil {
 				return err
 			}
-			hashBuf = types.HashKeysInto(c.Rows, keyCols, hashBuf[:0])
-			for r, t := range c.Rows {
-				h := hashBuf[r]
-				d := int(h % uint64(n))
-				sz := int64(t.EncodedSize()) //dynopt:size-ok collect path seeds shuffle metering for exchanged partitions in one walk
-				totalRows++
-				totalBytes += sz
-				b := &bs[d]
-				b.rows = append(b.rows, t)
-				b.hashes = append(b.hashes, h)
-				if wantSizes {
-					b.sizes = append(b.sizes, sz)
+			hashBuf, vecBuf = chunkKeyHashes(c, keyCols, hashBuf, vecBuf)
+			if c.Sel != nil {
+				for k, r := range c.Sel {
+					place(k, c.Rows[r])
 				}
-				b.bytes += sz
+				continue
+			}
+			for r, t := range c.Rows {
+				place(r, t)
 			}
 		}
 		buckets[s] = bs

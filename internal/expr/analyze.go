@@ -66,6 +66,27 @@ func Compile(e Expr, env *Env) (Compiled, error) {
 		}
 		return func(types.Tuple) (types.Value, error) { return v, nil }, nil
 	case *Compare:
+		op := n.Op
+		// Hoist constant operands out of the per-row path: a filter like
+		// pay >= 900 used to re-evaluate the literal's closure (and its
+		// null check) for every row. With the constant folded at compile
+		// time the row loop is one column load, one null test, one Compare.
+		if cv, ok, err := constOperand(n.R, env); ok || err != nil {
+			if err != nil {
+				return nil, err
+			}
+			if i, ok := columnIndex(n.L, env); ok {
+				return compareColConst(i, cv, op, false), nil
+			}
+		}
+		if cv, ok, err := constOperand(n.L, env); ok || err != nil {
+			if err != nil {
+				return nil, err
+			}
+			if i, ok := columnIndex(n.R, env); ok {
+				return compareColConst(i, cv, op, true), nil
+			}
+		}
 		l, err := Compile(n.L, env)
 		if err != nil {
 			return nil, err
@@ -74,7 +95,6 @@ func Compile(e Expr, env *Env) (Compiled, error) {
 		if err != nil {
 			return nil, err
 		}
-		op := n.Op
 		return func(t types.Tuple) (types.Value, error) {
 			lv, err := l(t)
 			if err != nil {
@@ -87,25 +107,34 @@ func Compile(e Expr, env *Env) (Compiled, error) {
 			if lv.IsNull() || rv.IsNull() {
 				return types.Bool(false), nil
 			}
-			cmp := lv.Compare(rv)
-			var out bool
-			switch op {
-			case CmpEq:
-				out = cmp == 0
-			case CmpNe:
-				out = cmp != 0
-			case CmpLt:
-				out = cmp < 0
-			case CmpLe:
-				out = cmp <= 0
-			case CmpGt:
-				out = cmp > 0
-			case CmpGe:
-				out = cmp >= 0
-			}
-			return types.Bool(out), nil
+			return types.Bool(cmpSatisfies(lv.Compare(rv), op)), nil
 		}, nil
 	case *Between:
+		// The same hoist for BETWEEN's bounds: col BETWEEN lit AND lit is
+		// the hot shape (every Figure-7 range filter), and the old form
+		// re-fetched both bound values through closures per row.
+		if xi, ok := columnIndex(n.X, env); ok {
+			lov, lok, err := constOperand(n.Lo, env)
+			if err != nil {
+				return nil, err
+			}
+			hiv, hok, err := constOperand(n.Hi, env)
+			if err != nil {
+				return nil, err
+			}
+			if lok && hok {
+				if lov.IsNull() || hiv.IsNull() {
+					return func(types.Tuple) (types.Value, error) { return types.Bool(false), nil }, nil
+				}
+				return func(t types.Tuple) (types.Value, error) {
+					xv := t[xi]
+					if xv.IsNull() {
+						return types.Bool(false), nil
+					}
+					return types.Bool(xv.Compare(lov) >= 0 && xv.Compare(hiv) <= 0), nil
+				}, nil
+			}
+		}
 		x, err := Compile(n.X, env)
 		if err != nil {
 			return nil, err
@@ -194,6 +223,71 @@ func Compile(e Expr, env *Env) (Compiled, error) {
 		// Calls and arithmetic fall back to tree interpretation; their cost
 		// dominates dispatch anyway.
 		return func(t types.Tuple) (types.Value, error) { return e.Eval(t, env) }, nil
+	}
+}
+
+// constOperand resolves an operand that is constant for the whole scan —
+// a literal, or a parameter bound in env — so Compile can fold it instead
+// of re-evaluating its closure per row.
+func constOperand(e Expr, env *Env) (types.Value, bool, error) {
+	switch n := e.(type) {
+	case *Literal:
+		return n.Val, true, nil
+	case *Param:
+		v, err := n.Eval(nil, env)
+		if err != nil {
+			return types.Null(), false, err
+		}
+		return v, true, nil
+	}
+	return types.Null(), false, nil
+}
+
+// columnIndex resolves a direct column reference to its schema offset.
+func columnIndex(e Expr, env *Env) (int, bool) {
+	c, ok := e.(*Column)
+	if !ok {
+		return 0, false
+	}
+	return env.Schema.Index(c.key())
+}
+
+// cmpSatisfies applies a comparison operator to a Value.Compare result.
+func cmpSatisfies(cmp int, op CmpOp) bool {
+	switch op {
+	case CmpEq:
+		return cmp == 0
+	case CmpNe:
+		return cmp != 0
+	case CmpLt:
+		return cmp < 0
+	case CmpLe:
+		return cmp <= 0
+	case CmpGt:
+		return cmp > 0
+	case CmpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// compareColConst is the hoisted form of a column-vs-constant comparison:
+// the constant's value and null check are resolved once at compile time.
+// flipped marks the constant as the left operand (lit OP col).
+func compareColConst(col int, cv types.Value, op CmpOp, flipped bool) Compiled {
+	if cv.IsNull() {
+		return func(types.Tuple) (types.Value, error) { return types.Bool(false), nil }
+	}
+	return func(t types.Tuple) (types.Value, error) {
+		v := t[col]
+		if v.IsNull() {
+			return types.Bool(false), nil
+		}
+		cmp := v.Compare(cv)
+		if flipped {
+			cmp = -cmp
+		}
+		return types.Bool(cmpSatisfies(cmp, op)), nil
 	}
 }
 

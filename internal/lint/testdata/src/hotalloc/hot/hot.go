@@ -98,3 +98,47 @@ func warmOutside(n int) {
 func coldAllocates() []string {
 	return []string{fmt.Sprint(1)}
 }
+
+// kernelCompact mirrors the vectorized-kernel idiom: in-place selection
+// narrowing over typed payload slices. Pure index shuffling — the analyzer
+// must stay silent.
+//
+//dynopt:hotpath
+func kernelCompact(vals []int64, null []bool, sel []int32, cut int64) []int32 {
+	out := sel[:0]
+	for _, r := range sel {
+		if !null[r] && vals[r] < cut {
+			out = append(out, r) // narrowing into the input's backing: reused
+		}
+	}
+	return out
+}
+
+// kernelAllocates is the anti-pattern the idiom exists to avoid: a kernel
+// that builds a fresh selection per call.
+//
+//dynopt:hotpath
+func kernelAllocates(vals []int64, sel []int32, cut int64) []int32 {
+	out := make([]int32, 0, len(sel)) // want `hot path: make allocates`
+	for _, r := range sel {
+		if vals[r] < cut {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// kernelGather mirrors the column-gather idiom: grow-once scratch waived by
+// the escape hatch, then a tight decode loop that must stay allocation-free.
+func kernelGather(rows [][]int64, col int, scratch []int64) []int64 {
+	if cap(scratch) < len(rows) {
+		//dynopt:alloc-ok amortized: gather buffer reused across windows
+		scratch = make([]int64, len(rows))
+	}
+	scratch = scratch[:len(rows)]
+	//dynopt:hotpath
+	for r, t := range rows {
+		scratch[r] = t[col]
+	}
+	return scratch
+}

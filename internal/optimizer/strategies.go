@@ -115,10 +115,12 @@ func (s *BestOrder) Run(ctx *engine.Context, sql string) (*engine.Result, *core.
 // context and returns its assembled plan tree (over base datasets).
 func shadowDynamicPlan(ctx *engine.Context, sql string, cfg core.Config) (*plan.Node, error) {
 	scratch := &engine.Context{
-		Cluster: cluster.New(ctx.Cluster.Nodes()),
-		Catalog: ctx.Catalog.CloneBases(),
-		UDFs:    ctx.UDFs,
-		Params:  ctx.Params,
+		Cluster:   cluster.New(ctx.Cluster.Nodes()),
+		Catalog:   ctx.Catalog.CloneBases(),
+		UDFs:      ctx.UDFs,
+		Params:    ctx.Params,
+		ChunkRows: ctx.ChunkRows,
+		NoVec:     ctx.NoVec,
 	}
 	d := &core.Dynamic{Cfg: cfg}
 	_, rep, err := d.Run(scratch, sql)

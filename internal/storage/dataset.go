@@ -62,10 +62,16 @@ func (d *Dataset) PartitionFields() []string { return d.PrimaryKey }
 // ChunkReader streams one partition's rows in fixed-size windows — the
 // storage face of the engine's chunk pipeline. The returned windows alias
 // the stored rows (zero-copy); callers must treat them as read-only.
+//
+// The reader is also the window's columnar decoder: Col gathers a column of
+// the current window into a typed vector (cached per window, buffers reused
+// across windows), which is what the engine's vectorized predicate kernels
+// and the columnar join-key prehash read instead of row-form values.
 type ChunkReader struct {
 	part []types.Tuple
 	size int
 	off  int
+	cols *types.ColCache
 }
 
 // ChunkReader returns a reader over partition p yielding at most size rows
@@ -74,7 +80,7 @@ func (d *Dataset) ChunkReader(p, size int) *ChunkReader {
 	if size < 1 {
 		size = len(d.Parts[p])
 	}
-	return &ChunkReader{part: d.Parts[p], size: size}
+	return &ChunkReader{part: d.Parts[p], size: size, cols: types.NewColCache(d.Schema)}
 }
 
 // Next returns the next window of rows, or false at the end of the
@@ -89,8 +95,13 @@ func (r *ChunkReader) Next() ([]types.Tuple, bool) {
 	}
 	w := r.part[r.off:end]
 	r.off = end
+	r.cols.SetWindow(w)
 	return w, true
 }
+
+// Col implements types.ColSource over the current window: column i decoded
+// to a typed vector, gathered on first request per window.
+func (r *ChunkReader) Col(i int) *types.ColVec { return r.cols.Col(i) }
 
 // HasIndex reports whether a secondary index exists on the field.
 func (d *Dataset) HasIndex(field string) bool {

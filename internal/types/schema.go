@@ -190,11 +190,16 @@ func (t Tuple) String() string {
 	return b.String()
 }
 
+// hashKeysOffset seeds the composite-key combine of HashKeys (and its
+// columnar twin HashColsInto — the two must stay bit-identical, since
+// exchange placement and every placement-dependent counter hang off it).
+const hashKeysOffset uint64 = 1469598103934665603 // FNV offset basis
+
 // HashKeys hashes the values at the given column offsets, combining them so
 // composite join keys (e.g. TPC-DS store_sales ⋈ store_returns on customer,
 // item, ticket) partition consistently.
 func (t Tuple) HashKeys(idxs []int) uint64 {
-	var h uint64 = 1469598103934665603 // FNV offset basis
+	h := hashKeysOffset
 	for _, i := range idxs {
 		h ^= t[i].Hash()
 		h *= 1099511628211 // FNV prime
@@ -215,6 +220,21 @@ func HashKeysInto(rows []Tuple, idxs []int, dst []uint64) []uint64 {
 	}
 	for r, t := range rows {
 		dst[r] = t.HashKeys(idxs)
+	}
+	return dst
+}
+
+// HashKeysSelInto is HashKeysInto over the selected rows only: dst is
+// aligned with sel (dst[k] hashes rows[sel[k]]), the alignment chunk
+// sidecars use when a selection vector is present.
+func HashKeysSelInto(rows []Tuple, sel []int32, idxs []int, dst []uint64) []uint64 {
+	if cap(dst) < len(sel) {
+		dst = make([]uint64, len(sel))
+	} else {
+		dst = dst[:len(sel)]
+	}
+	for k, r := range sel {
+		dst[k] = rows[r].HashKeys(idxs)
 	}
 	return dst
 }
