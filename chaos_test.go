@@ -127,6 +127,16 @@ func TestChaosMatrix(t *testing.T) {
 		// The first memo replay faults: the query must fall back to the
 		// full dynamic loop and still answer correctly.
 		{"replay-fault", []FaultRule{{Point: "memo.replay", OneShot: true}}},
+		// One sealed run has a bit flipped at rest before read-back: the
+		// checksums must catch it and the join heal by rebuilding the run —
+		// identical rows, never silently wrong.
+		{"spill-corrupt-flip", []FaultRule{{Point: "spill.corrupt", OneShot: true, Corrupt: CorruptFlipBit}}},
+		// Every 5th run read back lost its tail: rebuilt runs that come back
+		// damaged again exhaust the rebuild-once contract, so runs end in
+		// identical rows or a classified ErrCorrupt — both acceptable.
+		{"spill-corrupt-truncate", []FaultRule{{Point: "spill.corrupt", EveryN: 5, Corrupt: CorruptTruncateTail}}},
+		// One torn write zeroed a sealed run's tail page at rest.
+		{"spill-corrupt-torn", []FaultRule{{Point: "spill.corrupt", OneShot: true, Corrupt: CorruptTornWrite}}},
 	}
 
 	for _, sc := range scenarios {

@@ -1,0 +1,168 @@
+package dynopt
+
+import (
+	"errors"
+	"reflect"
+	"syscall"
+	"testing"
+
+	"dynopt/internal/faults/leakcheck"
+	"dynopt/internal/memo"
+)
+
+// These tests drive the corruption-recovery contract end to end through the
+// public API: any injected damage to a spill run ends in byte-identical
+// correct rows (after at most one metered rebuild per run) or a classified
+// ErrCorrupt/ErrSpillIO failure — never a panic, never silently short or
+// wrong results, never leaked grants or spill directories.
+
+// TestCorruptionHealsWithRebuild: one at-rest mutation of a sealed run (any
+// kind) is caught by the read-back checksums and healed by rebuilding the
+// run from its still-resident source — the query succeeds with rows
+// identical to the fault-free baseline and the rebuild metered.
+func TestCorruptionHealsWithRebuild(t *testing.T) {
+	leakcheck.Check(t)
+	want := sortedResultRows(mustQuery(t, testDB(t), apiQuery, nil))
+
+	for _, tc := range []struct {
+		name string
+		kind CorruptKind
+	}{
+		{"flip-bit", CorruptFlipBit},
+		{"truncate-tail", CorruptTruncateTail},
+		{"torn-write", CorruptTornWrite},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db, reg, dir := faultDB(t, 256, 51)
+			reg.Arm(FaultRule{Point: "spill.corrupt", OneShot: true, Corrupt: tc.kind})
+			res, err := db.Query(apiQuery, nil)
+			if err != nil {
+				t.Fatalf("one-shot corruption must heal, not fail: %v", err)
+			}
+			if fired := reg.Fired("spill.corrupt"); fired != 1 {
+				t.Fatalf("spill.corrupt fired %d times, want 1 (query never read a run back?)", fired)
+			}
+			if res.Metrics.SpillRebuilds < 1 {
+				t.Errorf("Metrics.SpillRebuilds = %d, want >= 1", res.Metrics.SpillRebuilds)
+			}
+			if got := sortedResultRows(res); !reflect.DeepEqual(got, want) {
+				t.Errorf("healed rows diverged from fault-free baseline")
+			}
+			if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+				t.Errorf("governor unbalanced: %d bytes", used)
+			}
+			dirEmpty(t, dir)
+		})
+	}
+}
+
+// TestCorruptionRecurringFailsClassified: corruption striking every
+// read-back damages each rebuilt run too, so the rebuild-once contract is
+// exhausted and the query fails classified ErrCorrupt (transient — the
+// damage dies with the swept per-query runs) with all state reclaimed.
+func TestCorruptionRecurringFailsClassified(t *testing.T) {
+	leakcheck.Check(t)
+	db, reg, dir := faultDB(t, 256, 52)
+	reg.Arm(FaultRule{Point: "spill.corrupt", EveryN: 1, Corrupt: CorruptFlipBit})
+	_, err := db.Query(apiQuery, nil)
+	if err == nil {
+		t.Fatal("recurring corruption completed without error")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("not classified ErrCorrupt: %v", err)
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("corruption not classified transient: %v", err)
+	}
+	if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced: %d bytes", used)
+	}
+	dirEmpty(t, dir)
+}
+
+// TestCorruptionDiskFullDegradesToResident: an ENOSPC on the first eviction
+// classifies as ErrDiskFull (wrapping ErrSpillIO), so the PR 7 degradation
+// rung applies — with governor headroom the join holds its build resident
+// and the query succeeds with baseline rows.
+func TestCorruptionDiskFullDegradesToResident(t *testing.T) {
+	leakcheck.Check(t)
+	want := sortedResultRows(mustQuery(t, testDB(t), apiQuery, nil))
+
+	db, reg, dir := faultDB(t, 1<<30, 53)
+	reg.Arm(FaultRule{Point: "governor.reserve", EveryN: 1})
+	reg.Arm(FaultRule{Point: "spill.create", OneShot: true, Err: syscall.ENOSPC})
+	res, err := db.Query(apiQuery, nil)
+	if err != nil {
+		t.Fatalf("disk-full with governor headroom must degrade, not fail: %v", err)
+	}
+	if got := sortedResultRows(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("degraded rows diverged from fault-free baseline")
+	}
+	if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced: %d bytes", used)
+	}
+	dirEmpty(t, dir)
+}
+
+// TestCorruptionDiskFullOverCapacity: the same disk-full with no governor
+// headroom cannot degrade; the failure carries the whole classification
+// chain — ErrDiskFull, its ErrSpillIO parent, and ErrOverCapacity.
+func TestCorruptionDiskFullOverCapacity(t *testing.T) {
+	leakcheck.Check(t)
+	db, reg, dir := faultDB(t, 256, 54)
+
+	hog := db.ctx.Cluster.Governor().Grant()
+	hog.Reserve(1 << 40)
+	defer hog.Close()
+
+	reg.Arm(FaultRule{Point: "spill.create", EveryN: 1, Err: syscall.ENOSPC})
+	_, err := db.Query(apiQuery, nil)
+	if err == nil {
+		t.Fatal("disk-full with no governor headroom must fail the query")
+	}
+	for _, sentinel := range []struct {
+		name string
+		err  error
+	}{{"ErrDiskFull", ErrDiskFull}, {"ErrSpillIO", ErrSpillIO}, {"ErrOverCapacity", ErrOverCapacity}} {
+		if !errors.Is(err, sentinel.err) {
+			t.Errorf("%s lost from the chain: %v", sentinel.name, err)
+		}
+	}
+	dirEmpty(t, dir)
+	hog.Close()
+	if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced: %d bytes", used)
+	}
+}
+
+// TestCorruptionDuringReplayRecovers: corruption discovered while replaying
+// a memoized plan must never fail the query — the damaged run is either
+// rebuilt in place (SpillRebuilds metered) or, when it cannot be, the
+// replay abandons and the dynamic loop re-runs the query from scratch
+// (ReplayFellBack). Either way the rows match the fault-free baseline.
+func TestCorruptionDuringReplayRecovers(t *testing.T) {
+	leakcheck.Check(t)
+	db, reg, dir := faultDB(t, 256, 55)
+	db.memo = memo.NewStore(8, memo.Options{})
+	db.ctx.Catalog.SetBaseHook(db.memo.InvalidateDataset)
+
+	// Warm the memo with the spilling plan, then corrupt a run mid-replay.
+	want := sortedResultRows(mustQuery(t, db, apiQuery, &QueryOptions{Strategy: StrategyDynamic}))
+	mustQuery(t, db, apiQuery, &QueryOptions{Strategy: StrategyDynamic})
+
+	reg.Arm(FaultRule{Point: "spill.corrupt", OneShot: true, Corrupt: CorruptTruncateTail})
+	res := mustQuery(t, db, apiQuery, &QueryOptions{Strategy: StrategyDynamic})
+	if fired := reg.Fired("spill.corrupt"); fired != 1 {
+		t.Fatalf("spill.corrupt fired %d times, want 1 (replay never read a run back?)", fired)
+	}
+	if got := sortedResultRows(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("post-corruption rows diverged from baseline")
+	}
+	if res.Metrics.SpillRebuilds < 1 && !res.Metrics.ReplayFellBack {
+		t.Errorf("corruption during replay neither rebuilt (%d) nor fell back", res.Metrics.SpillRebuilds)
+	}
+	if used := db.ctx.Cluster.Governor().Used(); used != 0 {
+		t.Errorf("governor unbalanced: %d bytes", used)
+	}
+	dirEmpty(t, dir)
+}

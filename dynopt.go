@@ -93,6 +93,14 @@ var (
 	ErrTransient = faults.ErrTransient
 	// ErrSpillIO marks spill-device I/O failures (transient).
 	ErrSpillIO = faults.ErrSpillIO
+	// ErrCorrupt marks spill data that failed integrity verification on
+	// read-back — checksum mismatch, bad framing, truncation, or counts
+	// disagreeing with the run's footer seal — after any rebuild attempt
+	// also failed or recurred. Wraps ErrTransient.
+	ErrCorrupt = faults.ErrCorrupt
+	// ErrDiskFull marks spill writes refused by a full device (ENOSPC or a
+	// short write). Wraps ErrSpillIO.
+	ErrDiskFull = faults.ErrDiskFull
 	// ErrAdmission marks a query that timed out or was cancelled while
 	// queued for an admission slot; nothing was executed.
 	ErrAdmission = faults.ErrAdmission
@@ -113,6 +121,16 @@ type FaultRegistry = faults.Registry
 
 // FaultRule arms one injection point on a FaultRegistry.
 type FaultRule = faults.Rule
+
+// CorruptKind selects the on-disk mutation a FaultRule applies to a sealed
+// spill run at the "spill.corrupt" point (test-only corruption injection).
+type CorruptKind = faults.CorruptKind
+
+const (
+	CorruptFlipBit      = faults.CorruptFlipBit
+	CorruptTruncateTail = faults.CorruptTruncateTail
+	CorruptTornWrite    = faults.CorruptTornWrite
+)
 
 // NewFaultRegistry returns a registry whose probabilistic triggers draw
 // from seed. Arm rules on it and pass it as Config.Faults.
@@ -175,6 +193,11 @@ type Config struct {
 	// Empty (the default) keeps the simulated spill model: counters are
 	// charged from byte arithmetic and nothing touches the filesystem.
 	SpillDir string
+	// SpillSync fsyncs every sealed run file (real-spill mode only): the
+	// durability knob for spill devices with volatile write caches. Off by
+	// default — run files never outlive their query, so the cost usually
+	// buys nothing.
+	SpillSync bool
 	// MemoryPerNodeBytes overrides the per-node join-memory budget
 	// (default 512 KiB; negative disables the budget entirely).
 	MemoryPerNodeBytes int64
@@ -252,6 +275,7 @@ type DB struct {
 	algo        core.AlgoConfig
 	reoptBudget int
 	spillDir    string
+	spillSync   bool
 	memo        *memo.Store // adaptive plan memo; nil when PlanCacheEntries == 0
 
 	pmu    sync.RWMutex // guards ctx.Params against SetParam during serving
@@ -286,6 +310,7 @@ func Open(cfg Config) *DB {
 		algo:        algo,
 		reoptBudget: cfg.ReoptBudget,
 		spillDir:    cfg.SpillDir,
+		spillSync:   cfg.SpillSync,
 		faults:      cfg.Faults,
 		retry:       cfg.Retry,
 	}
@@ -420,6 +445,10 @@ type Metrics struct {
 	// (1 when the first attempt succeeded or retry is disabled). Metrics
 	// describe the final, successful attempt only.
 	Attempts int
+	// SpillRebuilds counts spill runs that failed integrity verification on
+	// read-back and were rebuilt from their source partition (real-spill
+	// mode; 0 means every run read back exactly as written).
+	SpillRebuilds int64
 }
 
 // Result is a finished query.
@@ -632,6 +661,7 @@ func (db *DB) runOnce(ctx context.Context, sql string, opts *QueryOptions) (out 
 		// the catalog temp namespace above.
 		sm := storage.NewSpillManager(db.spillDir, scope)
 		sm.Faults = db.faults
+		sm.Sync = db.spillSync
 		defer sm.Sweep()
 		qctx.Spill = sm
 	}
@@ -651,6 +681,7 @@ func (db *DB) runOnce(ctx context.Context, sql string, opts *QueryOptions) (out 
 		Counters:       rep.Counters,
 		CacheHit:       rep.CacheHit,
 		ReplayFellBack: rep.ReplayFellBack,
+		SpillRebuilds:  rep.Counters.SpillRebuilds,
 	}
 	if rep.Tree != nil {
 		out.Metrics.PlanTree = rep.Tree.Tree()

@@ -100,6 +100,7 @@ type Accounting struct {
 	ReoptPoints    atomic.Int64 // blocking re-optimization points crossed
 	SpillRows      atomic.Int64 // hash-join rows overflowing the memory budget
 	SpillBytes     atomic.Int64 // bytes written+read through overflow partitions
+	SpillRebuilds  atomic.Int64 // spill runs rebuilt after failing integrity checks
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -114,6 +115,7 @@ type Snapshot struct {
 	StatsObserved                 int64
 	ReoptPoints                   int64
 	SpillRows, SpillBytes         int64
+	SpillRebuilds                 int64
 }
 
 // Snapshot copies the current counter values.
@@ -129,6 +131,7 @@ func (a *Accounting) Snapshot() Snapshot {
 		StatsObserved: a.StatsObserved.Load(),
 		ReoptPoints:   a.ReoptPoints.Load(),
 		SpillRows:     a.SpillRows.Load(), SpillBytes: a.SpillBytes.Load(),
+		SpillRebuilds: a.SpillRebuilds.Load(),
 	}
 }
 
@@ -145,6 +148,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		StatsObserved: s.StatsObserved - o.StatsObserved,
 		ReoptPoints:   s.ReoptPoints - o.ReoptPoints,
 		SpillRows:     s.SpillRows - o.SpillRows, SpillBytes: s.SpillBytes - o.SpillBytes,
+		SpillRebuilds: s.SpillRebuilds - o.SpillRebuilds,
 	}
 }
 
@@ -168,6 +172,7 @@ func (s Snapshot) String() string {
 	add("statsObserved", s.StatsObserved)
 	add("reoptPoints", s.ReoptPoints)
 	add("spillBytes", s.SpillBytes)
+	add("spillRebuilds", s.SpillRebuilds)
 	if len(parts) == 0 {
 		return "{}"
 	}

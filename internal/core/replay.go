@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -114,6 +115,9 @@ func (rs *runState) replayPlan(e *memo.Entry) (*engine.Result, error) {
 				return nil, rs.abandonReplay(i, "alias %q not in current graph", st.Alias)
 			}
 			if err := rs.executePushDown(st.Alias); err != nil {
+				if errors.Is(err, faults.ErrCorrupt) {
+					return nil, rs.abandonReplay(i, "corrupt spill run during replay: %v", err)
+				}
 				return nil, err
 			}
 		case memo.StageJoin:
@@ -126,6 +130,13 @@ func (rs *runState) replayPlan(e *memo.Entry) (*engine.Result, error) {
 				return nil, err
 			}
 			if err := rs.executeJoinStage(edge, st.ObservedRows, tables, false, st.Algo, st.BuildLeft); err != nil {
+				if errors.Is(err, faults.ErrCorrupt) {
+					// A corrupt spill run that survived the join's rebuild
+					// attempt poisons only this stage: the dynamic loop re-plans
+					// and re-executes from the last intact intermediate instead
+					// of failing the query.
+					return nil, rs.abandonReplay(i, "corrupt spill run during replay: %v", err)
+				}
 				return nil, err
 			}
 		default:
@@ -148,7 +159,11 @@ func (rs *runState) replayPlan(e *memo.Entry) (*engine.Result, error) {
 	if err != nil {
 		return nil, rs.abandonReplay(len(e.Stages), "final job: %v", err)
 	}
-	return rs.executeFinalTree(node, tables)
+	res, err := rs.executeFinalTree(node, tables)
+	if err != nil && errors.Is(err, faults.ErrCorrupt) {
+		return nil, rs.abandonReplay(len(e.Stages), "corrupt spill run during replay: %v", err)
+	}
+	return res, err
 }
 
 // abandonReplay notes why a replay stopped and returns nil: the caller

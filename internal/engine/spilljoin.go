@@ -121,18 +121,53 @@ func (s *chunkSeq) next() (types.Tuple, uint64, int64, error) {
 }
 
 // fileSeq streams a run file, recomputing each row's key prehash (run
-// records store the tuple only).
+// records store the tuple only). At EOF it cross-checks the rows actually
+// decoded against the writer's in-memory count — the footer's consumer-side
+// assertion, independent of anything stored on disk.
 type fileSeq struct {
 	r       *storage.SpillReader
 	keyCols []int
+	expect  int64 // rows the writer sealed (SpillFile.Rows)
+	n       int64 // rows decoded so far
 }
 
 func (s *fileSeq) next() (types.Tuple, uint64, int64, error) {
 	t, err := s.r.Next()
 	if err != nil {
+		if err == io.EOF && s.n != s.expect {
+			return nil, 0, 0, fmt.Errorf("engine: run read back %d rows but the writer appended %d: %w",
+				s.n, s.expect, faults.ErrCorrupt)
+		}
 		return nil, 0, 0, err
 	}
+	s.n++
 	return t, t.HashKeys(s.keyCols), -1, nil
+}
+
+// runSource names where a spilled run's rows came from, so a run found
+// corrupt on read-back can be rebuilt: the in-memory partition at level 0,
+// or the parent level's run file below (still on disk until its own pair
+// completes). A nil *runSource marks a side with no replayable source — the
+// streaming probe, whose chunks were consumed as they arrived.
+type runSource struct {
+	mem     *memSeq
+	file    *storage.SpillFile
+	keyCols []int
+}
+
+// open returns a fresh pass over the source, plus a close func for
+// file-backed sources.
+func (s *runSource) open() (rowSeq, func() error, error) {
+	if s.file != nil {
+		r, err := s.file.Reader()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &fileSeq{r: r, keyCols: s.keyCols, expect: s.file.Rows()}, r.Close, nil
+	}
+	cp := *s.mem
+	cp.i = 0
+	return &cp, nil, nil
 }
 
 // spillJoin carries one partition's join through its recursion levels.
@@ -211,7 +246,10 @@ func spillJoinPartition(ctx *Context, p int, outWidth int,
 		ctx: ctx, acct: acct, grant: gr, part: p, budget: budget,
 		bCols: bCols, pCols: pCols, buildFirst: buildFirst,
 	}
-	err := j.run(0, &memSeq{rows: bRows, hashes: bHash, sizes: bSize}, &memSeq{rows: pRows, hashes: pHash})
+	build := &memSeq{rows: bRows, hashes: bHash, sizes: bSize}
+	probe := &memSeq{rows: pRows, hashes: pHash}
+	err := j.run(0, build, probe,
+		&runSource{mem: build}, &runSource{mem: probe})
 	return j.out, err
 }
 
@@ -255,14 +293,20 @@ func spillJoinPartitionStream(ctx *Context, p int,
 		bCols: bCols, pCols: pCols, buildFirst: buildFirst,
 		emit: func(rows []types.Tuple) error { return sink.Emit(p, rows) },
 	}
-	if err := j.run(0, &memSeq{rows: bRows, hashes: bHash, sizes: bSize}, &chunkSeq{st: probe}); err != nil {
+	build := &memSeq{rows: bRows, hashes: bHash, sizes: bSize}
+	// The streaming probe has no replayable source (chunks are consumed as
+	// they arrive), so a corrupt probe run at level 0 fails classified
+	// rather than rebuilding; the build side recovers as usual.
+	if err := j.run(0, build, &chunkSeq{st: probe}, &runSource{mem: build}, nil); err != nil {
 		return err
 	}
 	return j.flush()
 }
 
-// run executes one recursion level of the dynamic hybrid hash join.
-func (j *spillJoin) run(level int, build, probe rowSeq) error {
+// run executes one recursion level of the dynamic hybrid hash join. bSrc
+// and pSrc name where the build/probe rows came from, for rebuilding a run
+// found corrupt on read-back (nil: that side is not replayable).
+func (j *spillJoin) run(level int, build, probe rowSeq, bSrc, pSrc *runSource) error {
 	if err := j.ctx.Err(); err != nil {
 		return err
 	}
@@ -480,6 +524,11 @@ func (j *spillJoin) run(level int, build, probe rowSeq) error {
 	}
 
 	// Recursive pass: join every spilled (build, probe) pair on read-back.
+	// Each run is verified (checksums, footer seal, row counts) before its
+	// pair is joined; a corrupt run is rebuilt once from its source — the
+	// verify-then-join order matters, because corruption discovered mid-join
+	// could not be retried without duplicating rows already streamed to the
+	// sink.
 	for s := 0; s < spillFanout; s++ {
 		if bFile[s] == nil {
 			continue
@@ -498,6 +547,12 @@ func (j *spillJoin) run(level int, build, probe rowSeq) error {
 				}
 			}
 			continue
+		}
+		if err := j.ensureIntact(level, s, "build", &bFile[s], bSrc); err != nil {
+			return err
+		}
+		if err := j.ensureIntact(level, s, "probe", &pFile[s], pSrc); err != nil {
+			return err
 		}
 		if err := j.joinSpilledPair(level, bFile[s], pFile[s]); err != nil {
 			return err
@@ -529,12 +584,101 @@ func (j *spillJoin) joinSpilledPair(level int, bf, pf *storage.SpillFile) error 
 		return err
 	}
 	defer pr.Close()
-	build := &fileSeq{r: br, keyCols: j.bCols}
-	probe := &fileSeq{r: pr, keyCols: j.pCols}
+	build := &fileSeq{r: br, keyCols: j.bCols, expect: bf.Rows()}
+	probe := &fileSeq{r: pr, keyCols: j.pCols, expect: pf.Rows()}
 	if bf.Bytes() <= j.budget {
 		return j.inMemory(build, probe)
 	}
-	return j.run(level+1, build, probe)
+	// One level deeper: the pair's own run files (still on disk until this
+	// call returns) are the rebuild sources for the child level.
+	return j.run(level+1, build, probe,
+		&runSource{file: bf, keyCols: j.bCols},
+		&runSource{file: pf, keyCols: j.pCols})
+}
+
+// ensureIntact verifies one sealed run end to end before its pair is
+// joined, rebuilding it once from src when corrupt. *f is replaced by the
+// rebuilt file (the corrupt original is unlinked); the rebuild is metered
+// as SpillRebuilds. Failure is classified: corruption with no replayable
+// source, a failed rebuild, or corruption recurring on the rebuilt run all
+// surface wrapped in faults.ErrCorrupt — never a silent short read.
+func (j *spillJoin) ensureIntact(level, sub int, side string, f **storage.SpillFile, src *runSource) error {
+	err := (*f).Verify()
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, faults.ErrCorrupt) {
+		return err // device failure on the verify read, not damage
+	}
+	if src == nil {
+		return fmt.Errorf("engine: corrupt %s run with no replayable source: %w", side, err)
+	}
+	nf, rerr := j.rebuildRun(level, sub, side, src)
+	if rerr != nil {
+		return fmt.Errorf("engine: rebuilding corrupt %s run: %w (%w)", side, rerr, faults.ErrCorrupt)
+	}
+	if verr := nf.Verify(); verr != nil {
+		_ = nf.Remove()
+		return fmt.Errorf("engine: corruption recurred on the rebuilt %s run: %w", side, verr)
+	}
+	if err := (*f).Remove(); err != nil {
+		_ = nf.Remove()
+		return err
+	}
+	*f = nf
+	j.acct.SpillRebuilds.Add(1)
+	return nil
+}
+
+// rebuildRun reproduces one sub-partition's run from its source: a full
+// pass over the source rows, keeping exactly the ones this level's hash
+// scatters into sub. The original run was written in arrival order by the
+// same filter, so the rebuilt run is row-identical to what the corrupt file
+// held before the damage.
+func (j *spillJoin) rebuildRun(level, sub int, side string, src *runSource) (*storage.SpillFile, error) {
+	seq, cls, err := src.open()
+	if err != nil {
+		return nil, err
+	}
+	if cls != nil {
+		defer cls() //nolint:errcheck // read handle; the data was already consumed
+	}
+	f, err := j.ctx.Spill.Create(fmt.Sprintf("p%d_l%d_s%d_%s_rb", j.part, level, sub, side))
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for {
+		t, h, _, err := seq.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			_ = f.Remove()
+			return nil, err
+		}
+		if n++; n&0xfff == 0 {
+			if err := j.ctx.Err(); err != nil {
+				_ = f.Remove()
+				return nil, err
+			}
+		}
+		if spillSub(h, level) != sub {
+			continue
+		}
+		if err := f.Append(t); err != nil {
+			_ = f.Remove()
+			return nil, err
+		}
+	}
+	nb, err := f.Finish()
+	if err != nil {
+		_ = f.Remove()
+		return nil, err
+	}
+	j.acct.SpillBytes.Add(nb)
+	j.acct.SpillRows.Add(f.Rows())
+	return f, nil
 }
 
 // inMemory joins a (build, probe) pair with the whole build side resident:

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"errors"
 	"os"
 	"sort"
 	"testing"
 
+	"dynopt/internal/cluster"
+	"dynopt/internal/faults"
 	"dynopt/internal/storage"
 )
 
@@ -289,5 +292,87 @@ func TestRealSpillGovernorPressureSheds(t *testing.T) {
 	}
 	if sm.BytesWritten() == 0 {
 		t.Error("governor pressure did not push the join to disk")
+	}
+}
+
+// corruptSpillJoin runs the 1/8-budget spilling join with a corruption rule
+// armed on spill.corrupt, returning the sorted output rows, the counter
+// delta, and the join error.
+func corruptSpillJoin(t *testing.T, rule faults.Rule) ([]string, cluster.Snapshot, error) {
+	t.Helper()
+	ctx := testCtx(t, 2)
+	register(t, ctx, "fact", []string{"id"}, []string{"id", "k", "pay"}, seqTable(20000, 499))
+	register(t, ctx, "dim", []string{"id"}, []string{"id", "k", "pay"}, seqTable(1000, 499))
+	f, err := ScanByName(ctx, "fact", "f", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ScanByName(ctx, "dim", "d", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildDS, _ := ctx.Catalog.Get("fact")
+	ctx.Cluster.SetMemoryPerNodeBytes(buildDS.ByteSize() / 2 / 8)
+	sm, _ := realSpillCtx(t, ctx)
+	reg := faults.New(0xC0FFEE)
+	reg.Arm(rule)
+	ctx.Faults = reg
+	sm.Faults = reg
+
+	before := ctx.Cluster.Acct().Snapshot()
+	rel, err := HashJoin(ctx, f, d, joinKeys("f", "k"), joinKeys("d", "k"), true)
+	delta := ctx.Cluster.Acct().Snapshot().Sub(before)
+	if err != nil {
+		return nil, delta, err
+	}
+	return sortedRows(rel), delta, nil
+}
+
+// TestSpillCorruptionRebuildsRun: one injected corruption (any kind) is
+// healed by rebuilding the damaged run from its still-resident source — the
+// join's rows are byte-identical to the clean run's, with the rebuild
+// metered.
+func TestSpillCorruptionRebuildsRun(t *testing.T) {
+	clean, cleanDelta, err := corruptSpillJoin(t, faults.Rule{Point: "spill.corrupt", Corrupt: faults.CorruptNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanDelta.SpillBytes == 0 {
+		t.Fatal("reference join did not spill")
+	}
+	if cleanDelta.SpillRebuilds != 0 {
+		t.Fatalf("reference join rebuilt %d runs", cleanDelta.SpillRebuilds)
+	}
+	for _, tc := range []struct {
+		name string
+		kind faults.CorruptKind
+	}{
+		{"flip-bit", faults.CorruptFlipBit},
+		{"truncate-tail", faults.CorruptTruncateTail},
+		{"torn-write", faults.CorruptTornWrite},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, delta, err := corruptSpillJoin(t, faults.Rule{Point: "spill.corrupt", OneShot: true, Corrupt: tc.kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if delta.SpillRebuilds < 1 {
+				t.Errorf("no rebuild metered: %+v", delta)
+			}
+			rowsEqual(t, rows, clean)
+		})
+	}
+}
+
+// TestSpillCorruptionRecursFailsClassified: corruption striking every
+// read-back (EveryN:1) damages the rebuilt run too; the join must fail
+// classified ErrCorrupt, never return short or wrong rows.
+func TestSpillCorruptionRecursFailsClassified(t *testing.T) {
+	_, _, err := corruptSpillJoin(t, faults.Rule{Point: "spill.corrupt", EveryN: 1, Corrupt: faults.CorruptFlipBit})
+	if err == nil {
+		t.Fatal("recurring corruption joined without error")
+	}
+	if !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("recurring corruption classified %v, want ErrCorrupt", err)
 	}
 }

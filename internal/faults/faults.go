@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -34,6 +35,16 @@ var (
 	// ErrSpillIO marks run-file I/O failures — create, append, flush, seal,
 	// read-back, or unlink of a spill file.
 	ErrSpillIO = fmt.Errorf("spill I/O failure (%w)", ErrTransient)
+	// ErrCorrupt marks spill data that failed integrity verification on
+	// read-back: a block or footer checksum mismatch, bad framing,
+	// truncation, or counts disagreeing with the run's seal. It wraps
+	// ErrTransient because the damage is confined to swept per-query state —
+	// a retry rewrites the runs from source data.
+	ErrCorrupt = fmt.Errorf("spill data corruption (%w)", ErrTransient)
+	// ErrDiskFull marks spill writes refused by a full device (ENOSPC or a
+	// short write). It wraps ErrSpillIO so the spill-failure degradation
+	// ladder (resident build, then classified failure) applies unchanged.
+	ErrDiskFull = fmt.Errorf("spill device full (%w)", ErrSpillIO)
 	// ErrAdmission marks a query that gave up while queued for an admission
 	// slot: its context was cancelled or its timeout expired before a slot
 	// opened. The query never started, so nothing was executed.
@@ -120,7 +131,26 @@ type Rule struct {
 	// Benign makes a firing report no error: the rule only stalls (and
 	// counts). Meaningless combined with Panic.
 	Benign bool
+	// Corrupt selects the on-disk mutation MutateFile applies when the rule
+	// fires. Only MutateFile consults it; Fire/Trip sites ignore it.
+	Corrupt CorruptKind
 }
+
+// CorruptKind selects how MutateFile damages a sealed run file: the three
+// corruption shapes real storage produces — a flipped bit (media/DMA error),
+// a truncated tail (lost append), and a torn write (zeroed tail page).
+type CorruptKind int
+
+const (
+	CorruptNone CorruptKind = iota
+	// CorruptFlipBit flips one deterministic bit somewhere in the file.
+	CorruptFlipBit
+	// CorruptTruncateTail truncates 1..128 bytes off the end of the file.
+	CorruptTruncateTail
+	// CorruptTornWrite zeroes the last 1..128 bytes in place, as if the
+	// final page made it to disk only partially.
+	CorruptTornWrite
+)
 
 // Registry is a set of armed rules keyed by injection point, with
 // deterministic seeded triggers. The zero of interest is the nil *Registry:
@@ -241,6 +271,70 @@ func (r *Registry) Fire(point string) error {
 		return nil
 	}
 	return err
+}
+
+// MutateFile is the corruption-injection entry point: it evaluates the
+// point's trigger and, when the rule fires with a Corrupt kind set, damages
+// the file at path in place — flipping one bit, truncating the tail, or
+// zeroing the tail like a torn write. The damage site and size draw from the
+// registry's seeded PRNG, so a corruption scenario replays identically from
+// its seed. A nil registry, an unarmed point, a non-firing trigger, a rule
+// without a Corrupt kind, or an empty file are all no-ops; the returned
+// error reports only mutation I/O failures (the corruption itself is meant
+// to be discovered later, by the reader's checksums).
+func (r *Registry) MutateFile(point, path string) error {
+	if r == nil {
+		return nil
+	}
+	rule, ok := r.hit(point)
+	if !ok || rule.Corrupt == CorruptNone {
+		return nil
+	}
+	if rule.Stall > 0 {
+		time.Sleep(rule.Stall)
+	}
+	r.mu.Lock()
+	draw := r.rng.Int63()
+	r.mu.Unlock()
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("faults: mutate %q: %w", point, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("faults: mutate %q: %w", point, err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	tail := 1 + draw%128
+	if tail > size {
+		tail = size
+	}
+	switch rule.Corrupt {
+	case CorruptFlipBit:
+		off := draw % size
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			return fmt.Errorf("faults: mutate %q: %w", point, err)
+		}
+		b[0] ^= 1 << (draw % 8)
+		if _, err := f.WriteAt(b[:], off); err != nil {
+			return fmt.Errorf("faults: mutate %q: %w", point, err)
+		}
+	case CorruptTruncateTail:
+		if err := f.Truncate(size - tail); err != nil {
+			return fmt.Errorf("faults: mutate %q: %w", point, err)
+		}
+	case CorruptTornWrite:
+		if _, err := f.WriteAt(make([]byte, tail), size-tail); err != nil {
+			return fmt.Errorf("faults: mutate %q: %w", point, err)
+		}
+	}
+	return nil
 }
 
 // Trip is Fire for forced-denial sites (governor pressure, capacity

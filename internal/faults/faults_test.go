@@ -1,7 +1,11 @@
 package faults
 
 import (
+	"bytes"
 	"errors"
+	"math/bits"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -206,5 +210,153 @@ func TestKnownAndNames(t *testing.T) {
 		if !Known(n) {
 			t.Fatalf("Names returned unknown point %q", n)
 		}
+	}
+}
+
+// mutateFixture writes a file of distinctive bytes and returns its path.
+func mutateFixture(t *testing.T, size int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run")
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fileBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestMutateFileKinds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind CorruptKind
+	}{
+		{"flip-bit", CorruptFlipBit},
+		{"truncate-tail", CorruptTruncateTail},
+		{"torn-write", CorruptTornWrite},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := mutateFixture(t, 4096)
+			before := fileBytes(t, path)
+			r := New(42)
+			r.Arm(Rule{Point: "spill.corrupt", EveryN: 1, Corrupt: tc.kind})
+			if err := r.MutateFile(Point("spill.corrupt"), path); err != nil {
+				t.Fatal(err)
+			}
+			after := fileBytes(t, path)
+			if bytes.Equal(before, after) {
+				t.Fatal("mutation left the file unchanged")
+			}
+			if r.Fired("spill.corrupt") != 1 {
+				t.Errorf("fired = %d", r.Fired("spill.corrupt"))
+			}
+			switch tc.kind {
+			case CorruptFlipBit:
+				if len(after) != len(before) {
+					t.Errorf("flip-bit changed the size: %d -> %d", len(before), len(after))
+				}
+				diff := 0
+				for i := range before {
+					diff += bits.OnesCount8(before[i] ^ after[i])
+				}
+				if diff != 1 {
+					t.Errorf("flip-bit flipped %d bits", diff)
+				}
+			case CorruptTruncateTail:
+				if len(after) >= len(before) || !bytes.Equal(before[:len(after)], after) {
+					t.Error("truncate-tail did not cleanly shorten the file")
+				}
+			case CorruptTornWrite:
+				if len(after) != len(before) {
+					t.Errorf("torn-write changed the size: %d -> %d", len(before), len(after))
+				}
+				z := 0
+				for z < len(after) && after[len(after)-1-z] == 0 {
+					z++
+				}
+				if z == 0 || !bytes.Equal(before[:len(before)-z], after[:len(after)-z]) {
+					t.Error("torn-write did not zero only the tail")
+				}
+			}
+		})
+	}
+}
+
+// TestMutateFileDeterministic: the same seed damages the same site.
+func TestMutateFileDeterministic(t *testing.T) {
+	var snaps [][]byte
+	for i := 0; i < 2; i++ {
+		path := mutateFixture(t, 4096)
+		r := New(7)
+		r.Arm(Rule{Point: "spill.corrupt", EveryN: 1, Corrupt: CorruptFlipBit})
+		if err := r.MutateFile(Point("spill.corrupt"), path); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, fileBytes(t, path))
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Error("same seed produced different mutations")
+	}
+}
+
+// TestMutateFileNoOps: nil registry, unarmed point, a rule without a
+// Corrupt kind, and an empty file all leave the file alone.
+func TestMutateFileNoOps(t *testing.T) {
+	path := mutateFixture(t, 128)
+	before := fileBytes(t, path)
+	var nilReg *Registry
+	if err := nilReg.MutateFile(Point("spill.corrupt"), path); err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	if err := r.MutateFile(Point("spill.corrupt"), path); err != nil {
+		t.Fatal(err)
+	}
+	r.Arm(Rule{Point: "spill.corrupt", EveryN: 1}) // no Corrupt kind
+	if err := r.MutateFile(Point("spill.corrupt"), path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, fileBytes(t, path)) {
+		t.Error("a no-op case touched the file")
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r.Arm(Rule{Point: "spill.corrupt", EveryN: 1, Corrupt: CorruptTruncateTail})
+	if err := r.MutateFile(Point("spill.corrupt"), empty); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutateFileOneShot: a one-shot corruption rule fires exactly once, so
+// the rebuilt run comes back clean.
+func TestMutateFileOneShot(t *testing.T) {
+	path := mutateFixture(t, 1024)
+	before := fileBytes(t, path)
+	r := New(3)
+	r.Arm(Rule{Point: "spill.corrupt", OneShot: true, Corrupt: CorruptTornWrite})
+	if err := r.MutateFile(Point("spill.corrupt"), path); err != nil {
+		t.Fatal(err)
+	}
+	first := fileBytes(t, path)
+	if bytes.Equal(before, first) {
+		t.Fatal("one-shot rule did not fire")
+	}
+	if err := r.MutateFile(Point("spill.corrupt"), path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, fileBytes(t, path)) {
+		t.Error("one-shot rule fired twice")
 	}
 }

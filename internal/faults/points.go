@@ -11,6 +11,9 @@ var points = map[string]string{
 	"spill.finish":     "storage: flushing and sealing a run file",
 	"spill.read":       "storage: opening a finished run for read-back",
 	"spill.remove":     "storage: unlinking a consumed run file",
+	"spill.corrupt": "storage: mutating a sealed run file before read-back " +
+		"(corruption injection via Rule.Corrupt)",
+	"spill.sync":       "storage: fsyncing a sealed run file (Config.SpillSync)",
 	"governor.reserve": "cluster: memory grant reservation (fired = denied)",
 	"governor.collapse": "cluster: capacity collapse — Capacity() reports " +
 		"1 byte while armed",

@@ -8,6 +8,9 @@ func use(r *faults.Registry) error {
 	if err := r.Fire(faults.Point("spill.append")); err != nil { // registered: fine
 		return err
 	}
+	if err := r.Fire(faults.Point("spill.corrupt")); err != nil { // registered (corruption injection): fine
+		return err
+	}
 	if err := r.Fire(faults.Point("spill.appnd")); err != nil { // want `not in the internal/faults point table`
 		return err
 	}

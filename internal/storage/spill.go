@@ -1,14 +1,30 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"dynopt/internal/faults"
 	"dynopt/internal/types"
 )
+
+// classifySpill wraps a spill I/O failure with its taxonomy class: ENOSPC
+// and short writes become faults.ErrDiskFull (which itself wraps ErrSpillIO,
+// so the spill degradation ladder still applies), everything else plain
+// ErrSpillIO. Injected errors flow through the same classification — a rule
+// armed with Err: syscall.ENOSPC exercises the disk-full path end to end.
+func classifySpill(op string, err error) error {
+	class := faults.ErrSpillIO
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, io.ErrShortWrite) {
+		class = faults.ErrDiskFull
+	}
+	return fmt.Errorf("storage: %s: %w: %w", op, class, err)
+}
 
 // SpillManager owns one query's run files: the on-disk overflow partitions
 // of the dynamic hybrid hash join. It mirrors the catalog's per-query temp
@@ -29,6 +45,11 @@ type SpillManager struct {
 	// mid-query. All injected and real I/O errors surface wrapped in
 	// faults.ErrSpillIO so the join can degrade and the server can retry.
 	Faults *faults.Registry
+
+	// Sync makes Finish fsync each sealed run (Config.SpillSync): the
+	// durability knob for spill devices with volatile write caches, off by
+	// default because run files never outlive their query.
+	Sync bool
 
 	mu      sync.Mutex
 	dir     string // created lazily by the first Create
@@ -62,17 +83,17 @@ func (m *SpillManager) BytesWritten() int64 {
 // debugging (partition/level/sub-partition of the join that spilled it).
 func (m *SpillManager) Create(label string) (*SpillFile, error) {
 	if err := m.Faults.Fire(faults.Point("spill.create")); err != nil {
-		return nil, fmt.Errorf("storage: spill file %q: %w: %w", label, faults.ErrSpillIO, err)
+		return nil, classifySpill(fmt.Sprintf("spill file %q", label), err)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.dir == "" {
 		if err := os.MkdirAll(m.root, 0o755); err != nil {
-			return nil, fmt.Errorf("storage: spill root: %w: %w", faults.ErrSpillIO, err)
+			return nil, classifySpill("spill root", err)
 		}
 		dir, err := os.MkdirTemp(m.root, "spill_"+m.scope)
 		if err != nil {
-			return nil, fmt.Errorf("storage: spill dir: %w: %w", faults.ErrSpillIO, err)
+			return nil, classifySpill("spill dir", err)
 		}
 		m.dir = dir
 	}
@@ -80,7 +101,7 @@ func (m *SpillManager) Create(label string) (*SpillFile, error) {
 	path := filepath.Join(m.dir, fmt.Sprintf("run%04d_%s", m.seq, label))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("storage: spill file: %w: %w", faults.ErrSpillIO, err)
+		return nil, classifySpill("spill file", err)
 	}
 	sf := &SpillFile{m: m, path: path, f: f, w: types.NewRunWriter(f)}
 	m.open[sf] = struct{}{}
@@ -124,10 +145,10 @@ type SpillFile struct {
 // Append writes one tuple to the run.
 func (s *SpillFile) Append(t types.Tuple) error {
 	if err := s.m.Faults.Fire(faults.Point("spill.append")); err != nil {
-		return fmt.Errorf("storage: spill append: %w: %w", faults.ErrSpillIO, err)
+		return classifySpill("spill append", err)
 	}
 	if err := s.w.Append(t); err != nil {
-		return fmt.Errorf("storage: spill append: %w: %w", faults.ErrSpillIO, err)
+		return classifySpill("spill append", err)
 	}
 	return nil
 }
@@ -135,21 +156,33 @@ func (s *SpillFile) Append(t types.Tuple) error {
 // Rows returns the number of tuples appended so far.
 func (s *SpillFile) Rows() int64 { return s.w.Rows() }
 
-// Finish flushes and closes the write side, returning the file's actual
-// on-disk byte size — the figure spill accounting charges.
+// Finish flushes the last block, seals the run with its checksummed footer
+// (fsyncing it when the manager's Sync knob is set), and closes the write
+// side, returning the file's actual on-disk byte size — the figure spill
+// accounting charges.
 func (s *SpillFile) Finish() (int64, error) {
 	if err := s.m.Faults.Fire(faults.Point("spill.finish")); err != nil {
 		_ = s.close()
-		return 0, fmt.Errorf("storage: spill finish: %w: %w", faults.ErrSpillIO, err)
+		return 0, classifySpill("spill finish", err)
 	}
-	if err := s.w.Flush(); err != nil {
-		_ = s.close() // already failing; the Flush error is the one to report
-		return 0, fmt.Errorf("storage: spill flush: %w: %w", faults.ErrSpillIO, err)
+	if err := s.w.Finish(); err != nil {
+		_ = s.close() // already failing; the seal error is the one to report
+		return 0, classifySpill("spill seal", err)
+	}
+	if s.m.Sync {
+		if err := s.m.Faults.Fire(faults.Point("spill.sync")); err != nil {
+			_ = s.close()
+			return 0, classifySpill("spill sync", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			_ = s.close()
+			return 0, classifySpill("spill sync", err)
+		}
 	}
 	info, err := s.f.Stat()
 	if err != nil {
 		_ = s.close() // already failing; the Stat error is the one to report
-		return 0, fmt.Errorf("storage: spill stat: %w: %w", faults.ErrSpillIO, err)
+		return 0, classifySpill("spill stat", err)
 	}
 	s.bytes = info.Size()
 	if err := s.close(); err != nil {
@@ -178,16 +211,43 @@ func (s *SpillFile) close() error {
 	return f.Close()
 }
 
-// Reader opens the finished run for sequential read-back.
+// Reader opens the finished run for sequential read-back. The spill.corrupt
+// injection point mutates the sealed file in place first (bit flip,
+// truncated tail, torn write — see faults.CorruptKind), modelling damage
+// that happened at rest; the reader's checksums are what must catch it.
 func (s *SpillFile) Reader() (*SpillReader, error) {
 	if err := s.m.Faults.Fire(faults.Point("spill.read")); err != nil {
-		return nil, fmt.Errorf("storage: spill read: %w: %w", faults.ErrSpillIO, err)
+		return nil, classifySpill("spill read", err)
+	}
+	if err := s.m.Faults.MutateFile(faults.Point("spill.corrupt"), s.path); err != nil {
+		return nil, classifySpill("spill corrupt", err)
 	}
 	f, err := os.Open(s.path)
 	if err != nil {
-		return nil, fmt.Errorf("storage: spill read: %w: %w", faults.ErrSpillIO, err)
+		return nil, classifySpill("spill read", err)
 	}
 	return &SpillReader{f: f, r: types.NewRunReader(f)}, nil
+}
+
+// Verify checks the sealed run end to end without decoding tuples: every
+// block checksum, the footer seal, and — belt and suspenders on top of the
+// footer — the writer's own row count against the records on disk. A nil
+// return means read-back will reproduce exactly the rows that were
+// appended; damage returns an error classified faults.ErrCorrupt.
+func (s *SpillFile) Verify() error {
+	r, err := s.Reader()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if err := r.r.Verify(); err != nil {
+		return err
+	}
+	if got, want := r.r.Rows(), s.w.Rows(); got != want {
+		return fmt.Errorf("storage: run %s holds %d rows but the writer appended %d: %w",
+			filepath.Base(s.path), got, want, faults.ErrCorrupt)
+	}
+	return nil
 }
 
 // Remove deletes the run file from disk (after its sub-join consumed it).
@@ -195,11 +255,11 @@ func (s *SpillFile) Reader() (*SpillReader, error) {
 // unlink is attempted — removal is the caller's primary intent.
 func (s *SpillFile) Remove() error {
 	if err := s.m.Faults.Fire(faults.Point("spill.remove")); err != nil {
-		return fmt.Errorf("storage: spill remove: %w: %w", faults.ErrSpillIO, err)
+		return classifySpill("spill remove", err)
 	}
 	cerr := s.close()
 	if err := os.Remove(s.path); err != nil {
-		return fmt.Errorf("storage: spill remove: %w: %w", faults.ErrSpillIO, err)
+		return classifySpill("spill remove", err)
 	}
 	return cerr
 }

@@ -1,12 +1,15 @@
 package storage
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 	"testing"
 
+	"dynopt/internal/faults"
 	"dynopt/internal/types"
 )
 
@@ -181,3 +184,153 @@ func TestSpillManagerConcurrentCreate(t *testing.T) {
 
 // sfPath exposes the file path for the stat cross-check above.
 func sfPath(s *SpillFile) string { return s.path }
+
+// sealedRun writes and seals a 200-row run under the manager.
+func sealedRun(t *testing.T, m *SpillManager) *SpillFile {
+	t.Helper()
+	sf, err := m.Create("verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := sf.Append(types.Tuple{types.Int(int64(i)), types.Str("verified-row")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sf.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return sf
+}
+
+func TestSpillFileVerify(t *testing.T) {
+	m := NewSpillManager(t.TempDir(), "q6_")
+	sf := sealedRun(t, m)
+	if err := sf.Verify(); err != nil {
+		t.Fatalf("verify of an intact run: %v", err)
+	}
+	// Damage one byte in place: Verify must classify it as corruption.
+	f, err := os.OpenFile(sfPath(sf), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := sf.Verify(); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("verify of a damaged run: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSpillCorruptInjection drives each corruption kind through the
+// spill.corrupt point: the mutation lands when Reader opens the file, and
+// read-back detects it as ErrCorrupt — never a clean short read.
+func TestSpillCorruptInjection(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind faults.CorruptKind
+	}{
+		{"flip-bit", faults.CorruptFlipBit},
+		{"truncate-tail", faults.CorruptTruncateTail},
+		{"torn-write", faults.CorruptTornWrite},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewSpillManager(t.TempDir(), "q7_")
+			m.Faults = faults.New(11)
+			sf := sealedRun(t, m)
+			m.Faults.Arm(faults.Rule{Point: "spill.corrupt", OneShot: true, Corrupt: tc.kind})
+			err := sf.Verify()
+			if !errors.Is(err, faults.ErrCorrupt) {
+				t.Fatalf("injected %s not detected: %v", tc.name, err)
+			}
+			if m.Faults.Fired("spill.corrupt") != 1 {
+				t.Errorf("fired = %d", m.Faults.Fired("spill.corrupt"))
+			}
+		})
+	}
+}
+
+// TestSpillWriterRowsCrossCheck covers the belt-and-suspenders half of
+// Verify: a forged-but-internally-consistent file that disagrees with the
+// writer's own row count is corrupt even though its checksums pass.
+func TestSpillWriterRowsCrossCheck(t *testing.T) {
+	m := NewSpillManager(t.TempDir(), "q8_")
+	sf := sealedRun(t, m)
+	other := NewSpillManager(t.TempDir(), "q8b_")
+	of, err := other.Create("forged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := of.Append(types.Tuple{types.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := of.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Splice the 1-row file (valid checksums, valid footer) over the
+	// 200-row run's path.
+	forged, err := os.ReadFile(sfPath(of))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sfPath(sf), forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Verify(); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("forged run passed Verify: %v", err)
+	}
+}
+
+// TestSpillClassifyDiskFull: injected ENOSPC and genuine short writes both
+// classify as ErrDiskFull (which wraps ErrSpillIO, so the degradation
+// ladder still sees a spill failure).
+func TestSpillClassifyDiskFull(t *testing.T) {
+	m := NewSpillManager(t.TempDir(), "q9_")
+	m.Faults = faults.New(1)
+	m.Faults.Arm(faults.Rule{Point: "spill.append", OneShot: true, Err: syscall.ENOSPC})
+	sf, err := m.Create("full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sf.Append(types.Tuple{types.Int(1)})
+	if !errors.Is(err, faults.ErrDiskFull) || !errors.Is(err, faults.ErrSpillIO) {
+		t.Errorf("ENOSPC append classified %v, want ErrDiskFull wrapping ErrSpillIO", err)
+	}
+	if err := classifySpill("x", io.ErrShortWrite); !errors.Is(err, faults.ErrDiskFull) {
+		t.Errorf("short write classified %v, want ErrDiskFull", err)
+	}
+	if err := classifySpill("x", os.ErrPermission); errors.Is(err, faults.ErrDiskFull) || !errors.Is(err, faults.ErrSpillIO) {
+		t.Errorf("permission error classified %v, want plain ErrSpillIO", err)
+	}
+}
+
+// TestSpillSyncKnob: with Sync set, Finish fsyncs through the spill.sync
+// point (observable via its fired count) and still seals a readable run.
+func TestSpillSyncKnob(t *testing.T) {
+	m := NewSpillManager(t.TempDir(), "q10_")
+	m.Faults = faults.New(1)
+	m.Sync = true
+	sf := sealedRun(t, m)
+	if got := m.Faults.Fired("spill.sync"); got != 0 {
+		// No rule armed: the point must not fire, only be passed through.
+		t.Errorf("unarmed spill.sync fired %d times", got)
+	}
+	if err := sf.Verify(); err != nil {
+		t.Fatalf("verify after synced finish: %v", err)
+	}
+	m2 := NewSpillManager(t.TempDir(), "q11_")
+	m2.Faults = faults.New(1)
+	m2.Sync = true
+	m2.Faults.Arm(faults.Rule{Point: "spill.sync", EveryN: 1})
+	sf2, err := m2.Create("sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sf2.Append(types.Tuple{types.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf2.Finish(); !errors.Is(err, faults.ErrSpillIO) {
+		t.Errorf("faulted sync classified %v, want ErrSpillIO", err)
+	}
+}

@@ -3,7 +3,10 @@ package types
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+
+	"dynopt/internal/faults"
 )
 
 // Binary tuple codec backing the run files of the real spill path. The
@@ -15,6 +18,60 @@ import (
 // prices a string as 1+len, which is not self-delimiting). Encoded tuples
 // are therefore a few bytes wider than their EncodedSize; spill metering
 // charges the actual bytes written, framing included.
+//
+// Run-file format. Records never hit the device bare: every RunWriter flush
+// emits one self-verifying block, and Finish seals the file with a footer,
+// so a reader can prove end to end that the bytes coming off disk are the
+// bytes that went in:
+//
+//	file   = block* footer
+//	block  = len u32le (1..maxBlockBytes) | crc u32le | payload (len bytes)
+//	record = uvarint payload length | EncodeTuple payload   (within a block)
+//	footer = 0 u32le | crc u32le | magic [8]byte | rows u64le |
+//	         payloadBytes u64le | fileCRC u32le
+//
+// The crc of each block is CRC32-C of its payload; the footer is framed as
+// the zero-length block, its crc covering the 24 footer payload bytes, with
+// fileCRC a running CRC32-C over every block payload in file order. Records
+// never span blocks (a flush always writes whole records), so one verified
+// block is decodable in isolation. Every failure mode is detected, not
+// silent: a bit flip fails a block or footer CRC, truncation at any offset —
+// including a clean record or block boundary — leaves the footer missing or
+// short, and a file with a valid footer must account for exactly the rows
+// and payload bytes the writer sealed. All such failures carry
+// faults.ErrCorrupt.
+
+// MaxRecordBytes bounds one encoded record (tuple plus framing). The writer
+// refuses larger appends; the reader classifies larger record or string
+// lengths as corruption instead of allocating attacker-controlled amounts —
+// a corrupt length prefix cannot OOM the server.
+const MaxRecordBytes = 16 << 20
+
+// runWriterBufSize is the flush threshold of RunWriter's internal buffer:
+// the target block payload size. Checksumming rides the flush path, once per
+// block, never per row.
+const runWriterBufSize = 64 << 10
+
+// maxBlockBytes bounds one block's payload: buffered records stay below the
+// flush threshold, plus the one record that crossed it.
+const maxBlockBytes = runWriterBufSize + MaxRecordBytes + 16
+
+const (
+	blockHeaderLen   = 8  // len u32le + crc u32le
+	footerPayloadLen = 28 // magic(8) + rows(8) + payloadBytes(8) + fileCRC(4)
+)
+
+// runMagic seals the footer of a finished run file.
+var runMagic = [8]byte{'D', 'Y', 'N', 'R', 'U', 'N', '1', 0}
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// corruptf builds a corruption error carrying the faults.ErrCorrupt
+// sentinel, so storage and engine layers classify with errors.Is.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("types: "+format+": %w", append(args, faults.ErrCorrupt)...)
+}
 
 // EncodeTuple appends the binary encoding of t to dst and returns the
 // extended slice. The encoding round-trips through DecodeTuple for every
@@ -49,19 +106,21 @@ func EncodeTuple(dst []byte, t Tuple) []byte {
 
 // DecodeTuple decodes one tuple from the front of src, returning the tuple
 // and the number of bytes consumed. String payloads are copied, so the
-// returned tuple does not alias src.
+// returned tuple does not alias src. Malformed input — truncation, unknown
+// tags, or lengths beyond MaxRecordBytes — returns an error classified
+// faults.ErrCorrupt; allocation is always bounded by the input length.
 func DecodeTuple(src []byte) (Tuple, int, error) {
 	n, off := binary.Uvarint(src)
 	if off <= 0 {
-		return nil, 0, fmt.Errorf("types: decode tuple: bad column count")
+		return nil, 0, corruptf("decode tuple: bad column count")
 	}
 	if n > uint64(len(src)) { // cheap sanity bound: ≥1 byte per column
-		return nil, 0, fmt.Errorf("types: decode tuple: column count %d exceeds input", n)
+		return nil, 0, corruptf("decode tuple: column count %d exceeds input", n)
 	}
 	t := make(Tuple, n)
 	for i := range t {
 		if off >= len(src) {
-			return nil, 0, io.ErrUnexpectedEOF
+			return nil, 0, corruptf("decode tuple: truncated at column %d", i)
 		}
 		k := Kind(src[off])
 		off++
@@ -70,109 +129,168 @@ func DecodeTuple(src []byte) (Tuple, int, error) {
 			t[i] = Value{K: KindNull}
 		case KindInt, KindFloat:
 			if off+8 > len(src) {
-				return nil, 0, io.ErrUnexpectedEOF
+				return nil, 0, corruptf("decode tuple: truncated %v payload", k)
 			}
 			t[i] = Value{K: k, num: binary.LittleEndian.Uint64(src[off:])}
 			off += 8
 		case KindString:
 			sl, m := binary.Uvarint(src[off:])
-			if m <= 0 || uint64(len(src)-off-m) < sl {
-				return nil, 0, io.ErrUnexpectedEOF
+			if m <= 0 || sl > MaxRecordBytes {
+				return nil, 0, corruptf("decode tuple: string length %d out of bounds", sl)
+			}
+			if uint64(len(src)-off-m) < sl {
+				return nil, 0, corruptf("decode tuple: truncated string payload")
 			}
 			off += m
 			t[i] = Value{K: KindString, S: string(src[off : off+int(sl)])}
 			off += int(sl)
 		case KindBool:
 			if off >= len(src) {
-				return nil, 0, io.ErrUnexpectedEOF
+				return nil, 0, corruptf("decode tuple: truncated bool payload")
 			}
 			t[i] = Value{K: KindBool, B: src[off] != 0}
 			off++
 		default:
-			return nil, 0, fmt.Errorf("types: decode tuple: unknown kind tag %d", k)
+			return nil, 0, corruptf("decode tuple: unknown kind tag %d", k)
 		}
 	}
 	return t, off, nil
 }
 
-// runWriterBufSize is the flush threshold of RunWriter's internal buffer.
-const runWriterBufSize = 64 << 10
-
-// RunWriter appends encoded tuples to an io.Writer as a sequence of
-// length-prefixed records (uvarint payload length, then the EncodeTuple
-// payload). It is the write half of a spill run file: append-only, buffered,
-// and it counts exactly the bytes it hands to the underlying writer so spill
-// metering can charge actual I/O.
+// RunWriter appends encoded tuples to an io.Writer as checksummed blocks
+// (see the format comment above). It is the write half of a spill run file:
+// append-only, buffered, and it counts exactly the bytes it hands to the
+// underlying writer so spill metering can charge actual I/O. Finish seals
+// the run with the footer; a run without a footer reads back as corrupt by
+// design — an unsealed file is indistinguishable from a truncated one.
 //
 // Not safe for concurrent use; each run file is owned by one partition
 // goroutine.
 type RunWriter struct {
-	w       io.Writer
-	buf     []byte
-	scratch []byte
-	rows    int64
-	bytes   int64
+	w        io.Writer
+	buf      []byte // block under construction; [0:8] reserved for the header
+	scratch  []byte
+	rows     int64
+	bytes    int64  // bytes written through, framing included
+	payload  int64  // block payload bytes written (excludes headers/footer)
+	fileCRC  uint32 // running CRC32-C over all block payloads
+	finished bool
 }
 
 // NewRunWriter returns a writer appending records to w.
 func NewRunWriter(w io.Writer) *RunWriter {
-	return &RunWriter{w: w}
+	return &RunWriter{w: w, buf: make([]byte, blockHeaderLen, blockHeaderLen+4096)}
 }
 
 // Append encodes one tuple into the run.
 func (w *RunWriter) Append(t Tuple) error {
+	if w.finished {
+		return fmt.Errorf("types: append to a finished run")
+	}
 	w.scratch = EncodeTuple(w.scratch[:0], t)
+	if len(w.scratch) > MaxRecordBytes {
+		return fmt.Errorf("types: record of %d bytes exceeds MaxRecordBytes (%d)", len(w.scratch), MaxRecordBytes)
+	}
 	w.buf = binary.AppendUvarint(w.buf, uint64(len(w.scratch)))
 	w.buf = append(w.buf, w.scratch...)
 	w.rows++
-	if len(w.buf) >= runWriterBufSize {
+	if len(w.buf)-blockHeaderLen >= runWriterBufSize {
 		return w.Flush()
 	}
 	return nil
 }
 
-// Flush writes the buffered records through to the underlying writer.
+// Flush seals the buffered records into one checksummed block and writes it
+// through to the underlying writer.
 func (w *RunWriter) Flush() error {
-	if len(w.buf) == 0 {
+	payload := w.buf[blockHeaderLen:]
+	if len(payload) == 0 {
 		return nil
 	}
+	binary.LittleEndian.PutUint32(w.buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:], crc32.Checksum(payload, castagnoli))
 	n, err := w.w.Write(w.buf)
 	w.bytes += int64(n)
-	w.buf = w.buf[:0]
+	if err == nil && n < len(w.buf) {
+		err = io.ErrShortWrite
+	}
+	if err == nil {
+		w.fileCRC = crc32.Update(w.fileCRC, castagnoli, payload)
+		w.payload += int64(len(payload))
+	}
+	w.buf = w.buf[:blockHeaderLen]
 	return err
+}
+
+// Finish flushes the last block and seals the run with the footer: magic,
+// total row count, total payload bytes, and the whole-file checksum. A
+// reader verifies all of it back, so truncation at any boundary — block,
+// record, or mid-byte — is detected, never silent. Idempotent.
+func (w *RunWriter) Finish() error {
+	if w.finished {
+		return nil
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	var ftr [blockHeaderLen + footerPayloadLen]byte
+	// ftr[0:4] stays zero: the footer is framed as the zero-length block.
+	copy(ftr[8:16], runMagic[:])
+	binary.LittleEndian.PutUint64(ftr[16:], uint64(w.rows))
+	binary.LittleEndian.PutUint64(ftr[24:], uint64(w.payload))
+	binary.LittleEndian.PutUint32(ftr[32:], w.fileCRC)
+	binary.LittleEndian.PutUint32(ftr[4:], crc32.Checksum(ftr[8:], castagnoli))
+	n, err := w.w.Write(ftr[:])
+	w.bytes += int64(n)
+	if err == nil && n < len(ftr) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		return err
+	}
+	w.finished = true
+	return nil
 }
 
 // Rows returns the number of tuples appended.
 func (w *RunWriter) Rows() int64 { return w.rows }
 
-// Bytes returns the bytes written through to the underlying writer so far
-// (buffered-but-unflushed records are not counted; call Flush first for the
-// final figure).
+// Bytes returns the bytes written through to the underlying writer so far,
+// block framing and footer included (buffered-but-unflushed records are not
+// counted; call Finish first for the final figure).
 func (w *RunWriter) Bytes() int64 { return w.bytes }
 
-// RunReader streams tuples back out of a run written by RunWriter.
+// RunReader streams tuples back out of a run written by RunWriter, verifying
+// every block checksum before decoding and the footer seal at EOF. Next
+// returns io.EOF only after the footer verified; every other irregularity —
+// checksum mismatch, bad framing, truncation anywhere, trailing garbage,
+// row or byte counts disagreeing with the seal — is an error classified
+// faults.ErrCorrupt.
 type RunReader struct {
 	r       io.Reader
-	buf     []byte
-	off     int // consumed bytes within buf
-	filled  int // valid bytes within buf
-	scratch []byte
-	eof     bool
+	block   []byte // current verified block payload
+	off     int    // consumed bytes within block
+	buf     []byte // backing storage for block
+	rows    int64  // records consumed (or counted, under Verify)
+	payload int64  // payload bytes of verified blocks
+	fileCRC uint32 // running CRC32-C over verified block payloads
+	sealed  bool   // footer verified; subsequent reads return io.EOF
 }
 
 // NewRunReader returns a reader over r.
 func NewRunReader(r io.Reader) *RunReader {
-	return &RunReader{r: r, buf: make([]byte, runWriterBufSize)}
+	return &RunReader{r: r, buf: make([]byte, 0, blockHeaderLen+runWriterBufSize)}
 }
 
-// Next decodes the next tuple, returning io.EOF at a clean end of the run
-// and io.ErrUnexpectedEOF on a truncated record.
+// Next decodes the next tuple, returning io.EOF at the verified end of the
+// run and an ErrCorrupt-classified error for any damage in between.
 func (r *RunReader) Next() (Tuple, error) {
-	n, err := r.readUvarint()
-	if err != nil {
-		return nil, err // io.EOF only at a record boundary
+	for r.off >= len(r.block) {
+		if err := r.loadBlock(); err != nil {
+			return nil, err // io.EOF only after a verified footer
+		}
 	}
-	payload, err := r.take(int(n))
+	payload, err := r.record()
 	if err != nil {
 		return nil, err
 	}
@@ -181,84 +299,131 @@ func (r *RunReader) Next() (Tuple, error) {
 		return nil, err
 	}
 	if used != len(payload) {
-		return nil, fmt.Errorf("types: run record has %d trailing bytes", len(payload)-used)
+		return nil, corruptf("run record has %d trailing bytes", len(payload)-used)
 	}
 	return t, nil
 }
 
-// readUvarint reads the record length prefix byte by byte out of the buffer.
-func (r *RunReader) readUvarint() (uint64, error) {
-	var x uint64
-	var s uint
-	for i := 0; ; i++ {
-		b, err := r.byte()
-		if err != nil {
-			if err == io.EOF && i > 0 {
-				return 0, io.ErrUnexpectedEOF
-			}
-			return 0, err
-		}
-		if b < 0x80 {
-			if i > 9 || i == 9 && b > 1 {
-				return 0, fmt.Errorf("types: run record length overflows uvarint")
-			}
-			return x | uint64(b)<<s, nil
-		}
-		x |= uint64(b&0x7f) << s
-		s += 7
+// record consumes one length-prefixed record from the current block,
+// returning its payload. Records cannot span blocks, so the bounds checks
+// here are against verified in-memory data only.
+func (r *RunReader) record() ([]byte, error) {
+	n, m := binary.Uvarint(r.block[r.off:])
+	if m <= 0 {
+		return nil, corruptf("run record has a malformed length prefix")
 	}
+	if n > MaxRecordBytes {
+		return nil, corruptf("run record length %d exceeds MaxRecordBytes (%d)", n, MaxRecordBytes)
+	}
+	if int(n) > len(r.block)-r.off-m {
+		return nil, corruptf("run record of %d bytes crosses its block boundary", n)
+	}
+	p := r.block[r.off+m : r.off+m+int(n)]
+	r.off += m + int(n)
+	r.rows++
+	return p, nil
 }
 
-func (r *RunReader) byte() (byte, error) {
-	if r.off >= r.filled {
-		if err := r.fill(); err != nil {
-			return 0, err
-		}
-	}
-	b := r.buf[r.off]
-	r.off++
-	return b, nil
-}
-
-// take returns n contiguous payload bytes, refilling (and if needed growing
-// the scratch buffer for records larger than the read buffer) as it goes. The
-// returned slice is valid until the next call.
-func (r *RunReader) take(n int) ([]byte, error) {
-	if r.filled-r.off >= n {
-		p := r.buf[r.off : r.off+n]
-		r.off += n
-		return p, nil
-	}
-	if cap(r.scratch) < n {
-		r.scratch = make([]byte, n)
-	}
-	r.scratch = r.scratch[:n]
-	got := copy(r.scratch, r.buf[r.off:r.filled])
-	r.off = r.filled
-	if _, err := io.ReadFull(r.r, r.scratch[got:]); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, err
-	}
-	return r.scratch, nil
-}
-
-func (r *RunReader) fill() error {
-	if r.eof {
+// loadBlock reads and verifies the next block, or the footer. On return
+// either r.block holds a verified payload (off reset to 0), or the footer
+// verified and the error is io.EOF.
+func (r *RunReader) loadBlock() error {
+	if r.sealed {
 		return io.EOF
 	}
-	r.off, r.filled = 0, 0
-	n, err := r.r.Read(r.buf)
-	r.filled = n
-	if n > 0 {
-		return nil
+	var hdr [blockHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return corruptf("run truncated before its footer")
+		}
+		return err
 	}
-	if err == nil {
-		err = io.EOF
+	ln := binary.LittleEndian.Uint32(hdr[:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if ln == 0 {
+		return r.readFooter(crc)
 	}
-	if err == io.EOF {
-		r.eof = true
+	if ln > maxBlockBytes {
+		return corruptf("run block length %d exceeds the %d-byte bound", ln, maxBlockBytes)
 	}
-	return err
+	if cap(r.buf) < int(ln) {
+		r.buf = make([]byte, ln)
+	}
+	r.buf = r.buf[:ln]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return corruptf("run truncated inside a %d-byte block", ln)
+		}
+		return err
+	}
+	if got := crc32.Checksum(r.buf, castagnoli); got != crc {
+		return corruptf("run block checksum mismatch (stored %08x, computed %08x)", crc, got)
+	}
+	r.fileCRC = crc32.Update(r.fileCRC, castagnoli, r.buf)
+	r.payload += int64(ln)
+	r.block, r.off = r.buf, 0
+	return nil
+}
+
+// readFooter verifies the seal against everything read so far and checks
+// nothing trails it. Returns io.EOF on a fully verified run.
+func (r *RunReader) readFooter(crc uint32) error {
+	var ftr [footerPayloadLen]byte
+	if _, err := io.ReadFull(r.r, ftr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return corruptf("run truncated inside its footer")
+		}
+		return err
+	}
+	if got := crc32.Checksum(ftr[:], castagnoli); got != crc {
+		return corruptf("run footer checksum mismatch (stored %08x, computed %08x)", crc, got)
+	}
+	if [8]byte(ftr[0:8]) != runMagic {
+		return corruptf("run footer magic mismatch (%q)", ftr[0:8])
+	}
+	if rows := binary.LittleEndian.Uint64(ftr[8:]); rows != uint64(r.rows) {
+		return corruptf("run sealed %d rows but %d were read back", rows, r.rows)
+	}
+	if pb := binary.LittleEndian.Uint64(ftr[16:]); pb != uint64(r.payload) {
+		return corruptf("run sealed %d payload bytes but %d were read back", pb, r.payload)
+	}
+	if fc := binary.LittleEndian.Uint32(ftr[24:]); fc != r.fileCRC {
+		return corruptf("run whole-file checksum mismatch (sealed %08x, computed %08x)", fc, r.fileCRC)
+	}
+	var one [1]byte
+	if n, err := r.r.Read(one[:]); n > 0 || (err != nil && err != io.EOF) {
+		if n > 0 {
+			return corruptf("run has trailing bytes after its footer")
+		}
+		return err
+	}
+	r.sealed = true
+	return io.EOF
+}
+
+// Rows returns the number of records consumed (decoded by Next, or counted
+// by Verify) so far.
+func (r *RunReader) Rows() int64 { return r.rows }
+
+// Verify walks the remaining run without decoding tuples: every block
+// checksum, every record frame, and the footer seal are checked, and the
+// record count accumulates into Rows. A nil return means the run is intact
+// end to end; damage returns an ErrCorrupt-classified error. This is the
+// cheap pre-join integrity pass of the DHHJ — CRC bandwidth, no per-row
+// allocation.
+func (r *RunReader) Verify() error {
+	for {
+		for r.off >= len(r.block) {
+			err := r.loadBlock()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if _, err := r.record(); err != nil {
+			return err
+		}
+	}
 }

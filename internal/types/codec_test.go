@@ -2,9 +2,14 @@ package types
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"io"
 	"math"
 	"testing"
+
+	"dynopt/internal/faults"
 )
 
 // codecCases covers every kind, including the tricky payloads: negative and
@@ -73,7 +78,7 @@ func TestRunWriterReader(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
 	if w.Rows() != 500 {
@@ -95,6 +100,9 @@ func TestRunWriterReader(t *testing.T) {
 	if _, err := r.Next(); err != io.EOF {
 		t.Errorf("after last row: err = %v, want io.EOF", err)
 	}
+	if r.Rows() != 500 {
+		t.Errorf("reader rows = %d", r.Rows())
+	}
 }
 
 // TestRunReaderLargeRecord exercises the scratch path for records bigger
@@ -109,7 +117,7 @@ func TestRunReaderLargeRecord(t *testing.T) {
 	if err := w.Append(Tuple{Int(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
 	r := NewRunReader(&buf)
@@ -125,7 +133,113 @@ func TestRunReaderLargeRecord(t *testing.T) {
 	}
 }
 
-func TestRunReaderTruncatedStream(t *testing.T) {
+// goldenRun builds a small sealed multi-block run (explicit mid-stream
+// flushes force several blocks) and returns its bytes plus the rows in it.
+func goldenRun(t *testing.T) ([]byte, []Tuple) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewRunWriter(&buf)
+	var want []Tuple
+	for i := 0; i < 60; i++ {
+		tu := Tuple{Int(int64(i)), Str("golden-row-payload"), Float(float64(i) * 0.5), Bool(i%3 == 0), Null()}
+		want = append(want, tu)
+		if err := w.Append(tu); err != nil {
+			t.Fatal(err)
+		}
+		if i%20 == 19 {
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), want
+}
+
+// readAll drains a run, returning the rows or the terminal error.
+func readAll(data []byte) ([]Tuple, error) {
+	r := NewRunReader(bytes.NewReader(data))
+	var rows []Tuple
+	for {
+		tu, err := r.Next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, tu)
+	}
+}
+
+// TestRunTruncationSweep truncates a sealed golden run at every byte offset
+// — including clean record and block boundaries, which the pre-footer
+// format read back as a silent short run — and asserts each cut is detected
+// as corruption.
+func TestRunTruncationSweep(t *testing.T) {
+	data, _ := goldenRun(t)
+	for cut := 0; cut < len(data); cut++ {
+		_, err := readAll(data[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d of %d read back clean", cut, len(data))
+		}
+		if !errors.Is(err, faults.ErrCorrupt) {
+			t.Fatalf("truncation at %d: err %v not classified ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestRunBitFlipSweep flips every bit of every byte of a sealed golden run
+// and asserts each flip is detected as corruption — no flip may read back
+// clean, and none may read back wrong rows or panic.
+func TestRunBitFlipSweep(t *testing.T) {
+	data, _ := goldenRun(t)
+	mut := make([]byte, len(data))
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, data)
+			mut[off] ^= 1 << bit
+			_, err := readAll(mut)
+			if err == nil {
+				t.Fatalf("bit %d of byte %d flipped and the run read back clean", bit, off)
+			}
+			if !errors.Is(err, faults.ErrCorrupt) {
+				t.Fatalf("bit %d of byte %d: err %v not classified ErrCorrupt", bit, off, err)
+			}
+		}
+	}
+}
+
+// TestRunVerify checks the decode-free integrity pass agrees with a full
+// read on both intact and damaged runs.
+func TestRunVerify(t *testing.T) {
+	data, want := goldenRun(t)
+	r := NewRunReader(bytes.NewReader(data))
+	if err := r.Verify(); err != nil {
+		t.Fatalf("verify of an intact run: %v", err)
+	}
+	if r.Rows() != int64(len(want)) {
+		t.Errorf("verify counted %d rows, want %d", r.Rows(), len(want))
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	if err := NewRunReader(bytes.NewReader(bad)).Verify(); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("verify of a damaged run: %v, want ErrCorrupt", err)
+	}
+	if err := NewRunReader(bytes.NewReader(data[:len(data)-1])).Verify(); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("verify of a truncated run: %v, want ErrCorrupt", err)
+	}
+	if err := NewRunReader(bytes.NewReader(append(append([]byte(nil), data...), 0))).Verify(); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("verify of a run with trailing bytes: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRunUnfinishedReadsCorrupt pins the self-sealing contract: a run that
+// was flushed but never sealed with Finish reads back as corrupt — an
+// unsealed file is indistinguishable from one that lost its tail.
+func TestRunUnfinishedReadsCorrupt(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewRunWriter(&buf)
 	if err := w.Append(Tuple{Int(1), Str("abcdef")}); err != nil {
@@ -134,12 +248,90 @@ func TestRunReaderTruncatedStream(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	data := buf.Bytes()
-	for cut := 1; cut < len(data); cut++ {
-		r := NewRunReader(bytes.NewReader(data[:cut]))
-		if _, err := r.Next(); err == nil {
-			t.Errorf("truncation at %d of %d read without error", cut, len(data))
+	if _, err := readAll(buf.Bytes()); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("unsealed run read back with err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRunFinishIdempotent: a second Finish writes nothing.
+func TestRunFinishIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewRunWriter(&buf)
+	if err := w.Append(Tuple{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Errorf("second Finish grew the stream by %d bytes", buf.Len()-n)
+	}
+	if err := w.Append(Tuple{Int(2)}); err == nil {
+		t.Error("append after Finish succeeded")
+	}
+}
+
+// shortWriter accepts at most cap bytes, then reports a short write the way
+// a full device does.
+type shortWriter struct {
+	n, cap int
+}
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.cap {
+		k := w.cap - w.n
+		w.n = w.cap
+		return k, io.ErrShortWrite
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// TestRunWriterShortWrite: a device that cuts a block short surfaces
+// io.ErrShortWrite (which storage classifies as disk-full), and the bytes
+// counter tracks what actually landed.
+func TestRunWriterShortWrite(t *testing.T) {
+	w := NewRunWriter(&shortWriter{cap: 64})
+	for i := 0; i < 100; i++ {
+		if err := w.Append(Tuple{Int(int64(i)), Str("wide enough to overflow the device")}); err != nil {
+			if !errors.Is(err, io.ErrShortWrite) {
+				t.Fatalf("append error %v, want io.ErrShortWrite", err)
+			}
+			if w.Bytes() != 64 {
+				t.Errorf("writer counted %d bytes, device took 64", w.Bytes())
+			}
+			return
 		}
+	}
+	if err := w.Finish(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("finish error %v, want io.ErrShortWrite", err)
+	}
+}
+
+// TestRunReaderBoundsDecodeBomb hand-crafts a block whose record claims a
+// length beyond MaxRecordBytes: the reader must classify it as corruption
+// without allocating the claimed amount.
+func TestRunReaderBoundsDecodeBomb(t *testing.T) {
+	payload := binary.AppendUvarint(nil, uint64(MaxRecordBytes)+1)
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	r := NewRunReader(&buf)
+	if _, err := r.Next(); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("oversized record length: err %v, want ErrCorrupt", err)
+	}
+	// Same bound on a block header: a corrupt block length cannot OOM.
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(maxBlockBytes)+1)
+	r = NewRunReader(bytes.NewReader(hdr[:]))
+	if _, err := r.Next(); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("oversized block length: err %v, want ErrCorrupt", err)
 	}
 }
 
