@@ -1,7 +1,10 @@
-// Command datagen dumps a generated workload table as CSV for inspection:
+// Command datagen dumps a generated workload table as CSV for inspection,
+// or converts tables to the disk-native paged format:
 //
 //	datagen -workload tpch -table orders -sf 1
 //	datagen -workload tpcds -table store_returns -sf 1 -limit 20
+//	datagen -workload tpch -sf 1 -pages /data/tpch1        # all tables
+//	datagen -workload tpch -sf 1 -table orders -pages /data/tpch1 -pagerows 512
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"dynopt/internal/cluster"
 	"dynopt/internal/engine"
 	"dynopt/internal/expr"
+	"dynopt/internal/storage"
 	"dynopt/internal/tpcds"
 	"dynopt/internal/tpch"
 	"dynopt/internal/types"
@@ -25,6 +29,8 @@ func main() {
 	table := flag.String("table", "", "table to dump (empty lists tables)")
 	sf := flag.Int("sf", 1, "scale factor")
 	limit := flag.Int("limit", 0, "max rows (0 = all)")
+	pages := flag.String("pages", "", "directory to write paged-format files into (load-once conversion; skips the CSV dump)")
+	pageRows := flag.Int("pagerows", storage.DefaultPageRows, "rows per page for -pages conversion")
 	flag.Parse()
 
 	ctx := &engine.Context{
@@ -44,6 +50,32 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *pages != "" {
+		if err := os.MkdirAll(*pages, 0o755); err != nil {
+			fatal(err)
+		}
+		names := ctx.Catalog.Names()
+		if *table != "" {
+			names = []string{*table}
+		}
+		for _, name := range names {
+			ds, ok := ctx.Catalog.Get(name)
+			if !ok {
+				fatal(fmt.Errorf("unknown table %q; have %s", name, strings.Join(ctx.Catalog.Names(), ", ")))
+			}
+			st := ctx.Catalog.Stats().Get(name)
+			if err := storage.WritePaged(*pages, ds, st, *pageRows); err != nil {
+				fatal(fmt.Errorf("paging %s: %w", name, err))
+			}
+			npages := 0
+			for _, part := range ds.Parts {
+				npages += (len(part) + *pageRows - 1) / *pageRows
+			}
+			fmt.Printf("%s: %d rows -> %d pages (%d rows/page) under %s\n",
+				name, ds.RowCount(), npages, *pageRows, *pages)
+		}
+		return
 	}
 	if *table == "" {
 		fmt.Println("tables:", strings.Join(ctx.Catalog.Names(), ", "))

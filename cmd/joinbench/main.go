@@ -22,6 +22,12 @@
 //	                            predicate and hash micros plus the Figure-7
 //	                            queries streamed with column-major execution
 //	                            off and on, rows+counters equality checked
+//	joinbench -storagejson FILE disk-native storage sweep: cold-vs-warm
+//	                            paged scans through the byte-budgeted page
+//	                            cache, zone-map pruning on a selective
+//	                            filter (>=50% of pages skipped, checked),
+//	                            and the access-path pick priced against
+//	                            its forced alternative (>=2x, checked)
 //	joinbench -all              everything
 //
 // Flags -sf (comma-separated scale factors, default 1,5,25 standing in for
@@ -52,6 +58,7 @@ func main() {
 	pipeJSON := flag.String("pipejson", "", "write a streaming-vs-batch pipeline comparison snapshot to this file")
 	serveJSON := flag.String("servejson", "", "write a cold-vs-hot plan-memo serving snapshot to this file")
 	vecJSON := flag.String("vecjson", "", "write a scalar-vs-vector execution snapshot to this file")
+	storageJSON := flag.String("storagejson", "", "write a disk-native storage sweep snapshot to this file")
 	pipeRuns := flag.Int("runs", 5, "runs per mode for the -pipejson and -servejson medians")
 	joinRows := flag.Int("joinrows", 50000, "fact rows for the -joinjson and -spilljson benchmarks")
 	sfFlag := flag.String("sf", "1,5,25", "comma-separated scale factors")
@@ -191,6 +198,26 @@ func main() {
 				p.Query, p.ScalarMedianMs, p.VectorMedianMs, p.ImprovementPct,
 				p.ScalarAllocBytes, p.VectorAllocBytes)
 		}
+	}
+	if *storageJSON != "" {
+		ran = true
+		fmt.Printf("== Disk-native storage sweep (%d fact rows, %d nodes) -> %s ==\n",
+			*joinRows, *nodes, *storageJSON)
+		snap, err := bench.WriteStorageJSON(*storageJSON, *joinRows, *nodes, 64)
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range snap.Scans {
+			fmt.Printf("  scan cache %-5s %8d B %5d pages  cold %5d miss %5d hit %6.3fs  warm %5d miss %5d hit %6.3fs\n",
+				s.Name, s.CacheBytes, s.Pages, s.Cold.CacheMisses, s.Cold.CacheHits, s.Cold.WallSeconds,
+				s.Warm.CacheMisses, s.Warm.CacheHits, s.Warm.WallSeconds)
+		}
+		fmt.Printf("  prune %d/%d pages (%.0f%%), %d of %d rows selected\n",
+			snap.Prune.PagesPruned, snap.Prune.PagesTotal, 100*snap.Prune.PruneRatio,
+			snap.Prune.SelectedRows, snap.Prune.TotalRows)
+		fmt.Printf("  access path: %d outer rows vs %d pages  index %.4fs (%d lookups)  scan %.4fs  %.1fx\n",
+			snap.Access.OuterRows, snap.Access.InnerPages, snap.Access.IndexSimSeconds,
+			snap.Access.IndexLookups, snap.Access.ScanSimSeconds, snap.Access.Speedup)
 	}
 	if !ran {
 		flag.Usage()

@@ -201,6 +201,20 @@ type Config struct {
 	// MemoryPerNodeBytes overrides the per-node join-memory budget
 	// (default 512 KiB; negative disables the budget entirely).
 	MemoryPerNodeBytes int64
+	// DataDir enables disk-native columnar storage: datasets converted with
+	// ConvertToPaged (or cmd/datagen -pages) live here as sealed page files
+	// with zone-mapped directories, statistics sidecars, and persisted
+	// secondary indexes, opened with AttachPaged. Scans over paged datasets
+	// read lazily through the page cache with zone-map pruning and
+	// projection/predicate pushdown; in-memory datasets are unaffected.
+	// Empty (the default) keeps everything resident.
+	DataDir string
+	// PageCacheBytes is the byte budget of the shared page cache serving all
+	// paged datasets, charged against the memory governor for its lifetime
+	// (cached bytes compete with join build memory; under governor pressure
+	// the cache declines inserts and reads pass through). Zero selects
+	// DefaultPageCacheBytes when DataDir is set.
+	PageCacheBytes int64
 	// ChunkRows sets the streaming pipeline's chunk capacity in rows — the
 	// batch size every cursor, exchange buffer, and vectorized predicate
 	// kernel works in. Validated at Open: zero or negative selects the
@@ -278,6 +292,13 @@ type DB struct {
 	spillSync   bool
 	memo        *memo.Store // adaptive plan memo; nil when PlanCacheEntries == 0
 
+	// Disk-native storage: the data directory paged datasets live in and the
+	// shared byte-budgeted page cache serving them, holding a DB-lifetime
+	// reservation scope against the memory governor.
+	dataDir    string
+	pageCache  *storage.PageCache
+	cacheGrant *cluster.Grant
+
 	pmu    sync.RWMutex // guards ctx.Params against SetParam during serving
 	admit  chan struct{}
 	qidSeq atomic.Int64
@@ -323,6 +344,22 @@ func Open(cfg Config) *DB {
 	if cfg.MaxConcurrentQueries > 0 {
 		db.admit = make(chan struct{}, cfg.MaxConcurrentQueries)
 	}
+	if cfg.DataDir != "" {
+		db.dataDir = cfg.DataDir
+		budget := cfg.PageCacheBytes
+		if budget <= 0 {
+			budget = DefaultPageCacheBytes
+		}
+		db.pageCache = storage.NewPageCache(budget)
+		// The cache's resident bytes hold a DB-lifetime reservation scope:
+		// cached pages compete with join build memory under the same
+		// governor, and a failed reservation declines the insert (reads pass
+		// through uncached) instead of pressuring queries into spilling for
+		// the cache's benefit.
+		db.cacheGrant = db.ctx.Cluster.Governor().Grant()
+		db.pageCache.Reserve = db.cacheGrant.Reserve
+		db.pageCache.Release = db.cacheGrant.Release
+	}
 	if cfg.PlanCacheEntries > 0 {
 		db.memo = memo.NewStore(cfg.PlanCacheEntries, memo.Options{Tolerance: cfg.ReplayTolerance})
 		// Catalog mutations — a base dataset registered, replaced, dropped,
@@ -334,6 +371,57 @@ func Open(cfg Config) *DB {
 
 // Nodes returns the simulated cluster size.
 func (db *DB) Nodes() int { return db.ctx.Cluster.Nodes() }
+
+// DefaultPageCacheBytes is the page cache budget when Config.DataDir is set
+// without an explicit Config.PageCacheBytes.
+const DefaultPageCacheBytes int64 = 4 << 20
+
+// DefaultPageRows is the page granularity ConvertToPaged uses (rows per
+// page) when rowsPerPage <= 0.
+const DefaultPageRows = storage.DefaultPageRows
+
+// ConvertToPaged writes a registered resident dataset to disk-native
+// columnar form under Config.DataDir — sealed page file with per-column
+// zone maps and checksummed directory, statistics sidecar, and one index
+// sidecar per secondary index — then reopens it paged and re-registers it.
+// The load-once conversion path: afterwards scans stream pages through the
+// cache with zone-map pruning and pushdown, and results stay byte-identical
+// to resident execution. rowsPerPage <= 0 selects DefaultPageRows.
+// Loading-phase operation: must not race with in-flight queries.
+func (db *DB) ConvertToPaged(name string, rowsPerPage int) error {
+	if db.dataDir == "" {
+		return fmt.Errorf("dynopt: ConvertToPaged requires Config.DataDir")
+	}
+	ds, ok := db.ctx.Catalog.Get(name)
+	if !ok {
+		return fmt.Errorf("dynopt: unknown dataset %q", name)
+	}
+	if ds.IsPaged() {
+		return fmt.Errorf("dynopt: dataset %q is already paged", name)
+	}
+	st := db.ctx.Catalog.Stats().Get(name)
+	if err := storage.WritePaged(db.dataDir, ds, st, rowsPerPage); err != nil {
+		return err
+	}
+	return db.AttachPaged(name)
+}
+
+// AttachPaged opens a converted dataset from Config.DataDir and registers
+// it: schema, primary key, and ingestion statistics come from the sidecar
+// (byte-identical to what the conversion-time load collected, so plans and
+// counters match resident runs exactly), persisted secondary indexes load
+// alongside, and rows stay at rest in the page file until scanned.
+// Loading-phase operation: must not race with in-flight queries.
+func (db *DB) AttachPaged(name string) error {
+	if db.dataDir == "" {
+		return fmt.Errorf("dynopt: AttachPaged requires Config.DataDir")
+	}
+	ds, st, err := storage.OpenPaged(db.dataDir, name, db.pageCache, db.faults)
+	if err != nil {
+		return err
+	}
+	return db.ctx.Catalog.Register(ds, st)
+}
 
 // CreateDataset loads rows as a named dataset, hash-partitioned on pk across
 // the cluster (round-robin when pk is nil), collecting ingestion-time
@@ -357,6 +445,13 @@ func (db *DB) CreateIndex(dataset, field string) error {
 	}
 	if _, err := storage.BuildIndex(ds, field); err != nil {
 		return err
+	}
+	if ds.IsPaged() && db.dataDir != "" {
+		// Persist the index beside the page file so later AttachPaged opens
+		// load it instead of rebuilding from pages.
+		if err := storage.SaveIndex(db.dataDir, ds, field); err != nil {
+			return err
+		}
 	}
 	db.ctx.Catalog.NoteIndexBuilt(dataset)
 	return nil
@@ -449,6 +544,14 @@ type Metrics struct {
 	// read-back and were rebuilt from their source partition (real-spill
 	// mode; 0 means every run read back exactly as written).
 	SpillRebuilds int64
+	// Page-level scan observations (paged datasets only; all zero for
+	// resident runs). Deliberately outside Counters: paged and resident
+	// executions meter identical cost counters, and these report the I/O the
+	// storage layer actually did — or proved it could skip.
+	PagesRead     int64 // page frames read (cache hits included)
+	PagesPruned   int64 // pages skipped by zone maps before any read
+	PageCacheHits int64
+	PageCacheMiss int64
 }
 
 // Result is a finished query.
@@ -654,6 +757,7 @@ func (db *DB) runOnce(ctx context.Context, sql string, opts *QueryOptions) (out 
 		Grant:     grant,
 		Faults:    db.faults,
 		ChunkRows: db.ctx.ChunkRows,
+		PageStats: &storage.PageScanStats{},
 	}
 	if db.spillDir != "" {
 		// Disk half of the query's execution scope: run files live in a
@@ -682,6 +786,10 @@ func (db *DB) runOnce(ctx context.Context, sql string, opts *QueryOptions) (out 
 		CacheHit:       rep.CacheHit,
 		ReplayFellBack: rep.ReplayFellBack,
 		SpillRebuilds:  rep.Counters.SpillRebuilds,
+		PagesRead:      qctx.PageStats.PagesRead.Load(),
+		PagesPruned:    qctx.PageStats.PagesPruned.Load(),
+		PageCacheHits:  qctx.PageStats.CacheHits.Load(),
+		PageCacheMiss:  qctx.PageStats.CacheMisses.Load(),
 	}
 	if rep.Tree != nil {
 		out.Metrics.PlanTree = rep.Tree.Tree()

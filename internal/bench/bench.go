@@ -19,7 +19,9 @@ import (
 	"dynopt/internal/core"
 	"dynopt/internal/engine"
 	"dynopt/internal/expr"
+	"dynopt/internal/faults"
 	"dynopt/internal/optimizer"
+	"dynopt/internal/storage"
 	"dynopt/internal/tpcds"
 	"dynopt/internal/tpch"
 	"dynopt/internal/types"
@@ -62,6 +64,9 @@ type Env struct {
 	// columnar key hashing) while staying on the streaming pipeline — the
 	// ablation the vectorization benchmark prices.
 	NoVec bool
+	// pageCache is the shared page cache ConvertPaged installed (nil while
+	// resident or uncached).
+	pageCache *storage.PageCache
 }
 
 // NewEnv loads both workloads at sf on an n-node layout. withIndexes adds
@@ -92,17 +97,68 @@ func NewEnv(sf, nodes int, withIndexes bool) (*Env, error) {
 	return e, nil
 }
 
+// ConvertPaged rewrites every base dataset into disk-native paged form
+// under dir and reattaches the catalog to the page files through one shared
+// page cache of cacheBytes (0 = uncached). Fresh contexts scan pages from
+// then on; secondary indexes are rebuilt from the persisted sidecars. The
+// paged-vs-resident equivalence suite and the storage benchmark use this to
+// run the identical workload against both storage layouts. reg, when
+// non-nil, wires fault injection into every page file the conversion opens
+// (the paged corruption chaos suite arms page.corrupt through it).
+func (e *Env) ConvertPaged(dir string, rowsPerPage int, cacheBytes int64, reg *faults.Registry) error {
+	if cacheBytes > 0 {
+		e.pageCache = storage.NewPageCache(cacheBytes)
+	}
+	for _, name := range e.base.BaseNames() {
+		ds, ok := e.base.Get(name)
+		if !ok {
+			return fmt.Errorf("bench: dataset %q vanished during paging", name)
+		}
+		st := e.base.Stats().Get(name)
+		if err := storage.WritePaged(dir, ds, st, rowsPerPage); err != nil {
+			return err
+		}
+		pds, pst, err := storage.OpenPaged(dir, name, e.pageCache, reg)
+		if err != nil {
+			return err
+		}
+		if pst == nil {
+			pst = st
+		}
+		if err := e.base.Register(pds, pst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DatasetBytes sums the byte sizes of every base dataset — what the
+// equivalence suite sizes its fractional page-cache budgets against.
+func (e *Env) DatasetBytes() int64 {
+	var total int64
+	for _, name := range e.base.BaseNames() {
+		if ds, ok := e.base.Get(name); ok {
+			total += ds.ByteSize()
+		}
+	}
+	return total
+}
+
 // Fresh returns an isolated execution context over the loaded data.
 func (e *Env) Fresh() *engine.Context {
 	return &engine.Context{
-		Cluster: cluster.New(e.nodes),
-		Catalog: e.base.CloneBases(),
-		UDFs:    e.udfs,
-		Params:  map[string]types.Value{},
-		Batch:   e.Batch,
-		NoVec:   e.NoVec,
+		Cluster:   cluster.New(e.nodes),
+		Catalog:   e.base.CloneBases(),
+		UDFs:      e.udfs,
+		Params:    map[string]types.Value{},
+		Batch:     e.Batch,
+		NoVec:     e.NoVec,
+		PageStats: &storage.PageScanStats{},
 	}
 }
+
+// PageCache returns the shared cache ConvertPaged installed (nil before).
+func (e *Env) PageCache() *storage.PageCache { return e.pageCache }
 
 // algoConfig returns the experiment's algorithm rule configuration.
 func (e *Env) algoConfig() core.AlgoConfig {

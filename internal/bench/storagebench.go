@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dynopt/internal/engine"
+	"dynopt/internal/expr"
+	"dynopt/internal/storage"
+	"dynopt/internal/types"
+)
+
+// The disk-native storage benchmark behind BENCH_storage.json: cold-vs-warm
+// paged scans through the byte-budgeted page cache, zone-map pruning on a
+// selective filter, and the storage-level access-path pick (index seek vs
+// scan-plus-hash-probe) priced against its forced alternative. Each section
+// carries invariants — prune ratio, cache residency, pick speedup — so the
+// sweep doubles as an acceptance check in CI.
+
+// StorageScanRun is one pass of the cold/warm scan pair.
+type StorageScanRun struct {
+	PagesRead   int64   `json:"pages_read"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// StorageScan is one cache-budget step of the cold-vs-warm sweep: the same
+// full paged scan twice through one cache, first cold, then warm.
+type StorageScan struct {
+	Name       string         `json:"name"` // cache budget label: "1x", "1/8x"
+	CacheBytes int64          `json:"cache_bytes"`
+	Pages      int64          `json:"pages"`
+	Rows       int64          `json:"rows"`
+	Cold       StorageScanRun `json:"cold"`
+	Warm       StorageScanRun `json:"warm"`
+}
+
+// StoragePrune is the zone-map pruning measurement: a selective range filter
+// over the page-ordered key column.
+type StoragePrune struct {
+	PagesTotal   int64   `json:"pages_total"`
+	PagesPruned  int64   `json:"pages_pruned"`
+	PagesRead    int64   `json:"pages_read"`
+	PruneRatio   float64 `json:"prune_ratio"`
+	SelectedRows int64   `json:"selected_rows"`
+	TotalRows    int64   `json:"total_rows"`
+}
+
+// StorageAccess prices the storage-level access-path pick: a small binding
+// set probing a many-page indexed inner through the index (what the
+// optimizer picks when outer rows < inner pages) against the forced
+// scan-plus-hash-probe alternative.
+type StorageAccess struct {
+	OuterRows       int64   `json:"outer_rows"`
+	InnerPages      int64   `json:"inner_pages"`
+	IndexLookups    int64   `json:"index_lookups"`
+	IndexSimSeconds float64 `json:"index_sim_seconds"`
+	ScanSimSeconds  float64 `json:"scan_sim_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// StorageSnapshot is the BENCH_storage.json payload.
+type StorageSnapshot struct {
+	Rows        int           `json:"rows"`
+	Nodes       int           `json:"nodes"`
+	RowsPerPage int           `json:"rows_per_page"`
+	Scans       []StorageScan `json:"paged_scans"`
+	Prune       StoragePrune  `json:"zone_map_prune"`
+	Access      StorageAccess `json:"access_path"`
+}
+
+// storageCtx builds the paged fact⋈dim context the storage sweep measures:
+// the NewMicroCtx tables converted to page files of rowsPerPage under dir,
+// reopened through a fresh cache of cacheBytes, plus a 25-row tiny table
+// left resident as the small-binding-set outer.
+func storageCtx(rows, nodes, rowsPerPage int, cacheBytes int64, dir string) (*engine.Context, error) {
+	ctx, err := NewMicroCtx(rows, nodes)
+	if err != nil {
+		return nil, err
+	}
+	var cache *storage.PageCache
+	if cacheBytes > 0 {
+		cache = storage.NewPageCache(cacheBytes)
+	}
+	for _, name := range []string{"fact", "dim"} {
+		ds, _ := ctx.Catalog.Get(name)
+		if err := storage.WritePaged(dir, ds, ctx.Catalog.Stats().Get(name), rowsPerPage); err != nil {
+			return nil, err
+		}
+		pds, pst, err := storage.OpenPaged(dir, name, cache, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Catalog.Register(pds, pst); err != nil {
+			return nil, err
+		}
+	}
+	tinySch := types.NewSchema(
+		types.Field{Name: "id", Kind: types.KindInt},
+		types.Field{Name: "fk", Kind: types.KindInt},
+	)
+	tiny := make([]types.Tuple, 25)
+	for i := range tiny {
+		tiny[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i*31) % 512)}
+	}
+	tds, tst, err := storage.Build("tiny", tinySch, []string{"id"}, tiny, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Catalog.Register(tds, tst); err != nil {
+		return nil, err
+	}
+	ctx.PageStats = &storage.PageScanStats{}
+	return ctx, nil
+}
+
+// freshStats swaps in a zeroed PageStats so each measured pass observes only
+// its own page traffic.
+func freshStats(ctx *engine.Context) *storage.PageScanStats {
+	st := &storage.PageScanStats{}
+	ctx.PageStats = st
+	return st
+}
+
+// storageScanPass runs one full paged scan of fact, returning its page
+// traffic and row count.
+func storageScanPass(ctx *engine.Context) (StorageScanRun, int64, error) {
+	st := freshStats(ctx)
+	start := time.Now()
+	rel, err := engine.ScanByName(ctx, "fact", "f", nil, nil)
+	if err != nil {
+		return StorageScanRun{}, 0, err
+	}
+	return StorageScanRun{
+		PagesRead:   st.PagesRead.Load(),
+		CacheHits:   st.CacheHits.Load(),
+		CacheMisses: st.CacheMisses.Load(),
+		WallSeconds: time.Since(start).Seconds(),
+	}, rel.RowCount(), nil
+}
+
+// StorageSweep runs the disk-native storage benchmark. Violated invariants —
+// rows diverging across passes, a warm full-budget scan missing its cache, a
+// prune ratio under one half, or an access-path pick that fails to beat its
+// forced alternative twice over — surface as errors.
+func StorageSweep(rows, nodes, rowsPerPage int) (StorageSnapshot, error) {
+	snap := StorageSnapshot{Rows: rows, Nodes: nodes, RowsPerPage: rowsPerPage}
+
+	// Cold-vs-warm scans, one cache budget per step: the full dataset, then
+	// an eighth of it (sequential scans thrash an LRU smaller than the data,
+	// so the small-budget warm pass stays cold — the measurement CI pins).
+	root, err := os.MkdirTemp("", "dynopt_storage_bench")
+	if err != nil {
+		return snap, err
+	}
+	defer os.RemoveAll(root)
+	for i, frac := range []struct {
+		name string
+		den  int64
+	}{{"1x", 1}, {"1/8x", 8}} {
+		dir := fmt.Sprintf("%s/scan%d", root, i)
+		probe, err := storageCtx(rows, nodes, rowsPerPage, 0, dir)
+		if err != nil {
+			return snap, err
+		}
+		fact, _ := probe.Catalog.Get("fact")
+		cacheBytes := fact.ByteSize() / frac.den
+		ctx, err := storageCtx(rows, nodes, rowsPerPage, cacheBytes, dir+"c")
+		if err != nil {
+			return snap, err
+		}
+		fact, _ = ctx.Catalog.Get("fact")
+		pages := int64(fact.Paged().TotalPages())
+		cold, coldRows, err := storageScanPass(ctx)
+		if err != nil {
+			return snap, err
+		}
+		warm, warmRows, err := storageScanPass(ctx)
+		if err != nil {
+			return snap, err
+		}
+		if coldRows != int64(rows) || warmRows != int64(rows) {
+			return snap, fmt.Errorf("bench: storage scan %s rows %d/%d, want %d", frac.name, coldRows, warmRows, rows)
+		}
+		if cold.CacheHits != 0 {
+			return snap, fmt.Errorf("bench: storage cold scan %s hit the cache %d times", frac.name, cold.CacheHits)
+		}
+		if frac.den == 1 && warm.CacheMisses != 0 {
+			return snap, fmt.Errorf("bench: storage warm scan %s missed a full-budget cache %d times", frac.name, warm.CacheMisses)
+		}
+		snap.Scans = append(snap.Scans, StorageScan{
+			Name: frac.name, CacheBytes: cacheBytes, Pages: pages,
+			Rows: coldRows, Cold: cold, Warm: warm,
+		})
+	}
+
+	// Zone-map pruning: fact ids ascend within each partition, so pages map
+	// to contiguous id ranges and a BETWEEN over the bottom eighth of the
+	// domain must prune at least half the pages (the acceptance bar; the
+	// actual ratio approaches 7/8).
+	ctx, err := storageCtx(rows, nodes, rowsPerPage, 0, root+"/prune")
+	if err != nil {
+		return snap, err
+	}
+	st := freshStats(ctx)
+	hi := int64(rows)/8 - 1
+	filter := &expr.Between{
+		X:  &expr.Column{Qualifier: "f", Name: "id"},
+		Lo: &expr.Literal{Val: types.Int(0)},
+		Hi: &expr.Literal{Val: types.Int(hi)},
+	}
+	rel, err := engine.ScanByName(ctx, "fact", "f", filter, nil)
+	if err != nil {
+		return snap, err
+	}
+	snap.Prune = StoragePrune{
+		PagesTotal:   st.PagesTotal.Load(),
+		PagesPruned:  st.PagesPruned.Load(),
+		PagesRead:    st.PagesRead.Load(),
+		PruneRatio:   st.PruneRatio(),
+		SelectedRows: rel.RowCount(),
+		TotalRows:    int64(rows),
+	}
+	if rel.RowCount() != hi+1 {
+		return snap, fmt.Errorf("bench: pruned scan selected %d rows, want %d", rel.RowCount(), hi+1)
+	}
+	if snap.Prune.PruneRatio < 0.5 {
+		return snap, fmt.Errorf("bench: zone maps pruned %.0f%% of pages on a 1/8-selective filter, want >= 50%%",
+			snap.Prune.PruneRatio*100)
+	}
+
+	// Access-path pick: 25 outer bindings against the many-page indexed fact.
+	// The optimizer picks the index seek whenever outer rows < inner pages;
+	// price that pick against the forced scan-plus-hash-probe and demand the
+	// two-fold win the policy assumes.
+	indexSim, lookups, outRows, err := storageAccessRun(rows, nodes, rowsPerPage, root+"/ap-idx", true)
+	if err != nil {
+		return snap, err
+	}
+	scanSim, _, scanRows, err := storageAccessRun(rows, nodes, rowsPerPage, root+"/ap-scan", false)
+	if err != nil {
+		return snap, err
+	}
+	if outRows != scanRows {
+		return snap, fmt.Errorf("bench: access paths disagree on rows: index %d, scan %d", outRows, scanRows)
+	}
+	ctx, err = storageCtx(rows, nodes, rowsPerPage, 0, root+"/ap-pages")
+	if err != nil {
+		return snap, err
+	}
+	fact, _ := ctx.Catalog.Get("fact")
+	snap.Access = StorageAccess{
+		OuterRows:       25,
+		InnerPages:      int64(fact.Paged().TotalPages()),
+		IndexLookups:    lookups,
+		IndexSimSeconds: indexSim,
+		ScanSimSeconds:  scanSim,
+		Speedup:         scanSim / indexSim,
+	}
+	if snap.Access.OuterRows >= snap.Access.InnerPages {
+		return snap, fmt.Errorf("bench: access-path shape degenerate: %d outer rows vs %d inner pages",
+			snap.Access.OuterRows, snap.Access.InnerPages)
+	}
+	if lookups == 0 {
+		return snap, fmt.Errorf("bench: index access path metered no index lookups")
+	}
+	if snap.Access.Speedup < 2 {
+		return snap, fmt.Errorf("bench: access-path pick beat the forced scan by %.2fx, want >= 2x", snap.Access.Speedup)
+	}
+	return snap, nil
+}
+
+// storageAccessRun joins the 25-row tiny outer against the paged indexed
+// fact, through the index when index is true and through a scan-plus-hash-
+// probe otherwise, returning the metered sim seconds.
+func storageAccessRun(rows, nodes, rowsPerPage int, dir string, index bool) (sim float64, lookups, outRows int64, err error) {
+	ctx, err := storageCtx(rows, nodes, rowsPerPage, 0, dir)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	outer, err := engine.ScanByName(ctx, "tiny", "t", nil, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	before := ctx.Cluster.Acct().Snapshot()
+	var rel *engine.Relation
+	if index {
+		factDS, _ := ctx.Catalog.Get("fact")
+		rel, err = engine.IndexNLJoin(ctx, outer, factDS, "f", []string{"t.fk"}, []string{"fk"}, nil)
+	} else {
+		var inner *engine.Relation
+		inner, err = engine.ScanByName(ctx, "fact", "f", nil, nil)
+		if err == nil {
+			rel, err = engine.HashJoin(ctx, outer, inner, []string{"t.fk"}, []string{"f.fk"}, false)
+		}
+	}
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	diff := ctx.Cluster.Acct().Snapshot().Sub(before)
+	return ctx.Cluster.Model().SimSeconds(diff, nodes), diff.IndexLookups, rel.RowCount(), nil
+}
+
+// WriteStorageJSON runs StorageSweep and writes the BENCH_storage.json
+// snapshot to path.
+func WriteStorageJSON(path string, rows, nodes, rowsPerPage int) (StorageSnapshot, error) {
+	snap, err := StorageSweep(rows, nodes, rowsPerPage)
+	if err != nil {
+		return snap, err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return snap, err
+	}
+	return snap, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -43,6 +43,11 @@ type algoInput struct {
 	// base dataset carrying a secondary index on its first join key, and
 	// usable as the INLJ inner (a leaf; intermediates lose their indexes).
 	indexedBase bool
+	// pages is the real page count of the input's disk-native backend (0 for
+	// resident datasets). When positive, the rule can compare a full scan's
+	// page reads against an index probe's — storage-level access-path
+	// selection rather than the size heuristic alone.
+	pages int64
 }
 
 func sideFromTable(info *TableInfo, ds *storage.Dataset, firstKey string) algoInput {
@@ -51,6 +56,7 @@ func sideFromTable(info *TableInfo, ds *storage.Dataset, firstKey string) algoIn
 		estBytes:    info.EstBytes,
 		filtered:    info.Filtered,
 		indexedBase: info.IsBase && ds.HasIndex(firstKey),
+		pages:       info.Pages,
 	}
 }
 
@@ -61,7 +67,12 @@ func sideFromTable(info *TableInfo, ds *storage.Dataset, firstKey string) algoIn
 //  1. Indexed nested-loop: one side is small enough to broadcast AND is
 //     filtered (otherwise scanning the inner once beats per-row index
 //     lookups — the Q8 nation case), AND the other side is a base dataset
-//     with a secondary index on its join key.
+//     with a secondary index on its join key. When the inner is a paged
+//     dataset the filter heuristic is replaced by real arithmetic: an index
+//     probe decodes at most one page per binding, a scan-plus-hash-probe
+//     decodes every page, so a binding set smaller than the inner's page
+//     count makes index seeks the cheaper access path even unfiltered.
+//     Resident inners (pages == 0) keep the original heuristic exactly.
 //  2. Broadcast: one side's estimated bytes fit the threshold; replicate it
 //     and keep the big side in place.
 //  3. Hash: repartition both; build on the smaller side.
@@ -69,10 +80,12 @@ func sideFromTable(info *TableInfo, ds *storage.Dataset, firstKey string) algoIn
 // The returned buildLeft designates the broadcast/build side.
 func ChooseAlgo(cfg AlgoConfig, left, right algoInput) (plan.Algo, bool) {
 	if cfg.EnableINLJ {
-		if left.estBytes <= cfg.BroadcastThresholdBytes && left.filtered && right.indexedBase {
+		if left.estBytes <= cfg.BroadcastThresholdBytes && right.indexedBase &&
+			(left.filtered || indexBeatsScannedPages(left.estRows, right.pages)) {
 			return plan.AlgoIndexNL, true
 		}
-		if right.estBytes <= cfg.BroadcastThresholdBytes && right.filtered && left.indexedBase {
+		if right.estBytes <= cfg.BroadcastThresholdBytes && left.indexedBase &&
+			(right.filtered || indexBeatsScannedPages(right.estRows, left.pages)) {
 			return plan.AlgoIndexNL, false
 		}
 	}
@@ -90,6 +103,17 @@ func ChooseAlgo(cfg AlgoConfig, left, right algoInput) (plan.Algo, bool) {
 		return plan.AlgoBroadcast, buildLeft
 	}
 	return plan.AlgoHash, left.estRows <= right.estRows
+}
+
+// indexBeatsScannedPages is the paged-inner access-path comparison: with a
+// real page count in hand, outerRows index probes touch at most outerRows
+// pages (each seek lands on the page holding its matches; the per-partition
+// decoded-page window absorbs clustered keys), while a hash probe's inner
+// scan decodes all of them. Strictly fewer probe-side page touches than
+// scan pages picks the index. pages == 0 (resident inner) declines, keeping
+// the resident rule byte-identical.
+func indexBeatsScannedPages(outerRows, pages int64) bool {
+	return pages > 0 && outerRows > 0 && outerRows < pages
 }
 
 // chooseAlgoForEdge resolves the datasets behind an edge's aliases and runs

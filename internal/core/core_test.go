@@ -408,6 +408,25 @@ func TestChooseAlgoRules(t *testing.T) {
 	if a, _ := ChooseAlgo(cfg, bigFiltered, bigIndexed); a != plan.AlgoHash {
 		t.Errorf("big-filtered vs big-indexed = %v, want hash", a)
 	}
+
+	// Storage-level access paths: with a real page count on the indexed
+	// inner, a small unfiltered binding set still picks the index seek when
+	// its probes touch fewer pages than a full scan would decode.
+	pagedIndexed := algoInput{estRows: 100000, estBytes: 5_000_000, indexedBase: true, pages: 400}
+	if a, bl := ChooseAlgo(cfg, smallUnfiltered, pagedIndexed); a != plan.AlgoIndexNL || !bl {
+		t.Errorf("small binding set vs paged-indexed = %v buildLeft=%v, want INLJ/left", a, bl)
+	}
+	// A binding set at least as large as the inner's page count gains
+	// nothing from seeking: broadcast/hash as before.
+	wideOuter := algoInput{estRows: 400, estBytes: 500, pages: 0}
+	if a, _ := ChooseAlgo(cfg, wideOuter, pagedIndexed); a != plan.AlgoBroadcast {
+		t.Errorf("page-count-sized binding set = %v, want broadcast", a)
+	}
+	// Resident inner (pages == 0): the estimate-based rule is unchanged.
+	if !indexBeatsScannedPages(10, 400) || indexBeatsScannedPages(400, 400) ||
+		indexBeatsScannedPages(10, 0) || indexBeatsScannedPages(0, 400) {
+		t.Error("indexBeatsScannedPages boundary cases wrong")
+	}
 }
 
 func TestEstimatorTableEstimate(t *testing.T) {

@@ -30,6 +30,12 @@ type TableInfo struct {
 	Filtered bool      // local predicates exist or were pre-executed
 	EstRows  int64
 	EstBytes int64
+	// Pages is the real physical page count of the dataset's paged backend
+	// (0 for resident datasets and intermediates). Unlike EstRows/EstBytes it
+	// is not an estimate: the storage directory knows exactly how many pages
+	// a full scan reads, which is what access-path selection compares a
+	// binding set against.
+	Pages int64
 }
 
 // Tables indexes TableInfo by alias.
@@ -138,6 +144,9 @@ func BuildTables(est *Estimator, g *sqlpp.Graph, need map[string]map[string]bool
 			Filtered: filter != nil || ds.Temp,
 			EstRows:  rows,
 			EstBytes: bytes,
+		}
+		if pgd := ds.Paged(); pgd != nil {
+			info.Pages = int64(pgd.TotalPages())
 		}
 		if !selectStar {
 			if cols, ok := need[alias]; ok {

@@ -59,6 +59,17 @@ func (d *Dynamic) tryReplay(rs *runState, r *Report) (*engine.Result, error) {
 		r.StagePlans = append(r.StagePlans, "memo: stale fingerprint ("+reason+"), re-optimizing")
 		return nil, nil
 	}
+	if reason, stale := e.Fingerprint.StalePages(func(name string) int64 {
+		return pagesOf(rs.ctx, name)
+	}); stale {
+		// The storage layout moved — a dataset was converted to paged form
+		// (or re-paged) since the plan was recorded. Its access-path
+		// decisions compared binding sets against page counts that no longer
+		// exist, so the plan must be re-derived.
+		d.Memo.RemoveEntry(e)
+		r.StagePlans = append(r.StagePlans, "memo: stale storage layout ("+reason+"), re-optimizing")
+		return nil, nil
+	}
 	if err := rs.ctx.Faults.Fire(faults.Point("memo.replay")); err != nil {
 		// A faulted replay degrades exactly like a guardrail breach: the
 		// dynamic loop runs the query from scratch; nothing was executed yet.
@@ -87,6 +98,13 @@ func (d *Dynamic) record(rs *runState, res *engine.Result, err error) (*engine.R
 	if err == nil && d.Memo != nil && rs.rec != nil && rs.rec.Final != nil {
 		rs.rec.Datasets = datasetsOfGraph(rs.memoGraph)
 		rs.rec.Fingerprint = stats.FingerprintOf(rs.est.Reg, fingerprintFields(rs.memoGraph))
+		// Pin the storage layout the plan's access paths were chosen
+		// against: page counts come from the catalog, not the statistics
+		// registry, so they are stamped here.
+		for name, fp := range rs.rec.Fingerprint {
+			fp.Pages = pagesOf(rs.ctx, name)
+			rs.rec.Fingerprint[name] = fp
+		}
 		d.Memo.Put(rs.rec)
 	}
 	return res, err
@@ -225,6 +243,19 @@ func memoNodeOf(n *plan.Node) *memo.Node {
 		Algo:      j.Algo, BuildLeft: j.BuildLeft,
 		EstRows: n.EstRows,
 	}
+}
+
+// pagesOf returns the current physical page count of a catalog dataset
+// (0 when it vanished or is resident).
+func pagesOf(ctx *engine.Context, name string) int64 {
+	ds, ok := ctx.Catalog.Get(name)
+	if !ok {
+		return 0
+	}
+	if pgd := ds.Paged(); pgd != nil {
+		return int64(pgd.TotalPages())
+	}
+	return 0
 }
 
 // datasetsOfGraph lists the distinct dataset names the graph references,

@@ -70,6 +70,12 @@ type Context struct {
 	// the engine-layer injection points — exchange sends and receives,
 	// scan-cursor opens, probe drains, sink seals — fire against it.
 	Faults *faults.Registry
+	// PageStats observes this query's page-level scan work — reads, zone-map
+	// prunes, cache traffic — when any scanned dataset is paged. Nil skips
+	// observation. Deliberately outside the metered cost counters: paged and
+	// resident runs charge identical Accounting figures, and these feed the
+	// optimizer's access-path selection and the benchmark reports instead.
+	PageStats *storage.PageScanStats
 }
 
 // Env builds an expression environment against a schema.

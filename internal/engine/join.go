@@ -652,6 +652,13 @@ func indexNLJoinBatch(ctx *Context, outer *Relation, inner *storage.Dataset, inn
 	oResidual := oCols[1:]
 	err = forEachPart(n, func(p int) error {
 		part := inner.Parts[p]
+		// Paged inner: rows fetch page-granularly through a decoded-page view
+		// — only pages holding matched rows are read, which is exactly the
+		// access-path advantage the optimizer picks index seeks for.
+		var pview *storage.PartView
+		if pgd := inner.Paged(); pgd != nil {
+			pview = pgd.Part(p)
+		}
 		key0 := oCols[0]
 		// Pass 1: resolve every outer row's index range once. Lookup yields
 		// a position range over the sorted index keys — no per-probe []int
@@ -669,7 +676,7 @@ func indexNLJoinBatch(ctx *Context, outer *Relation, inner *storage.Dataset, inn
 		var arena types.Arena
 		rows := make([]types.Tuple, 0, fetched)
 		rowAt := idx.Rows(p)
-		if len(residual) == 0 && pred == nil {
+		if pview == nil && len(residual) == 0 && pred == nil {
 			// No post-fetch filtering: the bound is exact, and the fetch
 			// loop carries no per-row branch work.
 			arena.Reserve(int(fetched) * outSchema.Len())
@@ -683,7 +690,16 @@ func indexNLJoinBatch(ctx *Context, outer *Relation, inner *storage.Dataset, inn
 		}
 		for o, ot := range outerAll {
 			for i := ranges[2*o]; i < ranges[2*o+1]; i++ {
-				it := part[rowAt[i]]
+				var it types.Tuple
+				if pview != nil {
+					var err error
+					it, err = pview.Row(rowAt[i])
+					if err != nil {
+						return err
+					}
+				} else {
+					it = part[rowAt[i]]
+				}
 				if len(residual) > 0 && !ot.KeysEqual(oResidual, it, residual) {
 					continue
 				}

@@ -430,6 +430,11 @@ func IndexNLJoinStream(ctx *Context, outer Source, inner *storage.Dataset, inner
 	outWidth := outSchema.Len()
 	totalRows, totalBytes, err := runReplicate(ctx, outer, n, func(p int, st probeStream) error {
 		part := inner.Parts[p]
+		// Paged inner: page-granular row fetch (see IndexNLJoin).
+		var pview *storage.PartView
+		if pgd := inner.Paged(); pgd != nil {
+			pview = pgd.Part(p)
+		}
 		rowAt := idx.Rows(p)
 		var arena types.Arena
 		var rows []types.Tuple
@@ -473,7 +478,7 @@ func IndexNLJoinStream(ctx *Context, outer Source, inner *storage.Dataset, inner
 				rows = make([]types.Tuple, 0, fetched)
 			}
 			rows = rows[:0]
-			if len(residual) == 0 && pred == nil {
+			if pview == nil && len(residual) == 0 && pred == nil {
 				arena.Reserve(int(fetched) * outWidth)
 				for o, ot := range c.Rows {
 					for i := ranges[2*o]; i < ranges[2*o+1]; i++ {
@@ -483,7 +488,16 @@ func IndexNLJoinStream(ctx *Context, outer Source, inner *storage.Dataset, inner
 			} else {
 				for o, ot := range c.Rows {
 					for i := ranges[2*o]; i < ranges[2*o+1]; i++ {
-						it := part[rowAt[i]]
+						var it types.Tuple
+						if pview != nil {
+							var err error
+							it, err = pview.Row(rowAt[i])
+							if err != nil {
+								return err
+							}
+						} else {
+							it = part[rowAt[i]]
+						}
 						if len(residual) > 0 && !ot.KeysEqual(oResidual, it, residual) {
 							continue
 						}

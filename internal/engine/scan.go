@@ -24,6 +24,10 @@ type scanPrep struct {
 	projIdx   []int
 	outSchema *types.Schema
 	partCols  []int
+	// Paged-scan pushdown state (nil for resident datasets): the filter's
+	// extracted zone-map ranges, and which columns must decode (nil = all).
+	zones []expr.ColRange
+	need  []bool
 }
 
 // passThrough reports whether the scan emits stored rows unchanged.
@@ -81,6 +85,12 @@ func prepareScan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Ex
 			sp.partCols = cols
 		}
 	}
+	if ds.IsPaged() {
+		if filter != nil {
+			sp.zones = expr.ZoneRanges(filter, env)
+		}
+		sp.need = pageNeedCols(sp, filter)
+	}
 	return sp, nil
 }
 
@@ -91,7 +101,7 @@ func prepareScan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Ex
 // per-tuple EncodedSize walk.
 func meterScanPart(ctx *Context, ds *storage.Dataset, p int) {
 	acct := ctx.Accounting()
-	rows := int64(len(ds.Parts[p]))
+	rows := ds.PartRows(p)
 	bytes := ds.PartBytes(p)
 	if ds.Temp {
 		acct.MatReadRows.Add(rows)
@@ -123,6 +133,9 @@ func Scan(ctx *Context, ds *storage.Dataset, alias string, filter expr.Expr, pro
 // body, also backing a streaming scan source that is asked to materialize
 // in place (pre-partitioned build sides).
 func scanInto(ctx *Context, ds *storage.Dataset, sp *scanPrep) (*Relation, error) {
+	if ds.IsPaged() {
+		return pagedScanInto(ctx, ds, sp)
+	}
 	out := &Relation{Schema: sp.outSchema, Parts: make([][]types.Tuple, len(ds.Parts))}
 	err := forEachPart(len(ds.Parts), func(p int) error {
 		meterScanPart(ctx, ds, p)
@@ -213,6 +226,9 @@ func (s *scanSource) Open(p int) (Cursor, error) {
 		return nil, err
 	}
 	meterScanPart(s.ctx, s.ds, p)
+	if s.ds.IsPaged() {
+		return newPagedCursor(s.ctx, s.ds, s.prep, p), nil
+	}
 	cur := &scanCursor{ctx: s.ctx, prep: s.prep, r: s.ds.ChunkReader(p, s.ctx.chunkRows())}
 	if !s.ctx.NoVec {
 		cur.cols = cur.r

@@ -524,11 +524,16 @@ func (j *spillJoin) run(level int, build, probe rowSeq, bSrc, pSrc *runSource) e
 	}
 
 	// Recursive pass: join every spilled (build, probe) pair on read-back.
-	// Each run is verified (checksums, footer seal, row counts) before its
-	// pair is joined; a corrupt run is rebuilt once from its source — the
-	// verify-then-join order matters, because corruption discovered mid-join
-	// could not be retried without duplicating rows already streamed to the
-	// sink.
+	// Probe runs — and build runs that must recurse — are verified
+	// (checksums, footer seal, row counts) before their pair is joined; a
+	// corrupt run is rebuilt once from its source. The verify-then-join
+	// order matters for those, because corruption discovered mid-join could
+	// not be retried without duplicating rows already streamed to the sink.
+	// A build run that already fits the budget skips the separate CRC walk:
+	// the in-memory join decodes it fully — checked block by block — before
+	// the first probe row streams, so corruption still surfaces with
+	// nothing emitted and the same rebuild-once ladder applies
+	// (verify-as-you-decode, one read of the run instead of two).
 	for s := 0; s < spillFanout; s++ {
 		if bFile[s] == nil {
 			continue
@@ -548,14 +553,29 @@ func (j *spillJoin) run(level int, build, probe rowSeq, bSrc, pSrc *runSource) e
 			}
 			continue
 		}
-		if err := j.ensureIntact(level, s, "build", &bFile[s], bSrc); err != nil {
-			return err
-		}
-		if err := j.ensureIntact(level, s, "probe", &pFile[s], pSrc); err != nil {
-			return err
-		}
-		if err := j.joinSpilledPair(level, bFile[s], pFile[s]); err != nil {
-			return err
+		if bFile[s].Bytes() <= j.budget {
+			// Build reads first (as in the non-resident path), so damage on
+			// the build device surfaces against the side that can rebuild.
+			rb, err := j.loadBuildRecovering(level, s, &bFile[s], bSrc)
+			if err != nil {
+				return err
+			}
+			if err := j.ensureIntact(level, s, "probe", &pFile[s], pSrc); err != nil {
+				return err
+			}
+			if err := j.probeSpilledRun(rb, pFile[s]); err != nil {
+				return err
+			}
+		} else {
+			if err := j.ensureIntact(level, s, "build", &bFile[s], bSrc); err != nil {
+				return err
+			}
+			if err := j.ensureIntact(level, s, "probe", &pFile[s], pSrc); err != nil {
+				return err
+			}
+			if err := j.joinSpilledPair(level, bFile[s], pFile[s]); err != nil {
+				return err
+			}
 		}
 		// Run files we created and sealed ourselves: a failed unlink means
 		// the disk-budget accounting is off, so surface it rather than let
@@ -571,8 +591,9 @@ func (j *spillJoin) run(level int, build, probe rowSeq, bSrc, pSrc *runSource) e
 }
 
 // joinSpilledPair reads one spilled (build, probe) run pair back and joins
-// it: in memory when the build run now fits the budget (the common case —
-// each level splits the data spillFanout ways), else one level deeper.
+// it one level deeper. Pairs whose build run fits the budget never reach
+// here — the recursion loop takes the verify-as-you-decode resident path
+// for those instead.
 func (j *spillJoin) joinSpilledPair(level int, bf, pf *storage.SpillFile) error {
 	br, err := bf.Reader()
 	if err != nil {
@@ -586,9 +607,6 @@ func (j *spillJoin) joinSpilledPair(level int, bf, pf *storage.SpillFile) error 
 	defer pr.Close()
 	build := &fileSeq{r: br, keyCols: j.bCols, expect: bf.Rows()}
 	probe := &fileSeq{r: pr, keyCols: j.pCols, expect: pf.Rows()}
-	if bf.Bytes() <= j.budget {
-		return j.inMemory(build, probe)
-	}
 	// One level deeper: the pair's own run files (still on disk until this
 	// call returns) are the rebuild sources for the child level.
 	return j.run(level+1, build, probe,
@@ -684,9 +702,27 @@ func (j *spillJoin) rebuildRun(level, sub int, side string, src *runSource) (*st
 // inMemory joins a (build, probe) pair with the whole build side resident:
 // the recursion leaf, and the over-budget fallback past spillMaxDepth.
 func (j *spillJoin) inMemory(build, probe rowSeq) error {
-	var bRows []types.Tuple
-	var bHashes []uint64
-	var bBytes int64
+	rb, err := j.loadBuild(build)
+	if err != nil {
+		return err
+	}
+	return j.probeResident(rb, probe)
+}
+
+// residentBuild is one pair's fully decoded build side, ready to hash.
+type residentBuild struct {
+	rows   []types.Tuple
+	hashes []uint64
+	bytes  int64
+}
+
+// loadBuild drains the build sequence into memory. Reading a run file to
+// io.EOF verifies it end to end (block checksums, footer seal, row counts),
+// and nothing has been emitted when an error surfaces here — which is what
+// lets the recursion skip the separate pre-join CRC walk for
+// in-memory-eligible build runs.
+func (j *spillJoin) loadBuild(build rowSeq) (*residentBuild, error) {
+	rb := &residentBuild{}
 	n := 0
 	for {
 		t, h, sz, err := build.next()
@@ -694,26 +730,33 @@ func (j *spillJoin) inMemory(build, probe rowSeq) error {
 			break
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if n++; n&0xfff == 0 {
 			if err := j.ctx.Err(); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		if sz < 0 {
 			sz = int64(t.EncodedSize()) //dynopt:size-ok run-file rows carry no cached size; walked once on re-read
 		}
-		bRows = append(bRows, t)
-		bHashes = append(bHashes, h)
-		bBytes += sz
+		rb.rows = append(rb.rows, t)
+		rb.hashes = append(rb.hashes, h)
+		rb.bytes += sz
 	}
-	j.grant.Reserve(bBytes)
-	defer j.grant.Release(bBytes)
-	ht := buildTable(bRows, bHashes, j.bCols)
-	j.acct.BuildRows.Add(int64(len(bRows)))
+	return rb, nil
+}
+
+// probeResident hashes a loaded build side and streams the probe sequence
+// through it. Output rows flow to the sink from here on: any failure past
+// this point cannot be retried without duplicating emitted rows.
+func (j *spillJoin) probeResident(rb *residentBuild, probe rowSeq) error {
+	j.grant.Reserve(rb.bytes)
+	defer j.grant.Release(rb.bytes)
+	ht := buildTable(rb.rows, rb.hashes, j.bCols)
+	j.acct.BuildRows.Add(int64(len(rb.rows)))
 	var probed int64
-	n = 0
+	n := 0
 	for {
 		t, h, _, err := probe.next()
 		if err == io.EOF {
@@ -735,6 +778,64 @@ func (j *spillJoin) inMemory(build, probe rowSeq) error {
 	}
 	j.acct.ProbeRows.Add(probed)
 	return nil
+}
+
+// loadBuildFromFile decodes one sealed build run fully into memory. The
+// fileSeq it drains checks every block CRC before decode and cross-checks
+// the decoded row count against the writer's seal at EOF, so a clean return
+// carries the same end-to-end guarantee as SpillFile.Verify — from one read
+// of the file instead of two.
+func (j *spillJoin) loadBuildFromFile(bf *storage.SpillFile) (*residentBuild, error) {
+	br, err := bf.Reader()
+	if err != nil {
+		return nil, err
+	}
+	defer br.Close()
+	return j.loadBuild(&fileSeq{r: br, keyCols: j.bCols, expect: bf.Rows()})
+}
+
+// loadBuildRecovering decodes one budget-fitting build run into memory,
+// verifying it as it decodes instead of walking its checksums separately
+// first. Corruption found during the load surfaces before any output row is
+// emitted, so the same rebuild-once ladder as ensureIntact applies: rebuild
+// from src, swap *bf to the fresh run, retry the load once.
+func (j *spillJoin) loadBuildRecovering(level, sub int, bf **storage.SpillFile, src *runSource) (*residentBuild, error) {
+	rb, err := j.loadBuildFromFile(*bf)
+	if err == nil {
+		return rb, nil
+	}
+	if !errors.Is(err, faults.ErrCorrupt) {
+		return nil, err // device failure on the load read, not damage
+	}
+	if src == nil {
+		return nil, fmt.Errorf("engine: corrupt build run with no replayable source: %w", err)
+	}
+	nf, rerr := j.rebuildRun(level, sub, "build", src)
+	if rerr != nil {
+		return nil, fmt.Errorf("engine: rebuilding corrupt build run: %w (%w)", rerr, faults.ErrCorrupt)
+	}
+	if rb, err = j.loadBuildFromFile(nf); err != nil {
+		_ = nf.Remove()
+		return nil, fmt.Errorf("engine: corruption recurred on the rebuilt build run: %w", err)
+	}
+	if err := (*bf).Remove(); err != nil {
+		_ = nf.Remove()
+		return nil, err
+	}
+	*bf = nf
+	j.acct.SpillRebuilds.Add(1)
+	return rb, nil
+}
+
+// probeSpilledRun streams one verified probe run through a loaded build
+// side.
+func (j *spillJoin) probeSpilledRun(rb *residentBuild, pf *storage.SpillFile) error {
+	pr, err := pf.Reader()
+	if err != nil {
+		return err
+	}
+	defer pr.Close()
+	return j.probeResident(rb, &fileSeq{r: pr, keyCols: j.pCols, expect: pf.Rows()})
 }
 
 // newFile opens a run file labeled with this partition, level, and

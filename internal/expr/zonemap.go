@@ -1,0 +1,124 @@
+package expr
+
+import "dynopt/internal/types"
+
+// Zone-map range extraction: the conservative analysis that turns a pushed-
+// down filter into per-column value ranges the paged store can prune whole
+// pages with before any decode. Only shapes whose semantics are exactly
+// "row passes ⇒ column value lies in [Lo, Hi]" are extracted — top-level AND
+// conjuncts comparing one column against one constant (literals, or bound
+// parameters), plus BETWEEN. Everything else (OR, NOT, arithmetic, UDFs,
+// unresolved columns) contributes no range, which can only make pruning less
+// aggressive, never wrong: a page is skipped only when its zone map proves
+// every row would fail a conjunct the whole predicate ANDs over.
+//
+// NULL rows need no care here: a comparison or BETWEEN conjunct evaluates to
+// false for NULL inputs, so rows outside the zone map's non-NULL min/max
+// could never have passed the filter anyway.
+
+// ColRange is one extracted constraint on a column: the filter can only pass
+// rows whose column value v satisfies Lo ≤ v ≤ Hi under types.Value.Compare.
+// An unbounded side is marked by HasLo/HasHi.
+type ColRange struct {
+	Col          int // column offset in the scan's qualified schema
+	Lo, Hi       types.Value
+	HasLo, HasHi bool
+}
+
+// ZoneRanges extracts the prunable column ranges of filter against env's
+// schema. A nil filter or a filter with no extractable conjuncts returns nil.
+func ZoneRanges(filter Expr, env *Env) []ColRange {
+	if filter == nil {
+		return nil
+	}
+	var out []ColRange
+	collectRanges(filter, env, &out)
+	return out
+}
+
+// collectRanges walks top-level conjuncts only: under an AND every conjunct
+// must independently hold, so each contributes its own range.
+func collectRanges(e Expr, env *Env, out *[]ColRange) {
+	switch n := e.(type) {
+	case *And:
+		for _, k := range n.Kids {
+			collectRanges(k, env, out)
+		}
+	case *Compare:
+		if r, ok := rangeFromCompare(n, env); ok {
+			*out = append(*out, r)
+		}
+	case *Between:
+		col, ok := columnIndex(n.X, env)
+		if !ok {
+			return
+		}
+		lo, lok := constValue(n.Lo, env)
+		hi, hok := constValue(n.Hi, env)
+		if !lok || !hok || lo.IsNull() || hi.IsNull() {
+			return
+		}
+		*out = append(*out, ColRange{Col: col, Lo: lo, Hi: hi, HasLo: true, HasHi: true})
+	}
+}
+
+// rangeFromCompare extracts a range from col <op> const or const <op> col.
+// Equality yields a point range; != yields nothing (it excludes one value,
+// which a min/max zone map cannot exploit safely).
+func rangeFromCompare(c *Compare, env *Env) (ColRange, bool) {
+	op := c.Op
+	col, ok := columnIndex(c.L, env)
+	v, vok := constValue(c.R, env)
+	if !ok || !vok {
+		// Try the mirrored form: const <op> col flips the operator.
+		col, ok = columnIndex(c.R, env)
+		v, vok = constValue(c.L, env)
+		if !ok || !vok {
+			return ColRange{}, false
+		}
+		switch op {
+		case CmpLt:
+			op = CmpGt
+		case CmpLe:
+			op = CmpGe
+		case CmpGt:
+			op = CmpLt
+		case CmpGe:
+			op = CmpLe
+		}
+	}
+	if v.IsNull() {
+		return ColRange{}, false
+	}
+	r := ColRange{Col: col}
+	switch op {
+	case CmpEq:
+		r.Lo, r.Hi, r.HasLo, r.HasHi = v, v, true, true
+	case CmpLt, CmpLe:
+		// Zone maps prune on Compare order only, so < and <= share the bound:
+		// pruning keeps any page whose min ≤ v, which is safe for both.
+		r.Hi, r.HasHi = v, true
+	case CmpGt, CmpGe:
+		r.Lo, r.HasLo = v, true
+	default:
+		return ColRange{}, false
+	}
+	return r, true
+}
+
+// constValue resolves e as a constant: a literal, or a parameter bound in
+// env (parameters are fixed for the whole query, so they prune like
+// literals).
+func constValue(e Expr, env *Env) (types.Value, bool) {
+	switch n := e.(type) {
+	case *Literal:
+		return n.Val, true
+	case *Param:
+		if env.Params == nil {
+			return types.Value{}, false
+		}
+		v, ok := env.Params[n.Name]
+		return v, ok
+	}
+	return types.Value{}, false
+}

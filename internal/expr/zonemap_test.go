@@ -1,0 +1,73 @@
+package expr
+
+import (
+	"reflect"
+	"testing"
+
+	"dynopt/internal/types"
+)
+
+func zoneEnv() *Env {
+	return &Env{
+		Schema: &types.Schema{Fields: []types.Field{
+			{Name: "a", Kind: types.KindInt},
+			{Name: "b", Kind: types.KindInt},
+		}},
+		Params: map[string]types.Value{"p": types.Int(9)},
+	}
+}
+
+func col(n string) Expr            { return &Column{Name: n} }
+func lit(i int64) Expr             { return &Literal{Val: types.Int(i)} }
+func cmp(op CmpOp, l, r Expr) Expr { return &Compare{Op: op, L: l, R: r} }
+
+func TestZoneRangesExtraction(t *testing.T) {
+	env := zoneEnv()
+	for _, tc := range []struct {
+		name   string
+		filter Expr
+		want   []ColRange
+	}{
+		{"nil", nil, nil},
+		{"eq", cmp(CmpEq, col("a"), lit(5)),
+			[]ColRange{{Col: 0, Lo: types.Int(5), Hi: types.Int(5), HasLo: true, HasHi: true}}},
+		{"lt", cmp(CmpLt, col("a"), lit(5)),
+			[]ColRange{{Col: 0, Hi: types.Int(5), HasHi: true}}},
+		{"ge", cmp(CmpGe, col("b"), lit(2)),
+			[]ColRange{{Col: 1, Lo: types.Int(2), HasLo: true}}},
+		{"mirrored", cmp(CmpLt, lit(5), col("a")), // 5 < a  ⇒  a > 5
+			[]ColRange{{Col: 0, Lo: types.Int(5), HasLo: true}}},
+		{"between", &Between{X: col("a"), Lo: lit(1), Hi: lit(3)},
+			[]ColRange{{Col: 0, Lo: types.Int(1), Hi: types.Int(3), HasLo: true, HasHi: true}}},
+		{"param", cmp(CmpLe, col("a"), &Param{Name: "p"}),
+			[]ColRange{{Col: 0, Hi: types.Int(9), HasHi: true}}},
+		{"and", &And{Kids: []Expr{
+			cmp(CmpGt, col("a"), lit(1)),
+			cmp(CmpLt, col("b"), lit(7)),
+		}}, []ColRange{
+			{Col: 0, Lo: types.Int(1), HasLo: true},
+			{Col: 1, Hi: types.Int(7), HasHi: true},
+		}},
+		// Shapes with no sound range: != excludes one point, OR is not a
+		// conjunct, NULL constants compare to nothing, unknown columns and
+		// unbound params cannot anchor a range.
+		{"ne", cmp(CmpNe, col("a"), lit(5)), nil},
+		{"or", &Or{Kids: []Expr{cmp(CmpEq, col("a"), lit(1)), cmp(CmpEq, col("a"), lit(2))}}, nil},
+		{"null-const", cmp(CmpEq, col("a"), &Literal{Val: types.Null()}), nil},
+		{"unknown-col", cmp(CmpEq, col("zz"), lit(1)), nil},
+		{"unbound-param", cmp(CmpEq, col("a"), &Param{Name: "nope"}), nil},
+		{"col-vs-col", cmp(CmpLt, col("a"), col("b")), nil},
+		// A mixed AND still yields the extractable conjuncts.
+		{"and-partial", &And{Kids: []Expr{
+			cmp(CmpNe, col("a"), lit(0)),
+			cmp(CmpEq, col("b"), lit(4)),
+		}}, []ColRange{{Col: 1, Lo: types.Int(4), Hi: types.Int(4), HasLo: true, HasHi: true}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ZoneRanges(tc.filter, env)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ZoneRanges = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}

@@ -6,14 +6,18 @@ package faults
 // literal not listed here — a typo'd point can neither arm nor compile into
 // an injection site silently.
 var points = map[string]string{
-	"spill.create":     "storage: opening a fresh spill run file",
-	"spill.append":     "storage: appending one tuple to a run file",
-	"spill.finish":     "storage: flushing and sealing a run file",
-	"spill.read":       "storage: opening a finished run for read-back",
-	"spill.remove":     "storage: unlinking a consumed run file",
+	"spill.create": "storage: opening a fresh spill run file",
+	"spill.append": "storage: appending one tuple to a run file",
+	"spill.finish": "storage: flushing and sealing a run file",
+	"spill.read":   "storage: opening a finished run for read-back",
+	"spill.remove": "storage: unlinking a consumed run file",
 	"spill.corrupt": "storage: mutating a sealed run file before read-back " +
 		"(corruption injection via Rule.Corrupt)",
-	"spill.sync":       "storage: fsyncing a sealed run file (Config.SpillSync)",
+	"spill.sync": "storage: fsyncing a sealed run file (Config.SpillSync)",
+	"page.open":  "storage: opening a paged dataset's page file",
+	"page.read":  "storage: reading one page frame out of a page file",
+	"page.corrupt": "storage: mutating a sealed page file before read-back " +
+		"(corruption injection via Rule.Corrupt)",
 	"governor.reserve": "cluster: memory grant reservation (fired = denied)",
 	"governor.collapse": "cluster: capacity collapse — Capacity() reports " +
 		"1 byte while armed",

@@ -2,7 +2,8 @@
 // of the engine's prose contracts — the hot-path allocation-free rule, the
 // cached ByteSize/PartBytes metering rule, the close-the-Grant /
 // sweep-the-SpillDir rule, chunk-boundary cancellation, the temp-namespace
-// naming rule, and benchmark allocation reporting. Run via
+// naming rule, benchmark allocation reporting, fault-point registration,
+// and page-decode hot-path coverage. Run via
 // `go run ./cmd/dynoptlint ./...`; each analyzer's contract is documented on
 // its Analyzer.Doc and in the README's "Static contracts" section.
 package lint
@@ -25,11 +26,14 @@ import (
 //	//dynopt:size-ok <reason>   marks a sanctioned direct EncodedSize walk
 //	                            (the size-cache seeding layer) for metersize
 //	//dynopt:cancel-ok <reason> exempts a chunk loop from ctxcancel
+//	//dynopt:cold-ok <reason>   marks a deliberately cold page-decode walk
+//	                            (transient materialization) for pagedecode
 const (
 	dirHotpath  = "hotpath"
 	dirAllocOK  = "alloc-ok"
 	dirSizeOK   = "size-ok"
 	dirCancelOK = "cancel-ok"
+	dirColdOK   = "cold-ok"
 )
 
 // directive is one //dynopt: comment.

@@ -12,5 +12,6 @@ func All() []*analysis.Analyzer {
 		TempName,
 		BenchAllocs,
 		FaultPoint,
+		PageDecode,
 	}
 }

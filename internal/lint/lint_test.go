@@ -35,12 +35,16 @@ func TestFaultPointFixture(t *testing.T) {
 	analysis.RunFixture(t, "testdata", FaultPoint, "faultpoint/app")
 }
 
+func TestPageDecodeFixture(t *testing.T) {
+	analysis.RunFixture(t, "testdata", PageDecode, "pagedecode/app", "pagedecode/internal/types")
+}
+
 // TestEmptyReasonDirectives: an escape hatch without a reason must be
 // flagged, never honored silently. (Checked outside the want-comment
 // machinery: the diagnostic lands on the directive's own line, which the
 // directive comment already occupies.)
 func TestEmptyReasonDirectives(t *testing.T) {
-	pkgs, err := analysis.LoadGOPATH("testdata", "noreason/internal/engine", "noreason/hot")
+	pkgs, err := analysis.LoadGOPATH("testdata", "noreason/internal/engine", "noreason/hot", "noreason/pd")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,6 +56,7 @@ func TestEmptyReasonDirectives(t *testing.T) {
 		"//dynopt:size-ok needs a reason",
 		"//dynopt:cancel-ok needs a reason",
 		"//dynopt:alloc-ok needs a reason",
+		"//dynopt:cold-ok needs a reason",
 	}
 	for _, want := range wantSubstrings {
 		found := false

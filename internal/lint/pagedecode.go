@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dynopt/internal/lint/analysis"
+)
+
+// PageDecode enforces the disk-native scan discipline: a loop that
+// materializes rows out of a decoded page — calling PageData.Tuple or
+// PageData.Value per row — is a page-decode inner loop and runs once per
+// stored row, so it must sit inside a //dynopt:hotpath region where hotalloc
+// audits it for per-row allocations. Deliberately cold decode walks (the
+// transient materialization index builds and pilot sampling use) carry
+// //dynopt:cold-ok <reason> instead. internal/types, the codec's own
+// implementation, and test files are out of scope.
+var PageDecode = &analysis.Analyzer{
+	Name: "pagedecode",
+	Doc: "page-decode inner loops (per-row PageData.Tuple/Value calls) must be " +
+		"//dynopt:hotpath regions; mark deliberately cold decode walks //dynopt:cold-ok <reason>",
+	Run: runPageDecode,
+}
+
+func runPageDecode(pass *analysis.Pass) (any, error) {
+	if pathHasSuffix(pass.PkgPath, "internal/types") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile != nil && pass.IsTestFile(f.FileStart) {
+			continue
+		}
+		dirs := parseDirectives(pass.Fset, f)
+		hot := hotRegions(pass, f, dirs)
+		covered := func(pos token.Pos) bool {
+			for _, r := range hot {
+				if r.Pos() <= pos && pos <= r.End() {
+					return true
+				}
+			}
+			return false
+		}
+		var loops []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, n)
+			}
+			return true
+		})
+		// The innermost loop containing pos: loops nest, so the latest
+		// starting one that still spans pos wins.
+		innermost := func(pos token.Pos) ast.Node {
+			var best ast.Node
+			for _, l := range loops {
+				if l.Pos() <= pos && pos <= l.End() && (best == nil || l.Pos() >= best.Pos()) {
+					best = l
+				}
+			}
+			return best
+		}
+		reported := map[ast.Node]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPageDataRowCall(pass, call) {
+				return true
+			}
+			loop := innermost(call.Pos())
+			if loop == nil || reported[loop] || covered(call.Pos()) {
+				return true
+			}
+			if dir, ok := coldWaiver(dirs, loop, call); ok {
+				if dir.reason == "" {
+					pass.Reportf(dir.pos, "//dynopt:cold-ok needs a reason")
+					reported[loop] = true
+				}
+				return true
+			}
+			reported[loop] = true
+			pass.Reportf(loop.Pos(),
+				"page-decode inner loop (%s) outside a //dynopt:hotpath region; annotate it hot or mark the cold walk //dynopt:cold-ok <reason>",
+				callName(call))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// coldWaiver returns the cold-ok directive covering the loop or the decode
+// call itself, if any.
+func coldWaiver(dirs *fileDirectives, loop ast.Node, call *ast.CallExpr) (directive, bool) {
+	if dir, ok := dirs.covering(loop.Pos(), dirColdOK); ok {
+		return dir, true
+	}
+	return dirs.covering(call.Pos(), dirColdOK)
+}
+
+// isPageDataRowCall reports whether the call is a per-row accessor on the
+// page codec: a Tuple or Value method whose receiver is types.PageData.
+func isPageDataRowCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Tuple" && sel.Sel.Name != "Value") {
+		return false
+	}
+	if pass.TypesInfo == nil {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "PageData"
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "PageData." + sel.Sel.Name
+	}
+	return "page decode"
+}

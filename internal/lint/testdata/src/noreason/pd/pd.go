@@ -1,0 +1,14 @@
+// Package pd (fixture) carries a cold-ok directive with the reason omitted:
+// it must be flagged, not honored silently.
+package pd
+
+type PageData struct{ NRows int }
+
+func (pd *PageData) Tuple(r int) []int { return nil }
+
+func coldWaivedBadly(pd *PageData) {
+	//dynopt:cold-ok
+	for r := 0; r < pd.NRows; r++ {
+		_ = pd.Tuple(r)
+	}
+}

@@ -1,0 +1,69 @@
+// Package app exercises the pagedecode analyzer: per-row PageData.Tuple and
+// PageData.Value loops must sit inside a //dynopt:hotpath region or carry the
+// cold-ok waiver; same-named methods on other receivers stay out of scope.
+package app
+
+type Tuple []int
+
+// PageData stands in for dynopt/internal/types.PageData: the analyzer
+// matches the receiver by type name.
+type PageData struct {
+	NRows int
+}
+
+func (pd *PageData) Tuple(r int) Tuple           { return nil }
+func (pd *PageData) Value(c, r int) int          { return 0 }
+func (pd *PageData) DecodePage(buf []byte) error { return nil }
+
+//dynopt:hotpath
+func hotFunc(pd *PageData, win []Tuple) {
+	for r := range win {
+		win[r] = pd.Tuple(r) // enclosing function is hot: fine
+	}
+}
+
+func hotLoop(pd *PageData, win []Tuple) {
+	//dynopt:hotpath
+	for r := range win {
+		win[r] = pd.Tuple(r) // the loop itself is hot: fine
+	}
+}
+
+func bareTuple(pd *PageData) []Tuple {
+	out := make([]Tuple, 0, pd.NRows)
+	for r := 0; r < pd.NRows; r++ { // want `page-decode inner loop \(PageData.Tuple\) outside`
+		out = append(out, pd.Tuple(r))
+	}
+	return out
+}
+
+func bareValue(pd *PageData) int {
+	sum := 0
+	for r := 0; r < pd.NRows; r++ { // want `page-decode inner loop \(PageData.Value\) outside`
+		sum += pd.Value(0, r)
+	}
+	return sum
+}
+
+func coldWalk(pd *PageData) []Tuple {
+	var out []Tuple
+	//dynopt:cold-ok transient materialization for a one-off rebuild
+	for r := 0; r < pd.NRows; r++ {
+		out = append(out, pd.Tuple(r))
+	}
+	return out
+}
+
+// otherRecv has a same-named method on a different receiver: out of scope.
+type otherRecv struct{}
+
+func (otherRecv) Tuple(r int) Tuple { return nil }
+
+func unrelated(o otherRecv, n int) {
+	for r := 0; r < n; r++ {
+		_ = o.Tuple(r) // not PageData: fine
+	}
+}
+
+// outsideLoop: a decode call not inside any loop is not an inner loop.
+func outsideLoop(pd *PageData) Tuple { return pd.Tuple(0) }

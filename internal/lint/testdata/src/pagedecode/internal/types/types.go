@@ -1,0 +1,20 @@
+// Package types (fixture) stands in for dynopt/internal/types: the codec's
+// own implementation loops over its buffers by definition and is out of the
+// pagedecode analyzer's scope.
+package types
+
+type Tuple []int
+
+type PageData struct {
+	NRows int
+}
+
+func (pd *PageData) Value(c, r int) int { return 0 }
+
+func (pd *PageData) Tuple(r int) Tuple {
+	t := make(Tuple, 1)
+	for c := range t {
+		t[c] = pd.Value(c, r) // codec implementation: exempt
+	}
+	return t
+}

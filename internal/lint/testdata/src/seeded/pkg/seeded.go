@@ -37,6 +37,16 @@ func pointSeed() string {
 	return faults.Point("no.such.point") // faultpoint must fire here
 }
 
+type PageData struct{ NRows int }
+
+func (pd *PageData) Tuple(r int) []int { return nil }
+
+func decodeSeed(pd *PageData) {
+	for r := 0; r < pd.NRows; r++ { // pagedecode must fire here
+		_ = pd.Tuple(r)
+	}
+}
+
 func BenchmarkSeeded(b *testing.B) { // benchallocs must fire here
 	for i := 0; i < b.N; i++ {
 	}

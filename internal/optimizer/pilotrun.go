@@ -8,6 +8,7 @@ import (
 	"dynopt/internal/expr"
 	"dynopt/internal/sqlpp"
 	"dynopt/internal/stats"
+	"dynopt/internal/types"
 )
 
 // DefaultPilotSampleK is the LIMIT applied to each pilot query.
@@ -88,27 +89,46 @@ func (s *PilotRun) samplePhase(ctx *engine.Context, g *sqlpp.Graph, r *core.Repo
 		sample := stats.NewDatasetStats(ref.Dataset)
 		var scanned, produced int64
 		var scannedBytes int64
+		var sampleErr error
+		observe := func(t types.Tuple) bool {
+			scanned++
+			scannedBytes += int64(t.EncodedSize()) //dynopt:size-ok pilot sampling meters exactly the rows it touches; no cache exists for a sample prefix
+			if compiled != nil {
+				v, err := compiled(t)
+				if err != nil {
+					sampleErr = err
+					return false
+				}
+				if !v.IsTrue() {
+					return true
+				}
+			}
+			produced++
+			sample.ObserveTuple(ds.Schema, t, nil)
+			// ObserveTuple counted the row already; keep sample's
+			// RecordCount equal to produced (it does).
+			return produced < int64(k)
+		}
 	sampling:
 		for p := range ds.Parts {
-			for row := range ds.Parts[p] {
-				scanned++
-				scannedBytes += int64(ds.Parts[p][row].EncodedSize()) //dynopt:size-ok pilot sampling meters exactly the rows it touches; no cache exists for a sample prefix
-				if compiled != nil {
-					v, err := compiled(ds.Parts[p][row])
-					if err != nil {
-						return nil, err
-					}
-					if !v.IsTrue() {
-						continue
+			if pgd := ds.Paged(); pgd != nil {
+				// Paged dataset: stream pages in order, touching only the
+				// prefix the sample needs.
+				if err := pgd.EachRow(p, observe); err != nil {
+					return nil, err
+				}
+			} else {
+				for row := range ds.Parts[p] {
+					if !observe(ds.Parts[p][row]) {
+						break
 					}
 				}
-				produced++
-				sample.ObserveTuple(ds.Schema, ds.Parts[p][row], nil)
-				// ObserveTuple counted the row already; keep sample's
-				// RecordCount equal to produced (it does).
-				if produced >= int64(k) {
-					break sampling
-				}
+			}
+			if sampleErr != nil {
+				return nil, sampleErr
+			}
+			if produced >= int64(k) {
+				break sampling
 			}
 		}
 		acct.ScanRows.Add(scanned)

@@ -1,0 +1,112 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary codecs for the two sketches, used by the paged dataset store's
+// statistics sidecar: a paged open must register planner statistics
+// byte-identical to the ones ingestion collected, or plans (and therefore
+// every placement-dependent counter) would drift between resident and paged
+// runs. GK state is serialized post-flush — every query method flushes the
+// insertion buffer first, so a flushed snapshot answers every quantile query
+// exactly as the live sketch would.
+
+// maxSketchEntries bounds decoded entry/register counts so a corrupt length
+// prefix cannot force huge allocations.
+const maxSketchEntries = 1 << 24
+
+// Encode appends the GK sketch's flushed state to dst.
+func (g *GK) Encode(dst []byte) []byte {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flush()
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(g.eps))
+	dst = binary.AppendUvarint(dst, uint64(g.n))
+	dst = binary.AppendUvarint(dst, uint64(len(g.entries)))
+	for _, e := range g.entries {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Value))
+		dst = binary.AppendUvarint(dst, uint64(e.G))
+		dst = binary.AppendUvarint(dst, uint64(e.Delta))
+	}
+	return dst
+}
+
+// DecodeGK decodes a sketch encoded by Encode from the front of src,
+// returning the sketch and the bytes consumed.
+func DecodeGK(src []byte) (*GK, int, error) {
+	if len(src) < 8 {
+		return nil, 0, fmt.Errorf("sketch: truncated GK header")
+	}
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(src))
+	if !(eps > 0 && eps < 1) {
+		return nil, 0, fmt.Errorf("sketch: invalid GK epsilon %v", eps)
+	}
+	off := 8
+	n, m := binary.Uvarint(src[off:])
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("sketch: bad GK count")
+	}
+	off += m
+	ne, m := binary.Uvarint(src[off:])
+	if m <= 0 || ne > maxSketchEntries {
+		return nil, 0, fmt.Errorf("sketch: bad GK entry count %d", ne)
+	}
+	off += m
+	g := NewGK(eps)
+	g.n = int64(n)
+	g.entries = make([]gkEntry, ne)
+	for i := range g.entries {
+		if off+8 > len(src) {
+			return nil, 0, fmt.Errorf("sketch: truncated GK entry %d", i)
+		}
+		g.entries[i].Value = math.Float64frombits(binary.LittleEndian.Uint64(src[off:]))
+		off += 8
+		gw, m := binary.Uvarint(src[off:])
+		if m <= 0 {
+			return nil, 0, fmt.Errorf("sketch: truncated GK entry %d weight", i)
+		}
+		off += m
+		d, m := binary.Uvarint(src[off:])
+		if m <= 0 {
+			return nil, 0, fmt.Errorf("sketch: truncated GK entry %d delta", i)
+		}
+		off += m
+		g.entries[i].G = int64(gw)
+		g.entries[i].Delta = int64(d)
+	}
+	return g, off, nil
+}
+
+// Encode appends the HLL sketch's state to dst.
+func (h *HLL) Encode(dst []byte) []byte {
+	dst = append(dst, h.p)
+	dst = binary.AppendUvarint(dst, uint64(len(h.registers)))
+	return append(dst, h.registers...)
+}
+
+// DecodeHLL decodes a sketch encoded by Encode from the front of src,
+// returning the sketch and the bytes consumed.
+func DecodeHLL(src []byte) (*HLL, int, error) {
+	if len(src) < 1 {
+		return nil, 0, fmt.Errorf("sketch: truncated HLL header")
+	}
+	p := src[0]
+	if p < 4 || p > 18 {
+		return nil, 0, fmt.Errorf("sketch: invalid HLL precision %d", p)
+	}
+	off := 1
+	nr, m := binary.Uvarint(src[off:])
+	if m <= 0 || nr != 1<<p {
+		return nil, 0, fmt.Errorf("sketch: HLL register count %d disagrees with precision %d", nr, p)
+	}
+	off += m
+	if len(src)-off < int(nr) {
+		return nil, 0, fmt.Errorf("sketch: truncated HLL registers")
+	}
+	h := NewHLL(p)
+	copy(h.registers, src[off:off+int(nr)])
+	return h, off + int(nr), nil
+}

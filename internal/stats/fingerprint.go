@@ -8,6 +8,12 @@ import "fmt"
 type DatasetFingerprint struct {
 	Rows  int64
 	Bytes int64
+	// Pages is the physical page count of the dataset's disk-native backend
+	// at record time (0 = resident). Access-path selection compares binding
+	// sets against real page counts, so converting a dataset to paged
+	// storage — or re-paging it at a different granularity — invalidates
+	// plans recorded against the old layout.
+	Pages int64
 	// FieldDistinct holds the distinct-count estimate per fingerprinted
 	// field (join keys and filter columns of the shape).
 	FieldDistinct map[string]int64
@@ -75,6 +81,20 @@ func (fp Fingerprint) Stale(reg *Registry, tol float64) (string, bool) {
 			if drifted(d, cur, tol) {
 				return fmt.Sprintf("%s.%s: distinct %d -> %d", name, f, d, cur), true
 			}
+		}
+	}
+	return "", false
+}
+
+// StalePages reports whether any fingerprinted dataset's physical page
+// count moved since record time. pages maps a dataset name to its current
+// page count (0 = resident). Page counts are exact storage facts, not
+// sketch estimates, so no drift band applies: any change means the layout
+// the plan's access paths were chosen against is gone.
+func (fp Fingerprint) StalePages(pages func(name string) int64) (string, bool) {
+	for name, want := range fp {
+		if cur := pages(name); cur != want.Pages {
+			return fmt.Sprintf("%s: pages %d -> %d", name, want.Pages, cur), true
 		}
 	}
 	return "", false

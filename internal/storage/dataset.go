@@ -29,10 +29,18 @@ type Dataset struct {
 	// so the sizes the scan and spill metering need are computed once per
 	// dataset, not once per scan.
 	sizes types.SizeCache
+
+	// paged, when set, is the dataset's disk backing: Parts holds empty
+	// slices (partition count preserved for every len(Parts) caller) and row
+	// access routes through the page file. See paged.go.
+	paged *PagedData
 }
 
 // RowCount returns the total number of rows across partitions.
 func (d *Dataset) RowCount() int64 {
+	if d.paged != nil {
+		return d.paged.file.Rows()
+	}
 	var n int64
 	for _, p := range d.Parts {
 		n += int64(len(p))
@@ -245,14 +253,25 @@ type indexPart struct {
 	ikeys []int64
 }
 
-// BuildIndex creates (and attaches) a secondary index on the field.
+// BuildIndex creates (and attaches) a secondary index on the field. Paged
+// datasets materialize each partition transiently from its pages — the index
+// itself stores only (key, row offset) pairs, so nothing row-shaped is
+// retained after the build.
 func BuildIndex(ds *Dataset, field string) (*Index, error) {
 	fi, ok := ds.Schema.Index(field)
 	if !ok {
 		return nil, fmt.Errorf("storage: index field %q not in schema of %s", field, ds.Name)
 	}
 	idx := &Index{Field: field, parts: make([]indexPart, len(ds.Parts))}
-	for p, part := range ds.Parts {
+	for p := range ds.Parts {
+		part := ds.Parts[p]
+		if ds.paged != nil {
+			var err error
+			part, err = ds.paged.MaterializePart(p)
+			if err != nil {
+				return nil, err
+			}
+		}
 		ip := indexPart{
 			keys: make([]types.Value, len(part)),
 			rows: make([]int, len(part)),

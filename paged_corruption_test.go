@@ -1,0 +1,70 @@
+package dynopt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dynopt/internal/bench"
+	"dynopt/internal/faults"
+)
+
+// TestPagedCorruptionClassified is the disk-native analogue of the spill
+// corruption suite: at-rest damage to a sealed page file — a flipped bit, a
+// truncated tail, a torn write — injected through the page.corrupt point
+// while the workload converts to paged form must either fail classified
+// faults.ErrCorrupt (at open, when the footer or directory is hit, or at
+// scan time, when a page body is) or leave the query's rows byte-identical
+// to the resident baseline (when the damage lands on a dataset the query
+// never reads). Never a panic, never silently wrong rows.
+func TestPagedCorruptionClassified(t *testing.T) {
+	q := bench.Queries()[0] // Q17: joins across several base datasets
+	resident, err := bench.NewEnv(1, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := resident.Strategies()[0]
+	want, _, err := resident.RunOneResult(strat, q.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		kind CorruptKind
+	}{
+		{"flip-bit", CorruptFlipBit},
+		{"truncate-tail", CorruptTruncateTail},
+		{"torn-write", CorruptTornWrite},
+	} {
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				paged, err := bench.NewEnv(1, 4, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reg := NewFaultRegistry(200 + seed)
+				reg.Arm(FaultRule{Point: "page.corrupt", OneShot: true, Corrupt: tc.kind})
+				if err := paged.ConvertPaged(t.TempDir(), 64, paged.DatasetBytes()/8, reg); err != nil {
+					if !errors.Is(err, faults.ErrCorrupt) {
+						t.Fatalf("conversion failed unclassified: %v", err)
+					}
+					return
+				}
+				if reg.Fired("page.corrupt") != 1 {
+					t.Fatal("page.corrupt never fired during conversion")
+				}
+				res, _, err := paged.RunOneResult(strat, q.SQL)
+				if err != nil {
+					if !errors.Is(err, faults.ErrCorrupt) {
+						t.Fatalf("query over the damaged store failed unclassified: %v", err)
+					}
+					return
+				}
+				// The damage missed every page the query decodes: the rows
+				// must then be byte-identical to the resident baseline.
+				compareResults(t, want, res)
+			})
+		}
+	}
+}
